@@ -1,0 +1,22 @@
+"""Ablation A4 — hardware area vs accuracy vs cycles.
+
+Backs the paper's claim that "comparable branch prediction accuracies
+can be achieved at significantly lower area costs": ASBR plus a
+quarter-size bimodal beats every large general-purpose predictor on
+cycles while holding far less SRAM state.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_area(benchmark, setup, save_table):
+    rows = benchmark.pedantic(
+        lambda: ablations.area_table("adpcm_enc", setup),
+        rounds=1, iterations=1)
+    save_table("ablation_area", ablations.render_area(rows, "adpcm_enc"))
+
+    by = {r.config: r for r in rows}
+    asbr = by["ASBR+bimodal-512-512"]
+    assert asbr.cycles < by["bimodal-2048"].cycles
+    assert asbr.cycles < by["gshare-2048-11-2048"].cycles
+    assert asbr.state_bits < by["bimodal-2048"].state_bits / 3

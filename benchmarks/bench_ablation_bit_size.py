@@ -1,0 +1,25 @@
+"""Ablation A2 — BIT capacity (paper Section 6).
+
+"Since only the most frequently executed branches within the important
+application loops are targeted, a small number of BIT entries would
+suffice."  The sweep shows Amdahl-style diminishing returns.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_bit_size(benchmark, setup, save_table):
+    rows = benchmark.pedantic(
+        lambda: ablations.bit_size_sweep("g721_enc",
+                                         capacities=(1, 2, 4, 8, 16),
+                                         setup=setup),
+        rounds=1, iterations=1)
+    save_table("ablation_bit_size",
+               ablations.render_bit_size(rows, "g721_enc"))
+
+    cycles = [r.cycles for r in rows]
+    assert cycles == sorted(cycles, reverse=True)   # more entries, faster
+    # first few entries capture most of the benefit
+    total_gain = cycles[0] - cycles[-1]
+    early_gain = cycles[0] - cycles[2]
+    assert early_gain > 0.5 * total_gain

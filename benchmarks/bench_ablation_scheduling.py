@@ -1,0 +1,20 @@
+"""Ablation A3 — compiler scheduling support (paper Section 5.1).
+
+Three points: naive code (predicates defined right before branches,
+nothing folds), the automatic local list scheduler, and the
+hand-scheduled production assembly (the paper's "manual scheduling").
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_scheduling(benchmark, setup, save_table):
+    study = benchmark.pedantic(lambda: ablations.scheduling_study(setup),
+                               rounds=1, iterations=1)
+    save_table("ablation_scheduling", ablations.render_scheduling(study))
+
+    assert study.folds_after >= study.folds_before
+    assert study.cycles_after <= study.cycles_before
+    # manual/global scheduling reaches branches local scheduling cannot
+    assert study.folds_hand > study.folds_after
+    assert study.cycles_hand < study.cycles_before

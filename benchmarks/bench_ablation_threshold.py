@@ -1,0 +1,22 @@
+"""Ablation A1 — the BDT forwarding path (paper Section 5.2).
+
+Sweeps the early-condition-evaluation update point: commit (threshold
+4, no extra hardware), post-MEM (3), post-EX (2).  The paper argues the
+forwarding paths are what make realistic code foldable; the sweep shows
+selection collapsing at threshold 4.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_threshold(benchmark, setup, save_table):
+    rows = benchmark.pedantic(
+        lambda: ablations.threshold_sweep("adpcm_enc", setup),
+        rounds=1, iterations=1)
+    save_table("ablation_threshold",
+               ablations.render_threshold(rows, "adpcm_enc"))
+
+    by_update = {r.bdt_update: r for r in rows}
+    # aggressive forwarding folds more branches and saves more cycles
+    assert by_update["execute"].selected >= by_update["commit"].selected
+    assert by_update["execute"].cycles <= by_update["commit"].cycles

@@ -1,0 +1,18 @@
+"""Extension E1 — energy comparison (the paper's power claims).
+
+The paper claims power reduction from fewer pipeline instructions and
+smaller tables but reports no numbers; this bench produces the table
+with our activity-based model.
+"""
+
+from repro.experiments import energy
+
+
+def test_extension_energy(benchmark, setup, save_table):
+    rows = benchmark.pedantic(lambda: energy.run(setup),
+                              rounds=1, iterations=1)
+    save_table("extension_energy", energy.render(rows))
+
+    for r in rows:
+        assert r.saving > 0
+        assert r.customized_fetched < r.baseline_fetched

@@ -1,0 +1,17 @@
+"""Figure 10 — per-branch statistics for the ADPCM-decode fold set.
+
+The paper folds 3 decoder branches (the delta bit tests); ours are
+labelled ``br_b4``/``br_b2``/``br_b1`` plus the naturally-distant sign
+branches the selector also finds profitable.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_adpcm_dec_branches(benchmark, setup, save_table):
+    table = benchmark.pedantic(lambda: fig10.run(setup),
+                               rounds=1, iterations=1)
+    save_table("fig10_adpcm_dec_branches", fig10.render(table))
+
+    labels = {r.label for r in table.rows}
+    assert {"br_b4", "br_b2", "br_b1"} <= labels

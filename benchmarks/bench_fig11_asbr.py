@@ -1,0 +1,30 @@
+"""Figure 11 — the headline ASBR results.
+
+Regenerates the paper's final table: cycles and improvement for ASBR
+with not-taken / bi-512 / bi-256 auxiliary predictors across all four
+benchmarks, improvements computed against the matching Figure 6
+baselines exactly as in the paper.
+"""
+
+from repro.experiments import fig11, paper_data
+
+
+def test_fig11_asbr_results(benchmark, setup, save_table):
+    rows = benchmark.pedantic(lambda: fig11.run(setup),
+                              rounds=1, iterations=1)
+    text = fig11.render(rows)
+    save_table("fig11_asbr", text)
+
+    by = {(r.benchmark, r.aux_predictor): r for r in rows}
+    # the paper's headline: improvements across the board
+    for bench in paper_data.BENCHMARK_NAMES:
+        for aux in ("not-taken", "bi-512", "bi-256"):
+            assert by[(bench, aux)].improvement > 0
+    # shape: ADPCM gains more than G.721 (paper: 20-22% vs 6-7%)
+    assert by[("adpcm_enc", "bi-512")].improvement > \
+        by[("g721_enc", "bi-512")].improvement
+    # shape: quartering the auxiliary predictor costs almost nothing
+    for bench in paper_data.BENCHMARK_NAMES:
+        a = by[(bench, "bi-512")].cycles
+        b = by[(bench, "bi-256")].cycles
+        assert abs(a - b) / a < 0.02

@@ -1,0 +1,20 @@
+"""Figure 6 — baseline branch predictability.
+
+Regenerates the cycles/CPI/accuracy table for not-taken, bimodal-2048
+and gshare across the four benchmarks, next to the paper's values.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_baseline_predictability(benchmark, setup, save_table):
+    rows = benchmark.pedantic(lambda: fig6.run(setup),
+                              rounds=1, iterations=1)
+    text = fig6.render(rows)
+    save_table("fig6_baseline", text)
+
+    # shape assertions mirroring the paper
+    by = {(r.benchmark, r.predictor): r for r in rows}
+    for bench in ("adpcm_enc", "adpcm_dec", "g721_enc", "g721_dec"):
+        assert by[(bench, "not-taken")].cycles > \
+            by[(bench, "bimodal")].cycles

@@ -1,0 +1,24 @@
+"""Figure 7 — per-branch statistics for the G.721 fold sets.
+
+Regenerates the execution-count / per-predictor-accuracy table for the
+branches selected for the G.721 encoder (paper Figure 7: 16 branches)
+and decoder (same set minus one in the paper).
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_g721_encode_branches(benchmark, setup, save_table):
+    table = benchmark.pedantic(lambda: fig7.run(setup, "g721_enc"),
+                               rounds=1, iterations=1)
+    save_table("fig7_g721_enc_branches", fig7.render(table))
+    assert len(table.rows) >= 5
+    # hard-to-predict branches are present (the reason they're selected)
+    assert min(r.accuracy["bimodal"] for r in table.rows) < 0.8
+
+
+def test_fig7_g721_decode_branches(benchmark, setup, save_table):
+    table = benchmark.pedantic(lambda: fig7.run(setup, "g721_dec"),
+                               rounds=1, iterations=1)
+    save_table("fig7_g721_dec_branches", fig7.render(table))
+    assert len(table.rows) >= 4

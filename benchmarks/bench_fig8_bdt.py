@@ -1,0 +1,57 @@
+"""Figure 8 — the Branch Direction Table.
+
+Figure 8 is a structural diagram (a 4-register BDT with ``!=0`` and
+``<=0`` direction bits and validity counters).  This bench reproduces
+the structure as a table and measures the early-condition-evaluation
+update rate — the operation the BDT hardware performs on every register
+writeback.
+"""
+
+from repro.asbr.bdt import BranchDirectionTable
+from repro.experiments.common import render_table
+from repro.isa.alu import to_unsigned
+from repro.isa.conditions import Condition
+
+
+def test_fig8_bdt_structure(benchmark, save_table):
+    bdt = BranchDirectionTable(num_regs=4)
+    values = [0, 5, to_unsigned(-2), 1]
+
+    def update_all():
+        for reg, value in enumerate(values):
+            bdt.acquire(reg if reg else 1)      # r0-style guard aside
+            bdt.release(reg if reg else 1, value)
+        # direct set for the table below
+        for reg, value in enumerate(values):
+            bdt.set_value(reg, value)
+        return bdt
+
+    benchmark(update_all)
+
+    rows = []
+    for reg, value in enumerate(values):
+        rows.append(["R%d" % reg, str(to_unsigned(value) if value >= 0
+                                      else value),
+                     "1" if bdt.lookup(reg, Condition.NEZ) else "0",
+                     "1" if bdt.lookup(reg, Condition.LEZ) else "0",
+                     str(bdt.entries[reg].counter)])
+    text = render_table(
+        ["register", "value", "!=0", "<=0", "validity counter"], rows,
+        "Figure 8: four-entry BDT with !=0 and <=0 direction bits "
+        "(structural reproduction)")
+    save_table("fig8_bdt", text)
+
+    assert bdt.lookup(0, Condition.NEZ) is False
+    assert bdt.lookup(2, Condition.LEZ) is True
+
+
+def test_fig8_bdt_update_throughput(benchmark):
+    """Raw acquire/release protocol rate (simulator hot path)."""
+    bdt = BranchDirectionTable()
+
+    def one_writeback():
+        bdt.acquire(7)
+        bdt.release(7, 123456)
+
+    benchmark(one_writeback)
+    assert bdt.lookup(7, Condition.GTZ) is True

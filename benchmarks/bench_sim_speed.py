@@ -1,0 +1,81 @@
+"""Simulator performance micro-benchmarks.
+
+Not a paper table — these track the speed of the infrastructure itself
+(instructions/second of each simulator, assembler throughput, predictor
+and fold-unit hot paths), which bounds how large an input the
+experiments can afford.
+"""
+
+from repro.asbr import ASBRUnit, extract_branch_info
+from repro.asm import assemble
+from repro.predictors import BimodalPredictor, GSharePredictor
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import get_workload
+from repro.workloads.inputs import speech_like
+
+_PCM = speech_like(200, seed=42)
+
+
+def test_functional_sim_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    mem = wl.build_memory(_PCM)
+
+    def run():
+        sim = FunctionalSimulator(wl.program, mem.copy())
+        return sim.run()
+
+    retired = benchmark(run)
+    assert retired > 5000
+
+
+def test_pipeline_sim_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    mem = wl.build_memory(_PCM)
+
+    def run():
+        sim = PipelineSimulator(wl.program, mem.copy())
+        return sim.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 5000
+
+
+def test_pipeline_with_asbr_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    prog = wl.program
+    mem = wl.build_memory(_PCM)
+    infos = [extract_branch_info(prog, prog.labels[n])
+             for n in ("br_sign", "br_bit2", "br_bit1", "br_bit0")]
+
+    def run():
+        unit = ASBRUnit.from_branch_infos(infos, bdt_update="execute")
+        sim = PipelineSimulator(prog, mem.copy(),
+                                predictor=BimodalPredictor(512, 512),
+                                asbr=unit)
+        return sim.run().cycles
+
+    benchmark(run)
+
+
+def test_assembler_speed(benchmark):
+    import os
+    from repro.workloads import loader
+    path = os.path.join(os.path.dirname(loader.__file__), "asm",
+                        "g721_enc.s")
+    with open(path) as f:
+        source = f.read()
+    prog = benchmark(lambda: assemble(source))
+    assert len(prog.instrs) > 100
+
+
+def test_predictor_throughput(benchmark):
+    pred = GSharePredictor(11, 2048)
+    pcs = [0x400000 + 4 * i for i in range(64)]
+
+    def run():
+        for i, pc in enumerate(pcs):
+            pred.predict(pc)
+            pred.update(pc, bool(i & 1), pc + 64)
+
+    benchmark(run)

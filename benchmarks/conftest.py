@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one table/figure of the paper: it
+runs the real experiment (at ``REPRO_SAMPLES`` input samples, default
+600 here), prints the measured-vs-paper table, and saves it under
+``benchmarks/results/``.  The pytest-benchmark timing wraps the
+experiment's first full computation; repeated configurations within one
+session are memoised by the shared ExperimentSetup.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentSetup
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BENCH_SAMPLES = int(os.environ.get("REPRO_SAMPLES", "600"))
+
+
+@pytest.fixture(scope="session")
+def setup():
+    return ExperimentSetup(n_samples=BENCH_SAMPLES)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name, text):
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _save

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Multi-loop applications: BIT bank switching (paper Section 7).
+
+"An effective way to virtually increase the size of BIT is to add
+additional copies of BITs and switch between them during the loop
+transitions ... by writing a special value to a control register just
+before entering the loop."
+
+This example builds a two-phase program — an ADPCM-style magnitude loop
+followed by a table-search loop — whose fold candidates do not fit one
+tiny BIT together.  Each loop gets its own bank, selected by a committed
+``ctlw`` write at the loop boundary.
+
+Run:  python examples/bit_banking.py
+"""
+
+from repro.asbr import ASBRUnit, extract_branch_info
+from repro.asbr.bit import BankedBIT
+from repro.asm import assemble
+from repro.predictors import NotTakenPredictor
+from repro.sim import FunctionalSimulator, PipelineSimulator
+
+SOURCE = """
+.data
+signal: .word 9, -4, 12, -31, 7, -2, 25, -18, 3, -1
+        .word 14, -9, 2, -27, 11, -6, 19, -13, 8, -5
+thresholds: .word 4, 8, 16, 32, 64, 9999
+.text
+main:
+    ctlw 0                 # activate bank 0 for phase 1
+    la   r4, signal
+    li   r5, 20
+    li   r6, 0             # sum |x|
+phase1:
+    lw   r2, 0(r4)
+    addi r4, r4, 4
+    addi r5, r5, -1
+    sll  r0, r0, 0
+p1_br:
+    bltz r2, negate        # fold candidate, bank 0
+    addu r6, r6, r2
+    b    p1_next
+negate:
+    subu r6, r6, r2
+p1_next:
+    bnez r5, phase1
+
+    ctlw 1                 # activate bank 1 for phase 2
+    la   r4, signal
+    li   r5, 20
+    li   r7, 0             # histogram bucket accumulator
+phase2:
+    lw   r2, 0(r4)
+    addi r4, r4, 4
+    la   r8, thresholds
+    li   r9, 0
+search:
+    lw   r10, 0(r8)
+    addi r8, r8, 4
+    subu r11, r2, r10      # predicate: x - threshold
+    addi r9, r9, 1
+    sll  r0, r0, 0
+p2_br:
+    bltz r11, found        # fold candidate, bank 1
+    addu r9, r9, r0
+    b    search
+found:
+    addu r7, r7, r9
+    addi r5, r5, -1
+    bnez r5, phase2
+    halt
+"""
+
+
+def main():
+    program = assemble(SOURCE)
+    golden = FunctionalSimulator(program)
+    golden.run()
+    print("golden results: sum|x| = %d, bucket sum = %d"
+          % (golden.regs[6], golden.regs[7]))
+
+    # one fold candidate per phase; a 1-entry BIT cannot hold both
+    bank0 = [extract_branch_info(program, program.labels["p1_br"])]
+    bank1 = [extract_branch_info(program, program.labels["p2_br"])]
+    banked = BankedBIT(num_banks=2, capacity=1)
+    banked.load_bank(0, bank0)
+    banked.load_bank(1, bank1)
+    unit = ASBRUnit(banked, bdt_update="execute")
+
+    sim = PipelineSimulator(program, predictor=NotTakenPredictor(),
+                            asbr=unit)
+    stats = sim.run()
+    assert sim.regs.snapshot() == golden.regs.snapshot()
+
+    base = PipelineSimulator(program, predictor=NotTakenPredictor()).run()
+    print("bank switches        : %d" % unit.bit.switches)
+    print("folds (taken/not)    : %d / %d"
+          % (unit.stats.folded_taken, unit.stats.folded_not_taken))
+    print("cycles without ASBR  : %d" % base.cycles)
+    print("cycles with 2x1 BIT  : %d  (%.1f%% better)"
+          % (stats.cycles,
+             100.0 * (base.cycles - stats.cycles) / base.cycles))
+    print("\nNote: one active bank at a time keeps the fetch-stage "
+          "lookup a 1-entry match,\nexactly the power argument of "
+          "paper Section 7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quantifying the paper's power claims with the activity-based model.
+
+The paper argues ASBR saves power twice over: folded branches (and the
+wrong-path work they would have caused) never pass through the
+pipeline, and the displaced predictor tables are far smaller.  This
+example runs one benchmark under a range of front-end configurations
+and prints the energy breakdown for each.
+
+Run:  python examples/energy_study.py [benchmark] [n_samples]
+"""
+
+import sys
+
+from repro.asbr import ASBRUnit
+from repro.power import estimate_energy
+from repro.predictors import make_predictor
+from repro.profiling import BranchProfiler, select_branches
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import get_workload, speech_like
+
+
+def simulate(workload, pcm, predictor_spec, with_asbr):
+    stream = workload.input_stream(pcm)
+    count = workload.count_fn(pcm)
+    asbr = None
+    if with_asbr:
+        profile = BranchProfiler().profile(
+            workload.program, workload.build_memory(stream, count))
+        selection = select_branches(profile, bit_capacity=16,
+                                    bdt_update="execute")
+        asbr = ASBRUnit.from_branch_infos(selection.infos,
+                                          bdt_update="execute")
+    sim = PipelineSimulator(workload.program,
+                            workload.build_memory(stream, count),
+                            predictor=make_predictor(predictor_spec),
+                            asbr=asbr)
+    sim.run()
+    n = count if count is not None else len(stream)
+    assert workload.read_output(sim.memory, n) == \
+        workload.golden_output(pcm)
+    return sim
+
+
+def main(benchmark="adpcm_enc", n_samples=1200):
+    workload = get_workload(benchmark)
+    pcm = speech_like(n_samples)
+
+    configs = [
+        ("not-taken (no predictor)", "not-taken", False),
+        ("bimodal-2048 (baseline)", "bimodal-2048", False),
+        ("gshare-2048", "gshare-2048-11-2048", False),
+        ("ASBR + bimodal-512", "bimodal-512-512", True),
+    ]
+    reports = []
+    for title, spec, asbr_on in configs:
+        sim = simulate(workload, pcm, spec, asbr_on)
+        report = estimate_energy(sim)
+        reports.append((title, sim.stats, report))
+        print(report.render("--- %s ---" % title))
+        print("    cycles=%d  fetched=%d  squashed=%d"
+              % (sim.stats.cycles, sim.stats.fetched, sim.stats.squashed))
+        print()
+
+    base = next(r for t, _s, r in reports if "baseline" in t)
+    print("=== energy relative to the bimodal-2048 baseline ===")
+    for title, _stats, report in reports:
+        print("  %-26s %6.1f%%"
+              % (title, 100.0 * report.total / base.total))
+    print("\nThe customized core wins on both fronts the paper names: "
+          "less pipeline\nactivity (fewer instructions fetched) and "
+          "less table energy (small aux\npredictor + tiny BIT/BDT "
+          "instead of a 2048-entry PHT+BTB).")
+
+
+if __name__ == "__main__":
+    bench = sys.argv[1] if len(sys.argv) > 1 else "adpcm_enc"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 1200
+    main(bench, n)

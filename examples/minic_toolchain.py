@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""The full toolchain: C-like source -> assembly -> schedule -> ASBR.
+
+The paper's flow starts from C compiled by gcc plus manual scheduling;
+this example starts from minic, our small C subset compiler, and runs
+the automated version of the same path:
+
+1. compile a control-heavy saturating filter kernel,
+2. list-schedule the compiled code (paper Section 5.1) — the
+   ASBR-aware codegen keeps branch predicates out of the accumulator
+   register so the scheduler can hoist them,
+3. profile, select and fold with ASBR,
+4. measure against the unfolded baseline.
+
+Run:  python examples/minic_toolchain.py
+"""
+
+from repro.asbr import ASBRUnit
+from repro.minic import compile_source, compile_to_program
+from repro.predictors import make_predictor
+from repro.profiling import BranchProfiler, select_branches
+from repro.sched import schedule_program, static_fold_distances
+from repro.sim import FunctionalSimulator, PipelineSimulator
+
+SOURCE = """
+int input[32] = {120, -340, 88, 524, -77, 501, -3, 499,
+                 -640, 12, 430, -55, 203, -870, 64, 7,
+                 -402, 310, -28, 760, -91, 145, -506, 37,
+                 830, -218, 460, -70, 150, -930, 21, 604};
+int clamps = 0;
+int sum = 0;
+
+int main() {
+    int prev = 0;
+    int nclamp = 0;
+    int total = 0;
+    for (int i = 0; i < 32; i = i + 1) {
+        int delta = input[i] - prev;
+        int toohigh = delta > 500;     // predicate computed early,
+        int toolow = delta < -500;     // independent work follows
+        total = total + delta;
+        if (toohigh) { delta = 500; nclamp = nclamp + 1; }
+        if (toolow) { delta = -500; nclamp = nclamp + 1; }
+        prev = prev + delta;
+    }
+    clamps = nclamp;
+    sum = total;
+    return nclamp;
+}
+"""
+
+
+def main():
+    print("=== 1. compile ===")
+    asm_text = compile_source(SOURCE)
+    print("minic -> %d lines of assembly" % asm_text.count("\n"))
+    program = compile_to_program(SOURCE)
+    golden = FunctionalSimulator(program)
+    retired = golden.run()
+    print("functional run: %d instructions, main() returned %d clamps"
+          % (retired, golden.regs[2]))
+
+    print("\n=== 2. schedule for folding (Section 5.1) ===")
+    scheduled = schedule_program(program)
+    before = static_fold_distances(program)
+    after = static_fold_distances(scheduled)
+    for pc in sorted(before):
+        if before[pc] is not None and after.get(pc) is not None \
+                and after[pc] > before[pc]:
+            print("  widened 0x%x: distance %d -> %d"
+                  % (pc, before[pc], after[pc]))
+    check = FunctionalSimulator(scheduled)
+    check.run()
+    assert check.regs.snapshot() == golden.regs.snapshot()
+
+    print("\n=== 3. profile + select ===")
+    profile = BranchProfiler().profile(scheduled)
+    selection = select_branches(profile, bit_capacity=16,
+                                bdt_update="execute", min_count=8)
+    print(selection.describe())
+
+    print("\n=== 4. measure ===")
+    base = PipelineSimulator(scheduled,
+                             predictor=make_predictor("bimodal-512-512"))
+    base_stats = base.run()
+    unit = ASBRUnit.from_branch_infos(selection.infos,
+                                      bdt_update="execute")
+    cust = PipelineSimulator(scheduled,
+                             predictor=make_predictor("bimodal-512-512"),
+                             asbr=unit)
+    cust_stats = cust.run()
+    assert cust.regs.snapshot() == golden.regs.snapshot()
+
+    saved = base_stats.cycles - cust_stats.cycles
+    print("baseline : %6d cycles (CPI %.2f)"
+          % (base_stats.cycles, base_stats.cpi))
+    print("with ASBR: %6d cycles (CPI %.2f), %d folds"
+          % (cust_stats.cycles, cust_stats.cpi,
+             cust_stats.folds_committed))
+    print("saved %d cycles (%.1f%%) on compiled code, zero manual work"
+          % (saved, 100.0 * saved / base_stats.cycles))
+    print("\n(The second clamp branch sits in its own basic block right "
+          "after the first;\nonly global code motion — the paper's "
+          "manual scheduling — could widen it.\nThe hand-written "
+          "workloads in repro.workloads show that upper bound.)")
+
+
+if __name__ == "__main__":
+    main()

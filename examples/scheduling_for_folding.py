@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compiler support for ASBR: instruction scheduling (paper Section 5.1).
+
+Naively-compiled code computes branch predicates immediately before the
+branch, so nothing is ever fold-distance-eligible.  The list scheduler
+in repro.sched hoists each predicate's backward slice as early as its
+dependences allow, recovering the distance automatically.
+
+This example shows the transformation on the unscheduled ADPCM encoder:
+static distances before/after, then the actual fold counts and cycles
+from the pipeline, with the hand-scheduled production encoder as the
+upper reference (the paper's "manual scheduling").
+
+Run:  python examples/scheduling_for_folding.py
+"""
+
+from repro.asbr import ASBRUnit
+from repro.predictors import make_predictor
+from repro.profiling import BranchProfiler, select_branches
+from repro.sched import schedule_program, static_fold_distances
+from repro.workloads import get_workload, speech_like
+
+
+def measure(workload, pcm):
+    """Profile, select, and run one program variant with ASBR."""
+    stream = workload.input_stream(pcm)
+    profile = BranchProfiler().profile(workload.program,
+                                       workload.build_memory(stream))
+    selection = select_branches(profile, bit_capacity=16,
+                                bdt_update="execute")
+    unit = ASBRUnit.from_branch_infos(selection.infos,
+                                      bdt_update="execute")
+    result = workload.run_pipeline(
+        pcm, predictor=make_predictor("bimodal-512-512"), asbr=unit)
+    assert result.outputs == workload.golden_output(pcm)
+    return result.stats, len(selection.selected)
+
+
+def show_distances(title, program):
+    distances = static_fold_distances(program)
+    foldable = sum(1 for d in distances.values()
+                   if d is not None and d >= 3)
+    print("%-22s %2d zero-comparison branches, %2d locally foldable "
+          "(distance >= 3)" % (title, len(distances), foldable))
+    return distances
+
+
+def main():
+    pcm = speech_like(1000)
+    naive = get_workload("adpcm_enc_unsched")
+    hand = get_workload("adpcm_enc")
+
+    print("=== static fold distances ===")
+    before = show_distances("naive:", naive.program)
+    scheduled_prog = schedule_program(naive.program)
+    after = show_distances("list-scheduled:", scheduled_prog)
+    show_distances("hand-scheduled:", hand.program)
+
+    improved = [pc for pc in before
+                if before[pc] is not None and after.get(pc) is not None
+                and after[pc] > before[pc]]
+    print("\nbranches whose distance the scheduler improved:")
+    for pc in improved:
+        print("  0x%x: %d -> %d   (%s)"
+              % (pc, before[pc], after[pc],
+                 naive.program.instr_at(pc).render(pc)))
+
+    print("\n=== pipeline results (ASBR + bi-512) ===")
+    scheduled = naive.with_program(scheduled_prog)
+    for title, wl in (("naive", naive), ("list-scheduled", scheduled),
+                      ("hand-scheduled", hand)):
+        stats, selected = measure(wl, pcm)
+        print("%-16s cycles=%-8d folds=%-6d BIT branches=%d"
+              % (title, stats.cycles, stats.folds_committed, selected))
+
+    print("\nThe local scheduler recovers the branches whose basic "
+          "block has schedulable\nwork; the hand-scheduled variant "
+          "additionally moves work across block\nboundaries (what the "
+          "paper did manually, and what software pipelining\n"
+          "generalises — Figure 5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — Application-Specific Branch Resolution for embedded processors.
+
+A from-scratch reproduction of *"Speeding Up Control-Dominated
+Applications through Microarchitectural Customizations in Embedded
+Processors"* (Petrov & Orailoglu, DAC 2001): a MIPS-like ISA, assembler,
+functional and cycle-accurate 5-stage pipeline simulators, classic
+branch predictors, the ASBR branch-folding microarchitecture, a
+profiling/selection toolchain, compiler scheduling support, and the
+MediaBench-style ADPCM / G.721 workloads the paper evaluates on.
+
+Quickstart::
+
+    from repro.asm import assemble
+    from repro.sim import PipelineSimulator
+    from repro.predictors import BimodalPredictor
+
+    prog = assemble(open("program.s").read())
+    sim = PipelineSimulator(prog, predictor=BimodalPredictor())
+    stats = sim.run()
+    print(stats.cycles, stats.cpi)
+
+See :mod:`repro.experiments` for the drivers that regenerate every table
+and figure of the paper.
+"""
+
+__version__ = "1.0.0"

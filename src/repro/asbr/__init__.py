@@ -1,0 +1,46 @@
+"""Application-Specific Branch Resolution (ASBR) — the paper's core.
+
+ASBR folds selected conditional branches out of the instruction stream
+at fetch time (Section 4 of the paper):
+
+1. **Early condition evaluation** — whenever a register value is
+   produced, the :class:`~repro.asbr.bdt.BranchDirectionTable` (BDT)
+   records all six zero-comparison direction bits for that register.  A
+   per-register *validity counter* tracks in-flight producers so a stale
+   predicate can never be used.
+2. **Branch folding** — the fetch stage looks the PC up in the
+   :class:`~repro.asbr.bit.BranchIdentificationTable` (BIT).  On a hit
+   with a valid predicate, the branch is *replaced* by its target
+   instruction (taken) or fall-through instruction (not taken) and the
+   PC skips past it: the branch never occupies a pipeline slot.
+
+The statically-extracted per-branch record (BA, DI, BTA, BTI, BFI) is
+:class:`~repro.asbr.branch_info.BranchInfo`; it is produced by
+:func:`~repro.asbr.branch_info.extract_branch_info` from the assembled
+program, exactly mirroring the paper's compile-time "pre-decoding".
+Multiple BIT banks with run-time switching (Section 7) are provided by
+:class:`~repro.asbr.bit.BankedBIT`.
+"""
+
+from repro.asbr.bdt import BDTEntry, BranchDirectionTable
+from repro.asbr.bit import BankedBIT, BITEntry, BranchIdentificationTable
+from repro.asbr.branch_info import (
+    BranchInfo,
+    FoldabilityError,
+    extract_branch_info,
+)
+from repro.asbr.folding import ASBRUnit, FoldDecision, FoldStats
+
+__all__ = [
+    "BDTEntry",
+    "BranchDirectionTable",
+    "BITEntry",
+    "BranchIdentificationTable",
+    "BankedBIT",
+    "BranchInfo",
+    "FoldabilityError",
+    "extract_branch_info",
+    "ASBRUnit",
+    "FoldDecision",
+    "FoldStats",
+]

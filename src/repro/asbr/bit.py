@@ -1,0 +1,122 @@
+"""Branch Identification Table (BIT) and its banked variant.
+
+Each BIT entry stores the fields of paper Section 7: the branch PC (tag),
+the two replacement instructions (``inst1``/``inst2`` = BTI/BFI), the
+target address (BA/BTA) and the direction index (DI).  The table is
+fully associative on the PC — it is small (16 entries in the paper's
+experiments) precisely so this lookup stays cheap.
+
+:class:`BankedBIT` implements the multi-loop extension: several BIT
+copies with exactly one active at a time, switched "by writing a special
+value to a control register just before entering the loop".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.asbr.branch_info import BranchInfo
+from repro.isa.conditions import Condition
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+
+
+class BITEntry:
+    """One loaded BIT entry, with its replacement instructions pre-decoded.
+
+    Real hardware stores the raw instruction words; we keep the decoded
+    form alongside so the fetch stage does not re-decode every fold.
+    """
+
+    __slots__ = ("pc", "cond_reg", "condition", "bta",
+                 "bti_word", "bfi_word", "bti", "bfi")
+
+    def __init__(self, info: BranchInfo) -> None:
+        self.pc = info.pc
+        self.cond_reg = info.cond_reg
+        self.condition: Condition = info.condition
+        self.bta = info.bta
+        self.bti_word = info.bti_word
+        self.bfi_word = info.bfi_word
+        self.bti: Instruction = decode(info.bti_word)
+        self.bfi: Instruction = decode(info.bfi_word)
+
+    def __repr__(self) -> str:
+        return ("BITEntry(pc=0x%x, r%d %s, bta=0x%x)"
+                % (self.pc, self.cond_reg, self.condition.value, self.bta))
+
+
+#: Hardware bits per BIT entry: PC tag (30) + BTA (30) + two instruction
+#: words (32 each) + DI (5-bit register + 3-bit condition) + valid bit.
+BITS_PER_ENTRY = 30 + 30 + 32 + 32 + 5 + 3 + 1
+
+
+class BranchIdentificationTable:
+    """A single BIT bank."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise ValueError("BIT capacity must be positive")
+        self.capacity = capacity
+        self._by_pc: Dict[int, BITEntry] = {}
+
+    def load(self, infos: Sequence[BranchInfo]) -> None:
+        """Replace the table contents (program-upload semantics)."""
+        if len(infos) > self.capacity:
+            raise ValueError("%d branches exceed BIT capacity %d"
+                             % (len(infos), self.capacity))
+        self._by_pc = {}
+        for info in infos:
+            if info.pc in self._by_pc:
+                raise ValueError("duplicate BIT entry for pc 0x%x" % info.pc)
+            self._by_pc[info.pc] = BITEntry(info)
+
+    def lookup(self, pc: int) -> Optional[BITEntry]:
+        """Fetch-stage PC match."""
+        return self._by_pc.get(pc)
+
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+    def __iter__(self):
+        return iter(self._by_pc.values())
+
+    @property
+    def state_bits(self) -> int:
+        return self.capacity * BITS_PER_ENTRY
+
+
+class BankedBIT:
+    """Several BIT copies with one active bank (paper Section 7).
+
+    The pipeline routes committed ``ctlw`` writes to :meth:`select_bank`;
+    fetch-stage lookups only ever see the active bank, so "at any moment
+    only one BIT copy will be active, thus not exceeding the power
+    consumption or performance limitations".
+    """
+
+    def __init__(self, num_banks: int = 1, capacity: int = 16) -> None:
+        if num_banks <= 0:
+            raise ValueError("need at least one bank")
+        self.banks: List[BranchIdentificationTable] = [
+            BranchIdentificationTable(capacity) for _ in range(num_banks)
+        ]
+        self.active = 0
+        self.switches = 0
+
+    def load_bank(self, bank: int, infos: Sequence[BranchInfo]) -> None:
+        self.banks[bank].load(infos)
+
+    def select_bank(self, bank: int) -> None:
+        if not 0 <= bank < len(self.banks):
+            raise ValueError("no BIT bank %d" % bank)
+        if bank != self.active:
+            self.switches += 1
+        self.active = bank
+
+    def lookup(self, pc: int) -> Optional[BITEntry]:
+        return self.banks[self.active].lookup(pc)
+
+    @property
+    def state_bits(self) -> int:
+        return sum(b.state_bits for b in self.banks)

@@ -1,0 +1,110 @@
+"""Static per-branch information extraction ("compile-time pre-decoding").
+
+The ASBR scheme needs five statically-available items per targeted
+branch (paper Sections 4 and 7):
+
+* **BA** — the branch's own address (the BIT tag),
+* **DI** — the direction index: condition register + condition code,
+* **BTA** — the branch target address,
+* **BTI** — the instruction word at the target,
+* **BFI** — the instruction word on the fall-through path.
+
+:func:`extract_branch_info` reads all five from an assembled
+:class:`~repro.asm.program.Program` and validates that the branch is
+actually foldable hardware-wise.  The result is what gets "loaded into
+the processor core in a similar way as the program code".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.asm.program import Program
+from repro.isa.conditions import Condition
+from repro.isa.instruction import Instruction
+
+
+class FoldabilityError(ValueError):
+    """The requested branch cannot be handled by ASBR hardware."""
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """The static branch record uploaded into one BIT entry."""
+
+    pc: int                 # BA: branch address (BIT tag)
+    cond_reg: int           # DI: register part
+    condition: Condition    # DI: condition part
+    bta: int                # branch target address
+    bti_word: int           # encoded instruction at the target
+    bfi_word: int           # encoded instruction at pc+4
+
+    def describe(self, program: Program = None) -> str:
+        label = ""
+        if program is not None:
+            name = program.label_at(self.bta)
+            if name:
+                label = " -> %s" % name
+        return ("BranchInfo(pc=0x%x, r%d %s, bta=0x%x%s)"
+                % (self.pc, self.cond_reg, self.condition.value,
+                   self.bta, label))
+
+
+def _check_replacement(instr: Instruction, role: str, pc: int) -> None:
+    """Reject replacement instructions the folding unit cannot inject.
+
+    The fold substitutes BTI/BFI into the fetch slot; a control
+    instruction there would need its own fetch redirection in the same
+    cycle, which the paper's (and our) folding hardware does not provide.
+    """
+    if instr.is_control:
+        raise FoldabilityError(
+            "branch at 0x%x: %s instruction %r is a control instruction "
+            "and cannot be injected by the folding unit" % (pc, role, instr))
+    if instr.spec.kind.name == "HALT":
+        raise FoldabilityError(
+            "branch at 0x%x: %s instruction is halt" % (pc, role))
+
+
+def extract_branch_info(program: Program, pc: int) -> BranchInfo:
+    """Build the :class:`BranchInfo` for the branch at address ``pc``.
+
+    Raises :class:`FoldabilityError` when the branch is not a zero
+    comparison (the per-register BDT cannot capture two-register
+    compares) or when its target/fall-through instructions cannot be
+    injected.
+    """
+    instr = program.instr_at(pc)
+    if not instr.is_branch:
+        raise FoldabilityError("0x%x is not a conditional branch" % pc)
+    zc = instr.zero_condition
+    if zc is None:
+        raise FoldabilityError(
+            "branch at 0x%x (%s) is not a zero comparison" % (pc, instr))
+    cond, reg = zc
+    if reg == 0:
+        raise FoldabilityError(
+            "branch at 0x%x tests r0; fold it in the compiler instead" % pc)
+    bta = instr.branch_target(pc)
+    try:
+        bti = program.instr_at(bta)
+        bti_word = program.words[program.index_of(bta)]
+    except ValueError:
+        raise FoldabilityError(
+            "branch at 0x%x: target 0x%x outside text" % (pc, bta)) from None
+    try:
+        bfi = program.instr_at(pc + 4)
+        bfi_word = program.words[program.index_of(pc + 4)]
+    except ValueError:
+        raise FoldabilityError(
+            "branch at 0x%x: no fall-through instruction" % pc) from None
+    _check_replacement(bti, "target (BTI)", pc)
+    _check_replacement(bfi, "fall-through (BFI)", pc)
+    return BranchInfo(pc=pc, cond_reg=reg, condition=cond, bta=bta,
+                      bti_word=bti_word, bfi_word=bfi_word)
+
+
+def extract_many(program: Program, pcs: Sequence[int]) -> List[BranchInfo]:
+    """Extract info for several branches, preserving order."""
+    return [extract_branch_info(program, pc) for pc in pcs]

@@ -1,0 +1,151 @@
+"""The fetch-stage ASBR folding unit.
+
+Implements the second phase of the methodology (paper Figure 4)::
+
+    if (Fetch(PC)==branch_type)
+      if (PC in {BA})
+        if (PredicateStorage(DI)==taken)
+          PC = BranchTargetAddress + 4;  instr = BranchTargetInstruction;
+        else
+          PC = PC + 8;                   instr = BranchFallthroughInstr;
+
+plus the first phase (early condition evaluation) by delegating the
+acquire/release/cancel protocol to the BDT.  The pipeline owns the
+timing; this unit owns the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.asbr.bdt import BranchDirectionTable
+from repro.asbr.bit import BankedBIT, BITEntry
+from repro.asbr.branch_info import BranchInfo
+from repro.isa.instruction import Instruction
+
+#: BDT update points and the fetch-to-availability *threshold* each
+#: implies on a 5-stage pipeline (paper Section 5.2).
+UPDATE_POINTS = ("commit", "mem", "execute")
+THRESHOLD_BY_UPDATE = {"commit": 4, "mem": 3, "execute": 2}
+
+
+@dataclass(frozen=True)
+class FoldDecision:
+    """A successful fold performed during fetch."""
+
+    branch_pc: int
+    taken: bool
+    instr: Instruction   # the injected replacement (BTI or BFI)
+    instr_pc: int        # architectural address of the replacement
+    next_pc: int         # where fetch continues
+
+
+@dataclass
+class FoldStats:
+    """Folding-unit statistics for one simulation."""
+
+    folded_taken: int = 0
+    folded_not_taken: int = 0
+    invalid_fallbacks: int = 0   # BIT hit but BDT counter non-zero
+    per_pc_folds: dict = field(default_factory=dict)
+
+    @property
+    def folded(self) -> int:
+        return self.folded_taken + self.folded_not_taken
+
+    @property
+    def attempts(self) -> int:
+        return self.folded + self.invalid_fallbacks
+
+    @property
+    def fold_rate(self) -> float:
+        return self.folded / self.attempts if self.attempts else 0.0
+
+
+class ASBRUnit:
+    """BIT + BDT + the fold decision logic.
+
+    Parameters
+    ----------
+    bit:
+        A (banked) Branch Identification Table, already loaded.
+    bdt_update:
+        Where produced values reach the early condition evaluation
+        logic: ``"commit"`` (write-back; no extra hardware),
+        ``"mem"`` (forwarding path after the memory stage; threshold 3)
+        or ``"execute"`` (aggressive path after execute; threshold 2).
+        Loads always deliver their value at the memory stage or later,
+        regardless of this setting.
+    """
+
+    def __init__(self, bit: BankedBIT,
+                 bdt: Optional[BranchDirectionTable] = None,
+                 bdt_update: str = "mem") -> None:
+        if bdt_update not in UPDATE_POINTS:
+            raise ValueError("bdt_update must be one of %r" % (UPDATE_POINTS,))
+        self.bit = bit
+        self.bdt = bdt if bdt is not None else BranchDirectionTable()
+        self.bdt_update = bdt_update
+        self.stats = FoldStats()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_branch_infos(cls, infos: Sequence[BranchInfo],
+                          capacity: int = 16,
+                          bdt_update: str = "mem") -> "ASBRUnit":
+        """Build a single-bank unit loaded with ``infos``."""
+        bit = BankedBIT(num_banks=1, capacity=capacity)
+        bit.load_bank(0, infos)
+        return cls(bit, bdt_update=bdt_update)
+
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> int:
+        """Minimum definition-to-branch distance for a successful fold."""
+        return THRESHOLD_BY_UPDATE[self.bdt_update]
+
+    def try_fold(self, pc: int) -> Optional[FoldDecision]:
+        """Attempt to fold the branch fetched at ``pc``.
+
+        Returns None when the PC misses the BIT *or* when the predicate
+        register has in-flight producers (the validity-counter fallback:
+        the branch then proceeds normally through the auxiliary
+        predictor).
+        """
+        entry: Optional[BITEntry] = self.bit.lookup(pc)
+        if entry is None:
+            return None
+        direction = self.bdt.lookup(entry.cond_reg, entry.condition)
+        if direction is None:
+            self.stats.invalid_fallbacks += 1
+            return None
+        per = self.stats.per_pc_folds
+        per[pc] = per.get(pc, 0) + 1
+        if direction:
+            self.stats.folded_taken += 1
+            return FoldDecision(branch_pc=pc, taken=True, instr=entry.bti,
+                                instr_pc=entry.bta, next_pc=entry.bta + 4)
+        self.stats.folded_not_taken += 1
+        return FoldDecision(branch_pc=pc, taken=False, instr=entry.bfi,
+                            instr_pc=pc + 4, next_pc=pc + 8)
+
+    # ------------------------------------------------------------------
+    # early-condition-evaluation protocol (forwarded from the pipeline)
+    # ------------------------------------------------------------------
+    def producer_decoded(self, reg: int) -> None:
+        self.bdt.acquire(reg)
+
+    def producer_value(self, reg: int, value: int) -> None:
+        self.bdt.release(reg, value)
+
+    def producer_squashed(self, reg: int) -> None:
+        self.bdt.cancel(reg)
+
+    def control_write(self, value: int) -> None:
+        """A committed ``ctlw`` — select the BIT bank."""
+        self.bit.select_bank(value)
+
+    @property
+    def state_bits(self) -> int:
+        return self.bit.state_bits + self.bdt.state_bits

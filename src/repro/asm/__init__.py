@@ -1,0 +1,12 @@
+"""Two-pass assembler and program image.
+
+The assembler turns assembly text into a :class:`~repro.asm.program.Program`:
+a binary text segment (encoded 32-bit words), an initialised data segment,
+a symbol table, and a source map.  Programs are what both simulators
+execute and what the profiler and scheduler analyse.
+"""
+
+from repro.asm.program import Program, SourceLoc
+from repro.asm.assembler import Assembler, AssemblerError, assemble
+
+__all__ = ["Program", "SourceLoc", "Assembler", "AssemblerError", "assemble"]

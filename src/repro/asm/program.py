@@ -1,0 +1,115 @@
+"""The assembled program image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+
+TEXT_BASE = 0x00400000
+DATA_BASE = 0x10000000
+STACK_TOP = 0x7FFFF000
+
+
+@dataclass
+class SourceLoc:
+    """Where an instruction came from in the assembly source."""
+
+    line_no: int
+    text: str
+
+
+@dataclass
+class Program:
+    """An executable image: text, data, symbols and debug info.
+
+    ``instrs`` holds the decoded instructions (the simulators' working
+    form); ``words`` is the equivalent binary encoding.  The two are kept
+    in sync by construction.
+    """
+
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    instrs: List[Instruction] = field(default_factory=list)
+    words: List[int] = field(default_factory=list)
+    data: Dict[int, int] = field(default_factory=dict)  # word addr -> word
+    labels: Dict[str, int] = field(default_factory=dict)
+    source_map: Dict[int, SourceLoc] = field(default_factory=dict)
+    entry: Optional[int] = None
+    #: labels whose address escapes into data (via la/%hi/%lo or .word);
+    #: these are potential indirect-jump targets, so the instruction
+    #: scheduler must not move the instruction they name
+    address_taken: Set[str] = field(default_factory=set)
+
+    @property
+    def text_end(self) -> int:
+        """First byte address past the text segment."""
+        return self.text_base + 4 * len(self.instrs)
+
+    def pc_of(self, index: int) -> int:
+        """Byte address of the instruction at text index ``index``."""
+        return self.text_base + 4 * index
+
+    def index_of(self, pc: int) -> int:
+        """Text index of the instruction at byte address ``pc``."""
+        off = pc - self.text_base
+        if off % 4 or not 0 <= off < 4 * len(self.instrs):
+            raise ValueError("pc 0x%x is not in the text segment" % pc)
+        return off // 4
+
+    def instr_at(self, pc: int) -> Instruction:
+        """Instruction at byte address ``pc``."""
+        return self.instrs[self.index_of(pc)]
+
+    def label_at(self, pc: int) -> Optional[str]:
+        """A label naming address ``pc``, if any."""
+        for name, addr in self.labels.items():
+            if addr == pc:
+                return name
+        return None
+
+    def address_of(self, label: str) -> int:
+        """Address of a label; raises KeyError when undefined."""
+        return self.labels[label]
+
+    def replace_instr(self, index: int, instr: Instruction) -> None:
+        """Replace one instruction, keeping words/instrs consistent.
+
+        Used by the instruction scheduler when reordering code.
+        """
+        self.instrs[index] = instr
+        self.words[index] = encode(instr)
+
+    def disassemble(self) -> str:
+        """Full text-segment disassembly with addresses and labels."""
+        lines = []
+        addr_labels: Dict[int, List[str]] = {}
+        for name, addr in self.labels.items():
+            addr_labels.setdefault(addr, []).append(name)
+        for i, instr in enumerate(self.instrs):
+            pc = self.pc_of(i)
+            for name in sorted(addr_labels.get(pc, [])):
+                lines.append("%s:" % name)
+            lines.append("  0x%08x:  %08x  %s"
+                         % (pc, self.words[i], instr.render(pc)))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_words(cls, words, text_base: int = TEXT_BASE) -> "Program":
+        """Build a program straight from encoded words (for tests)."""
+        prog = cls(text_base=text_base)
+        prog.words = list(words)
+        prog.instrs = [decode(w) for w in prog.words]
+        prog.entry = text_base
+        return prog
+
+    @classmethod
+    def from_instrs(cls, instrs, text_base: int = TEXT_BASE) -> "Program":
+        """Build a program from decoded instructions (for tests)."""
+        prog = cls(text_base=text_base)
+        prog.instrs = list(instrs)
+        prog.words = [encode(i) for i in prog.instrs]
+        prog.entry = text_base
+        return prog

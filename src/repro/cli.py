@@ -1,0 +1,238 @@
+"""Command-line toolchain: assemble, simulate, profile, customize.
+
+Usage (also installed as the ``repro-asbr`` console script)::
+
+    python -m repro.cli asm program.s --disasm
+    python -m repro.cli run program.s
+    python -m repro.cli sim program.s --predictor bimodal-512-512
+    python -m repro.cli sim program.s --asbr --bdt-update execute
+    python -m repro.cli profile program.s
+    python -m repro.cli workload adpcm_enc --samples 1000 --asbr
+    python -m repro.cli experiments fig11 --samples 600
+
+``sim --asbr`` performs the paper's whole methodology on the program:
+profile it, select fold candidates, load the BIT, and re-simulate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.asbr import ASBRUnit
+from repro.asm import assemble
+from repro.isa.registers import REG_NAMES
+from repro.predictors import evaluate_on_trace, make_predictor
+from repro.profiling import BranchProfiler, select_branches
+from repro.sim.functional import FunctionalSimulator, collect_branch_trace
+from repro.sim.pipeline import PipelineSimulator
+
+
+def _load_program(path: str):
+    with open(path) as f:
+        return assemble(f.read())
+
+
+def _print_stats(stats, asbr: Optional[ASBRUnit] = None) -> None:
+    print("cycles              %12d" % stats.cycles)
+    print("instructions        %12d   (CPI %.3f)"
+          % (stats.committed, stats.cpi))
+    print("fetched / squashed  %12d / %d" % (stats.fetched, stats.squashed))
+    print("branches            %12d   (%d mispredicted, accuracy %.1f%%)"
+          % (stats.branches, stats.branch_mispredicts,
+             100 * stats.branch_accuracy))
+    print("load-use stalls     %12d" % stats.load_use_stalls)
+    print("icache/dcache stall %12d / %d"
+          % (stats.icache_miss_stalls, stats.dcache_miss_stalls))
+    if asbr is not None:
+        print("branches folded     %12d   (%d taken / %d not-taken, "
+              "%d invalid fallbacks)"
+              % (stats.folds_committed, asbr.stats.folded_taken,
+                 asbr.stats.folded_not_taken,
+                 asbr.stats.invalid_fallbacks))
+        print("ASBR state          %12d bits" % asbr.state_bits)
+
+
+def cmd_asm(args) -> int:
+    prog = _load_program(args.file)
+    if args.disasm:
+        print(prog.disassemble())
+    else:
+        for i, word in enumerate(prog.words):
+            print("%08x: %08x" % (prog.pc_of(i), word))
+    print("; %d instructions, %d data words, entry 0x%x"
+          % (len(prog.instrs), len(prog.data), prog.entry), file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    prog = _load_program(args.file)
+    sim = FunctionalSimulator(prog)
+    n = sim.run(max_instructions=args.max_instructions)
+    print("retired %d instructions" % n)
+    for i in range(32):
+        if sim.regs[i]:
+            print("  %-4s = %10d  (0x%08x)"
+                  % (REG_NAMES[i], sim.regs[i] - 0x100000000
+                     if sim.regs[i] & 0x80000000 else sim.regs[i],
+                     sim.regs[i]))
+    return 0
+
+
+def _build_asbr(prog, args) -> Optional[ASBRUnit]:
+    if not args.asbr:
+        return None
+    profile = BranchProfiler().profile(prog)
+    trace = collect_branch_trace(prog)
+    accuracy = evaluate_on_trace(make_predictor(args.predictor), trace)
+    selection = select_branches(profile, accuracy,
+                                bit_capacity=args.bit_size,
+                                bdt_update=args.bdt_update)
+    print(selection.describe(), file=sys.stderr)
+    return ASBRUnit.from_branch_infos(selection.infos,
+                                      capacity=args.bit_size,
+                                      bdt_update=args.bdt_update)
+
+
+def cmd_sim(args) -> int:
+    prog = _load_program(args.file)
+    asbr = _build_asbr(prog, args)
+    sim = PipelineSimulator(prog, predictor=make_predictor(args.predictor),
+                            asbr=asbr)
+    stats = sim.run()
+    _print_stats(stats, asbr)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    prog = _load_program(args.file)
+    profile = BranchProfiler().profile(prog)
+    trace = collect_branch_trace(prog)
+    accuracy = evaluate_on_trace(make_predictor(args.predictor), trace)
+    print("%d instructions, %d static branches, %d executions"
+          % (profile.total_instructions, len(profile.branches),
+             profile.total_branch_executions))
+    print("%-12s %-10s %8s %6s %6s %9s %8s"
+          % ("pc", "label", "exec", "taken", "acc",
+             "min dist", "foldable"))
+    for stats in profile.sorted_by_count():
+        label = prog.label_at(stats.pc) or "-"
+        dist = str(stats.min_distance) if stats.min_distance < 1 << 20 \
+            else "inf"
+        fold = "%.0f%%" % (100 * stats.fold_fraction(args.bdt_update)) \
+            if stats.is_zero_comparison else "n/a"
+        print("0x%-10x %-10s %8d %5.0f%% %5.0f%% %9s %8s"
+              % (stats.pc, label, stats.count, 100 * stats.taken_rate,
+                 100 * accuracy.pc_accuracy(stats.pc), dist, fold))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads import get_workload, speech_like
+    wl = get_workload(args.name)
+    pcm = speech_like(args.samples, seed=args.seed)
+    asbr = None
+    if args.asbr:
+        stream = wl.input_stream(pcm)
+        count = wl.count_fn(pcm)
+        profile = BranchProfiler().profile(
+            wl.program, wl.build_memory(stream, count))
+        selection = select_branches(profile, bit_capacity=args.bit_size,
+                                    bdt_update=args.bdt_update)
+        print(selection.describe(), file=sys.stderr)
+        asbr = ASBRUnit.from_branch_infos(selection.infos,
+                                          capacity=args.bit_size,
+                                          bdt_update=args.bdt_update)
+    result = wl.run_pipeline(pcm, predictor=make_predictor(args.predictor),
+                             asbr=asbr)
+    ok = result.outputs == wl.golden_output(pcm)
+    _print_stats(result.stats, asbr)
+    print("outputs match golden model: %s" % ok)
+    return 0 if ok else 1
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import (ablations, energy, fig6, fig7, fig9,
+                                   fig10, fig11)
+    from repro.experiments.common import ExperimentSetup
+    setup = ExperimentSetup(n_samples=args.samples)
+    drivers = {
+        "fig6": fig6.main, "fig7": fig7.main, "fig9": fig9.main,
+        "fig10": fig10.main, "fig11": fig11.main,
+        "ablations": ablations.main, "energy": energy.main,
+    }
+    names = list(drivers) if args.which == "all" else [args.which]
+    for name in names:
+        drivers[name](setup)
+        print()
+    return 0
+
+
+def _add_sim_options(p) -> None:
+    p.add_argument("--predictor", default="bimodal-2048",
+                   help="predictor spec (e.g. not-taken, bimodal-512-512, "
+                        "gshare-2048-11)")
+    p.add_argument("--asbr", action="store_true",
+                   help="profile, select and fold branches with ASBR")
+    p.add_argument("--bit-size", type=int, default=16,
+                   help="BIT capacity (default 16)")
+    p.add_argument("--bdt-update", default="execute",
+                   choices=("commit", "mem", "execute"),
+                   help="early-condition forwarding path")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asbr",
+        description="ASBR toolchain (Petrov & Orailoglu, DAC 2001 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble a program")
+    p.add_argument("file")
+    p.add_argument("--disasm", action="store_true",
+                   help="print disassembly instead of hex words")
+    p.set_defaults(fn=cmd_asm)
+
+    p = sub.add_parser("run", help="functional (golden) simulation")
+    p.add_argument("file")
+    p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sim", help="cycle-accurate pipeline simulation")
+    p.add_argument("file")
+    _add_sim_options(p)
+    p.set_defaults(fn=cmd_sim)
+
+    p = sub.add_parser("profile", help="branch profile and foldability")
+    p.add_argument("file")
+    p.add_argument("--predictor", default="bimodal-2048")
+    p.add_argument("--bdt-update", default="execute",
+                   choices=("commit", "mem", "execute"))
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("workload", help="run a built-in benchmark")
+    p.add_argument("name", help="adpcm_enc, adpcm_dec, g721_enc, "
+                                "g721_dec, huffman_dec, ...")
+    p.add_argument("--samples", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=20010618)
+    _add_sim_options(p)
+    p.set_defaults(fn=cmd_workload)
+
+    p = sub.add_parser("experiments", help="regenerate paper tables")
+    p.add_argument("which", choices=("fig6", "fig7", "fig9", "fig10",
+                                     "fig11", "ablations", "energy",
+                                     "all"))
+    p.add_argument("--samples", type=int, default=600)
+    p.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

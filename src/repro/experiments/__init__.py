@@ -1,0 +1,48 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+* :mod:`repro.experiments.fig6`  — baseline branch predictability
+  (cycles, CPI, accuracy for not-taken / bimodal / gshare × 4 benchmarks).
+* :mod:`repro.experiments.fig7`  — per-branch statistics for the
+  branches selected for G.721 encode (and decode).
+* :mod:`repro.experiments.fig9`  — per-branch statistics, ADPCM encode.
+* :mod:`repro.experiments.fig10` — per-branch statistics, ADPCM decode.
+* :mod:`repro.experiments.fig11` — ASBR results (cycles + improvement
+  with not-taken / bi-512 / bi-256 auxiliary predictors).
+* :mod:`repro.experiments.ablations` — threshold, BIT-size, scheduling
+  and predictor-area studies backing the paper's design-choice claims.
+
+Paper-reported numbers live in :mod:`repro.experiments.paper_data`;
+every driver prints measured-vs-paper so the shape comparison is
+explicit.  Inputs are scaled down ~20x relative to MediaBench (see
+DESIGN.md); set ``REPRO_SAMPLES`` to override.
+"""
+
+from repro.experiments.common import (
+    BENCHMARKS,
+    ExperimentSetup,
+    default_setup,
+)
+from repro.experiments import (
+    ablations,
+    energy,
+    fig6,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    paper_data,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "ExperimentSetup",
+    "default_setup",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablations",
+    "energy",
+    "paper_data",
+]

@@ -1,0 +1,82 @@
+"""Shared driver for the per-branch statistics tables (Figures 7/9/10).
+
+The paper's Figures 7, 9 and 10 show, for the branches selected for
+folding in each benchmark, the execution count and the accuracy each
+baseline predictor achieves on that branch.  This module reproduces the
+table for any benchmark from the profile-driven selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import (
+    ExperimentSetup,
+    default_setup,
+    render_table,
+)
+from repro.experiments.fig6 import PREDICTORS
+
+
+@dataclass
+class BranchRow:
+    """One selected branch's statistics."""
+
+    index: int                 # br0, br1, ... (rank order)
+    pc: int
+    label: Optional[str]       # nearest label in the assembly, if any
+    exec_count: int
+    accuracy: dict             # predictor name -> accuracy on this branch
+
+
+@dataclass
+class BranchTable:
+    benchmark: str
+    rows: List[BranchRow]
+
+    def render(self, paper_exec=None, paper_acc=None) -> str:
+        headers = ["branch", "pc", "label", "exec#"] \
+            + ["%s" % p for p in PREDICTORS]
+        cells = []
+        for r in self.rows:
+            cells.append(["br%d" % r.index, "0x%x" % r.pc,
+                          r.label or "-", "{:,}".format(r.exec_count)]
+                         + ["%.2f" % r.accuracy[p] for p in PREDICTORS])
+        text = render_table(
+            headers, cells,
+            "Branches selected for %s (measured)" % self.benchmark)
+        if paper_exec is not None:
+            paper_rows = []
+            for i, n in enumerate(paper_exec):
+                paper_rows.append(
+                    ["br%d" % i, "-", "-", "{:,}".format(n)]
+                    + ["%.2f" % paper_acc[p][i] for p in PREDICTORS])
+            text += "\n\n" + render_table(
+                headers, paper_rows,
+                "Paper-reported values (MediaBench inputs)")
+        return text
+
+
+def build_table(benchmark: str,
+                setup: Optional[ExperimentSetup] = None,
+                bit_capacity: Optional[int] = None) -> BranchTable:
+    """Select branches for ``benchmark`` and tabulate their behaviour."""
+    setup = setup if setup is not None else default_setup()
+    selection = setup.selection(benchmark, bit_capacity=bit_capacity)
+    accs = {pname: setup.accuracy(benchmark, spec)
+            for pname, spec in PREDICTORS.items()}
+    program = setup.workload(benchmark).program
+    rows = []
+    for i, sel in enumerate(selection.selected):
+        pc = sel.pc
+        rows.append(BranchRow(
+            index=i, pc=pc, label=_nearest_label(program, pc),
+            exec_count=sel.stats.count,
+            accuracy={p: accs[p].pc_accuracy(pc) for p in PREDICTORS}))
+    return BranchTable(benchmark, rows)
+
+
+def _nearest_label(program, pc: int) -> Optional[str]:
+    """The label at ``pc`` itself, if the assembly marked the branch."""
+    return program.label_at(pc)

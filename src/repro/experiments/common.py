@@ -1,0 +1,163 @@
+"""Shared experiment infrastructure: setup, caching, table rendering.
+
+Pipeline runs are the expensive part of every experiment, and several
+figures need the same (workload, predictor, ASBR) runs.  An
+:class:`ExperimentSetup` memoises them so e.g. the Figure 11 driver and
+its benchmark wrapper never simulate the same configuration twice in a
+process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asbr import ASBRUnit
+from repro.experiments import paper_data
+from repro.predictors import evaluate_on_trace, make_predictor
+from repro.predictors.evaluate import PredictorAccuracy
+from repro.profiling import BranchProfiler, SelectionResult, select_branches
+from repro.profiling.profiler import BranchProfile
+from repro.sim.functional import BranchRecord, collect_branch_trace
+from repro.sim.pipeline import PipelineStats
+from repro.workloads import get_workload, speech_like
+from repro.workloads.loader import Workload
+
+BENCHMARKS = paper_data.BENCHMARK_NAMES
+
+#: Default input length; the paper's inputs are ~20x longer (see
+#: DESIGN.md's substitution table).  Override with REPRO_SAMPLES.
+DEFAULT_SAMPLES = int(os.environ.get("REPRO_SAMPLES", "2000"))
+DEFAULT_SEED = 20010618  # DAC 2001 opened June 18, 2001
+
+#: BDT update point used for the headline experiments: the paper's
+#: aggressive execute-stage forwarding path (threshold 2, Section 5.2).
+DEFAULT_BDT_UPDATE = "execute"
+
+
+@dataclass
+class ExperimentSetup:
+    """One experimental context: input, caches of profiles and runs."""
+
+    n_samples: int = DEFAULT_SAMPLES
+    seed: int = DEFAULT_SEED
+    bdt_update: str = DEFAULT_BDT_UPDATE
+    bit_capacity: int = 16
+    _pcm: Optional[list] = field(default=None, repr=False)
+    _profiles: Dict[str, BranchProfile] = field(default_factory=dict,
+                                                repr=False)
+    _traces: Dict[str, List[BranchRecord]] = field(default_factory=dict,
+                                                   repr=False)
+    _runs: Dict[tuple, PipelineStats] = field(default_factory=dict,
+                                              repr=False)
+    _selections: Dict[tuple, SelectionResult] = field(default_factory=dict,
+                                                      repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def pcm(self) -> list:
+        if self._pcm is None:
+            self._pcm = speech_like(self.n_samples, self.seed)
+        return self._pcm
+
+    def workload(self, name: str) -> Workload:
+        return get_workload(name)
+
+    def profile(self, name: str) -> BranchProfile:
+        """Branch profile of one benchmark (cached)."""
+        if name not in self._profiles:
+            wl = self.workload(name)
+            stream = wl.input_stream(self.pcm)
+            self._profiles[name] = BranchProfiler().profile(
+                wl.program, wl.build_memory(stream))
+        return self._profiles[name]
+
+    def trace(self, name: str) -> List[BranchRecord]:
+        """Branch outcome trace of one benchmark (cached)."""
+        if name not in self._traces:
+            wl = self.workload(name)
+            stream = wl.input_stream(self.pcm)
+            self._traces[name] = collect_branch_trace(
+                wl.program, wl.build_memory(stream))
+        return self._traces[name]
+
+    def accuracy(self, name: str, predictor_spec: str,
+                 skip_pcs=None) -> PredictorAccuracy:
+        """Replay a fresh predictor over the benchmark's trace."""
+        return evaluate_on_trace(make_predictor(predictor_spec),
+                                 self.trace(name), skip_pcs=skip_pcs)
+
+    # ------------------------------------------------------------------
+    def selection(self, name: str,
+                  bit_capacity: Optional[int] = None,
+                  bdt_update: Optional[str] = None) -> SelectionResult:
+        """Profile-driven BIT branch selection for one benchmark."""
+        cap = bit_capacity if bit_capacity is not None else self.bit_capacity
+        upd = bdt_update if bdt_update is not None else self.bdt_update
+        key = (name, cap, upd)
+        if key not in self._selections:
+            baseline = self.accuracy(name, "bimodal-2048")
+            self._selections[key] = select_branches(
+                self.profile(name), baseline,
+                bit_capacity=cap, bdt_update=upd)
+        return self._selections[key]
+
+    # ------------------------------------------------------------------
+    def run(self, name: str, predictor_spec: str,
+            with_asbr: bool = False,
+            bit_capacity: Optional[int] = None,
+            bdt_update: Optional[str] = None) -> PipelineStats:
+        """Cycle-accurate run of one configuration (cached)."""
+        cap = bit_capacity if bit_capacity is not None else self.bit_capacity
+        upd = bdt_update if bdt_update is not None else self.bdt_update
+        key = (name, predictor_spec, with_asbr, cap, upd)
+        if key not in self._runs:
+            wl = self.workload(name)
+            asbr = None
+            if with_asbr:
+                sel = self.selection(name, cap, upd)
+                asbr = ASBRUnit.from_branch_infos(
+                    sel.infos, capacity=cap, bdt_update=upd)
+            result = wl.run_pipeline(self.pcm,
+                                     predictor=make_predictor(predictor_spec),
+                                     asbr=asbr)
+            expected = wl.golden_output(self.pcm)
+            if result.outputs != expected:
+                raise AssertionError(
+                    "%s produced wrong output under %s (asbr=%s)"
+                    % (name, predictor_spec, with_asbr))
+            self._runs[key] = result.stats
+        return self._runs[key]
+
+
+_DEFAULT: Optional[ExperimentSetup] = None
+
+
+def default_setup() -> ExperimentSetup:
+    """Process-wide shared setup (so benches reuse cached runs)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExperimentSetup()
+    return _DEFAULT
+
+
+# ----------------------------------------------------------------------
+# table rendering
+# ----------------------------------------------------------------------
+def render_table(headers: List[str], rows: List[List[str]],
+                 title: str = "") -> str:
+    """Plain-text aligned table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join("%%-%ds" % w for w in widths)
+    lines.append(fmt % tuple(headers))
+    lines.append(fmt % tuple("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt % tuple(row))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Extension experiment E1 — energy (the paper's power claims).
+
+The paper asserts, without numbers, that ASBR reduces power because (a)
+folded branches and avoided wrong-path work mean fewer instructions
+pass through the pipeline, and (b) the displaced predictor tables are
+far smaller.  This driver quantifies both with the activity-based model
+in :mod:`repro.power`: baseline (bimodal-2048) vs customized core
+(ASBR + bi-512) on every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.asbr import ASBRUnit
+from repro.experiments import paper_data
+from repro.experiments.common import (
+    BENCHMARKS,
+    ExperimentSetup,
+    default_setup,
+    render_table,
+)
+from repro.power import EnergyReport, compare_energy, estimate_energy
+from repro.predictors import make_predictor
+from repro.sim.pipeline import PipelineSimulator
+
+
+@dataclass
+class EnergyRow:
+    benchmark: str
+    baseline: EnergyReport
+    customized: EnergyReport
+    baseline_fetched: int
+    customized_fetched: int
+
+    @property
+    def saving(self) -> float:
+        return compare_energy(self.baseline, self.customized)
+
+
+def _run_sim(setup: ExperimentSetup, bench: str, predictor_spec: str,
+             with_asbr: bool) -> PipelineSimulator:
+    wl = setup.workload(bench)
+    stream = wl.input_stream(setup.pcm)
+    asbr = None
+    if with_asbr:
+        sel = setup.selection(bench)
+        asbr = ASBRUnit.from_branch_infos(sel.infos,
+                                          bdt_update=setup.bdt_update)
+    sim = PipelineSimulator(wl.program, wl.build_memory(stream),
+                            predictor=make_predictor(predictor_spec),
+                            asbr=asbr)
+    sim.run()
+    outputs = wl.read_output(sim.memory, len(stream))
+    if outputs != wl.golden_output(setup.pcm):
+        raise AssertionError("wrong output in energy run for %s" % bench)
+    return sim
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> List[EnergyRow]:
+    setup = setup if setup is not None else default_setup()
+    rows = []
+    for bench in BENCHMARKS:
+        base_sim = _run_sim(setup, bench, "bimodal-2048", with_asbr=False)
+        cust_sim = _run_sim(setup, bench, "bimodal-512-512", with_asbr=True)
+        rows.append(EnergyRow(
+            benchmark=bench,
+            baseline=estimate_energy(base_sim),
+            customized=estimate_energy(cust_sim),
+            baseline_fetched=base_sim.stats.fetched,
+            customized_fetched=cust_sim.stats.fetched))
+    return rows
+
+
+def render(rows: List[EnergyRow]) -> str:
+    headers = ["benchmark", "baseline energy", "ASBR energy", "saving",
+               "fetched (base)", "fetched (ASBR)"]
+    cells = []
+    for r in rows:
+        cells.append([paper_data.DISPLAY[r.benchmark],
+                      "%.0f" % r.baseline.total,
+                      "%.0f" % r.customized.total,
+                      "%.1f%%" % (100 * r.saving),
+                      "{:,}".format(r.baseline_fetched),
+                      "{:,}".format(r.customized_fetched)])
+    return render_table(
+        headers, cells,
+        "Extension E1: relative energy, bimodal-2048 baseline vs "
+        "ASBR + bi-512 (activity-based model)")
+
+
+def main(setup: Optional[ExperimentSetup] = None) -> str:
+    text = render(run(setup))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

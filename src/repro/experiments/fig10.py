@@ -1,0 +1,31 @@
+"""Figure 10 — execution statistics for the ADPCM-decode fold set."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments import paper_data
+from repro.experiments.branch_tables import BranchTable, build_table
+from repro.experiments.common import ExperimentSetup
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> BranchTable:
+    return build_table("adpcm_dec", setup)
+
+
+def render(table: BranchTable) -> str:
+    return table.render(
+        paper_exec=paper_data.FIG10_EXEC,
+        paper_acc={"not-taken": paper_data.FIG10_NOT_TAKEN,
+                   "bimodal": paper_data.FIG10_BIMODAL,
+                   "gshare": paper_data.FIG10_GSHARE})
+
+
+def main(setup: Optional[ExperimentSetup] = None) -> str:
+    text = render(run(setup))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

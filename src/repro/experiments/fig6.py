@@ -1,0 +1,84 @@
+"""Figure 6 — branch predictability of the benchmarks.
+
+For each of the four benchmarks, run the pipeline with the three
+general-purpose baseline predictors of the paper:
+
+* ``not taken`` — sequential fetch, no predictor hardware;
+* ``bimodal``   — 2048 2-bit counters + 2048-entry BTB;
+* ``gshare``    — 11-bit global history, 2048-entry PHT + 2048-entry BTB;
+
+and report total cycles, CPI and prediction accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments import paper_data
+from repro.experiments.common import (
+    BENCHMARKS,
+    ExperimentSetup,
+    default_setup,
+    render_table,
+)
+
+#: experiment predictor name -> spec string for make_predictor
+PREDICTORS = {
+    "not-taken": "not-taken",
+    "bimodal": "bimodal-2048",
+    "gshare": "gshare-2048-11-2048",
+}
+
+
+@dataclass
+class Fig6Row:
+    benchmark: str
+    predictor: str
+    cycles: int
+    cpi: float
+    accuracy: float
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> List[Fig6Row]:
+    """Produce all twelve Figure 6 cells."""
+    setup = setup if setup is not None else default_setup()
+    rows = []
+    for bench in BENCHMARKS:
+        for pname, spec in PREDICTORS.items():
+            stats = setup.run(bench, spec, with_asbr=False)
+            rows.append(Fig6Row(bench, pname, stats.cycles, stats.cpi,
+                                stats.branch_accuracy))
+    return rows
+
+
+def render(rows: List[Fig6Row]) -> str:
+    """Measured-vs-paper text table."""
+    by_key: Dict[tuple, Fig6Row] = {(r.benchmark, r.predictor): r
+                                    for r in rows}
+    headers = ["benchmark", "predictor",
+               "cycles", "CPI", "acc",
+               "paper cycles", "paper CPI", "paper acc"]
+    out = []
+    for bench in BENCHMARKS:
+        for pname in PREDICTORS:
+            r = by_key[(bench, pname)]
+            p_cyc, p_cpi, p_acc = paper_data.FIG6[bench][pname]
+            out.append([paper_data.DISPLAY[bench], pname,
+                        "{:,}".format(r.cycles), "%.2f" % r.cpi,
+                        "%.0f%%" % (100 * r.accuracy),
+                        "{:,}".format(p_cyc), "%.2f" % p_cpi,
+                        "%.0f%%" % (100 * p_acc)])
+    return render_table(headers, out,
+                        "Figure 6: branch predictability (measured vs paper; "
+                        "paper inputs are ~20x longer)")
+
+
+def main(setup: Optional[ExperimentSetup] = None) -> str:
+    text = render(run(setup))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

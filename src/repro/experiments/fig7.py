@@ -1,0 +1,41 @@
+"""Figure 7 — execution statistics for the branches selected for G.721.
+
+The paper selects 16 branches for the encoder (Figure 7) and the same
+set minus one for the decoder; both tables are reproduced here from our
+own profile-driven selection over the G.721-style workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments import paper_data
+from repro.experiments.branch_tables import BranchTable, build_table
+from repro.experiments.common import ExperimentSetup
+
+
+def run(setup: Optional[ExperimentSetup] = None,
+        benchmark: str = "g721_enc") -> BranchTable:
+    return build_table(benchmark, setup)
+
+
+def render(table: BranchTable) -> str:
+    if table.benchmark == "g721_enc":
+        return table.render(
+            paper_exec=paper_data.FIG7_EXEC,
+            paper_acc={"not-taken": paper_data.FIG7_NOT_TAKEN,
+                       "bimodal": paper_data.FIG7_BIMODAL,
+                       "gshare": paper_data.FIG7_GSHARE})
+    return table.render()
+
+
+def main(setup: Optional[ExperimentSetup] = None) -> str:
+    parts = [render(run(setup, "g721_enc")),
+             render(run(setup, "g721_dec"))]
+    text = "\n\n".join(parts)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

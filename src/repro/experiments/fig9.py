@@ -1,0 +1,31 @@
+"""Figure 9 — execution statistics for the ADPCM-encode fold set."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments import paper_data
+from repro.experiments.branch_tables import BranchTable, build_table
+from repro.experiments.common import ExperimentSetup
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> BranchTable:
+    return build_table("adpcm_enc", setup)
+
+
+def render(table: BranchTable) -> str:
+    return table.render(
+        paper_exec=paper_data.FIG9_EXEC,
+        paper_acc={"not-taken": paper_data.FIG9_NOT_TAKEN,
+                   "bimodal": paper_data.FIG9_BIMODAL,
+                   "gshare": paper_data.FIG9_GSHARE})
+
+
+def main(setup: Optional[ExperimentSetup] = None) -> str:
+    text = render(run(setup))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""MIPS-like 32-bit RISC instruction set architecture.
+
+This package defines the instruction set simulated by :mod:`repro.sim` and
+targeted by the assembler in :mod:`repro.asm`.  It mirrors the architecture
+assumed by the paper: a classic 32-register RISC with conditional branches
+that compare a register against zero ("all possible zero comparisons"),
+plus two-register equality branches, loads/stores, jumps, and a small set
+of system instructions (``halt``, ``ctlw`` for BIT bank switching).
+
+Public surface:
+
+* :class:`~repro.isa.instruction.Instruction` — a decoded instruction.
+* :data:`~repro.isa.opcodes.SPECS` — the instruction specification table.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  — 32-bit binary encoding round-trip.
+* :class:`~repro.isa.conditions.Condition` — zero-comparison predicates
+  used by branches and by the ASBR Branch Direction Table.
+"""
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ALIASES,
+    REG_NAMES,
+    RegisterFile,
+    reg_name,
+    reg_num,
+)
+from repro.isa.conditions import Condition, evaluate_condition, all_condition_bits
+from repro.isa.opcodes import InstrSpec, Kind, SPECS, spec_for
+from repro.isa.instruction import Instruction
+from repro.isa.alu import (
+    MASK32,
+    to_signed,
+    to_unsigned,
+    alu_execute,
+)
+from repro.isa.encoding import encode, decode, EncodingError
+
+__all__ = [
+    "NUM_REGS",
+    "REG_ALIASES",
+    "REG_NAMES",
+    "RegisterFile",
+    "reg_name",
+    "reg_num",
+    "Condition",
+    "evaluate_condition",
+    "all_condition_bits",
+    "InstrSpec",
+    "Kind",
+    "SPECS",
+    "spec_for",
+    "Instruction",
+    "MASK32",
+    "to_signed",
+    "to_unsigned",
+    "alu_execute",
+    "encode",
+    "decode",
+    "EncodingError",
+]

@@ -1,0 +1,68 @@
+"""Zero-comparison branch conditions.
+
+The paper's architecture supports "conditional branches supporting all
+possible zero comparisons" (Section 8).  These six predicates are exactly
+the per-register *direction bits* stored in the ASBR Branch Direction
+Table (Figure 8 shows a BDT with the ``!=0`` and ``<=0`` subset).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.isa.alu import to_signed
+
+
+class Condition(enum.Enum):
+    """A predicate comparing one register value against zero."""
+
+    EQZ = "==0"
+    NEZ = "!=0"
+    LTZ = "<0"
+    LEZ = "<=0"
+    GTZ = ">0"
+    GEZ = ">=0"
+
+    @property
+    def negation(self) -> "Condition":
+        return _NEGATION[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_NEGATION = {
+    Condition.EQZ: Condition.NEZ,
+    Condition.NEZ: Condition.EQZ,
+    Condition.LTZ: Condition.GEZ,
+    Condition.GEZ: Condition.LTZ,
+    Condition.LEZ: Condition.GTZ,
+    Condition.GTZ: Condition.LEZ,
+}
+
+
+def evaluate_condition(cond: Condition, value: int) -> bool:
+    """Evaluate ``cond`` on a 32-bit register value (signed comparison)."""
+    s = to_signed(value)
+    if cond is Condition.EQZ:
+        return s == 0
+    if cond is Condition.NEZ:
+        return s != 0
+    if cond is Condition.LTZ:
+        return s < 0
+    if cond is Condition.LEZ:
+        return s <= 0
+    if cond is Condition.GTZ:
+        return s > 0
+    return s >= 0
+
+
+def all_condition_bits(value: int) -> Dict[Condition, bool]:
+    """All six direction bits for a register value.
+
+    This is what the BDT's early-condition-evaluation hardware computes in
+    one shot when a register value is produced ("a few zero comparisons",
+    Section 4).
+    """
+    return {cond: evaluate_condition(cond, value) for cond in Condition}

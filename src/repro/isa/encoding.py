@@ -1,0 +1,96 @@
+"""32-bit binary instruction encoding.
+
+Classic MIPS-style field layout:
+
+* R-format: ``opcode[31:26] rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]``
+* I-format: ``opcode[31:26] rs[25:21] rt[20:16] imm[15:0]``
+* J-format: ``opcode[31:26] target[25:0]``
+
+The encoding exists so programs are genuine binary images: the fetch
+stage of the pipeline simulator reads words from the instruction cache,
+and the ASBR Branch Identification Table stores the *encoded* target and
+fall-through instructions (BTI/BFI) exactly as the paper's hardware would.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import DECODE_TABLE, Kind, spec_for
+
+
+class EncodingError(ValueError):
+    """Raised when a field does not fit its encoding slot."""
+
+
+def _check(value: int, bits: int, what: str, signed: bool = False) -> int:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        if not lo <= value <= hi:
+            raise EncodingError("%s=%d does not fit signed %d bits"
+                                % (what, value, bits))
+        return value & ((1 << bits) - 1)
+    if not 0 <= value < (1 << bits):
+        raise EncodingError("%s=%d does not fit unsigned %d bits"
+                            % (what, value, bits))
+    return value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction into its 32-bit word."""
+    spec = instr.spec
+    if spec.fmt == "R":
+        word = (0x00 << 26)
+        word |= _check(instr.rs, 5, "rs") << 21
+        word |= _check(instr.rt, 5, "rt") << 16
+        word |= _check(instr.rd, 5, "rd") << 11
+        word |= _check(instr.shamt, 5, "shamt") << 6
+        word |= spec.funct
+        return word
+    if spec.fmt == "I":
+        word = spec.opcode << 26
+        word |= _check(instr.rs, 5, "rs") << 21
+        word |= _check(instr.rt, 5, "rt") << 16
+        imm = _check(instr.imm, 16, "imm", signed=spec.signed_imm)
+        word |= imm
+        return word
+    # J-format
+    word = spec.opcode << 26
+    word |= _check(instr.target, 26, "target")
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`.
+
+    Raises :class:`EncodingError` on an unknown opcode/funct combination.
+    """
+    word &= 0xFFFFFFFF
+    opcode = (word >> 26) & 0x3F
+    funct = word & 0x3F if opcode == 0x00 else 0
+    spec = DECODE_TABLE.get((opcode, funct))
+    if spec is None:
+        raise EncodingError("cannot decode word 0x%08x "
+                            "(opcode=0x%02x funct=0x%02x)"
+                            % (word, opcode, funct))
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    if spec.fmt == "R":
+        rd = (word >> 11) & 0x1F
+        shamt = (word >> 6) & 0x1F
+        return Instruction(spec.name, rd=rd, rs=rs, rt=rt, shamt=shamt)
+    if spec.fmt == "I":
+        imm = word & 0xFFFF
+        if spec.signed_imm and imm & 0x8000:
+            imm -= 0x10000
+        return Instruction(spec.name, rs=rs, rt=rt, imm=imm)
+    return Instruction(spec.name, target=word & 0x03FFFFFF)
+
+
+def encode_program(instrs) -> list:
+    """Encode a sequence of instructions into a list of 32-bit words."""
+    return [encode(i) for i in instrs]
+
+
+def decode_program(words) -> list:
+    """Decode a sequence of 32-bit words into instructions."""
+    return [decode(w) for w in words]

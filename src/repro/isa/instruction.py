@@ -1,0 +1,191 @@
+"""The :class:`Instruction` object used throughout the toolchain.
+
+An ``Instruction`` is a *decoded* instruction: mnemonic plus register
+numbers, immediate, shift amount and jump target.  The assembler builds
+them from text; :func:`repro.isa.encoding.decode` builds them from 32-bit
+words.  Both simulators execute them directly (no re-decoding in the hot
+loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.conditions import Condition
+from repro.isa.opcodes import (
+    BRANCH_KINDS,
+    CONTROL_KINDS,
+    InstrSpec,
+    Kind,
+    spec_for,
+)
+from repro.isa.registers import reg_name
+
+
+@dataclass
+class Instruction:
+    """One decoded machine instruction.
+
+    Fields not used by the instruction's format are left at 0.  For
+    branches, ``imm`` is the signed word offset relative to PC+4; for
+    jumps, ``target`` is the raw 26-bit word index.  Use
+    :meth:`branch_target` / :meth:`jump_target` with the instruction's PC
+    to obtain absolute byte addresses.
+    """
+
+    op: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    shamt: int = 0
+    imm: int = 0          # signed 16-bit (or unsigned, per spec.signed_imm)
+    target: int = 0       # raw 26-bit jump field (word index)
+    spec: InstrSpec = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # classification and register usage are precomputed once: both
+        # simulators consult them on every cycle of every instruction
+        spec = spec_for(self.op)
+        self.spec = spec
+        k = spec.kind
+        self._is_branch = k in BRANCH_KINDS
+        self._is_control = k in CONTROL_KINDS
+        self._is_load = k is Kind.LOAD
+        self._is_store = k is Kind.STORE
+        if k in (Kind.ALU_RRR, Kind.SHIFT_I, Kind.JALR):
+            self._dest = self.rd
+        elif k in (Kind.ALU_RRI, Kind.LUI, Kind.LOAD):
+            self._dest = self.rt
+        elif k is Kind.JAL:
+            self._dest = 31
+        else:
+            self._dest = None
+        if k in (Kind.ALU_RRR, Kind.STORE, Kind.BRANCH_CMP):
+            self._srcs = [self.rs, self.rt]
+        elif k in (Kind.SHIFT_I, Kind.ALU_RRI, Kind.LOAD, Kind.BRANCH_Z,
+                   Kind.JR, Kind.JALR):
+            self._srcs = [self.rs]
+        else:
+            self._srcs = []
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> Kind:
+        return self.spec.kind
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional branch (beq/bne/b<cond>z)."""
+        return self._is_branch
+
+    @property
+    def is_control(self) -> bool:
+        """Anything that can redirect the PC."""
+        return self._is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self._is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self._is_store
+
+    # ------------------------------------------------------------------
+    # register usage (drives hazard detection and def-use analysis)
+    # ------------------------------------------------------------------
+    @property
+    def dest_reg(self) -> Optional[int]:
+        """Destination register number, or None if no register is written.
+
+        A destination of r0 is reported as-is; writes to r0 are discarded
+        by the register file, but the pipeline still tracks them.
+        """
+        return self._dest
+
+    @property
+    def src_regs(self) -> List[int]:
+        """Register numbers read by this instruction (may repeat)."""
+        return self._srcs
+
+    # ------------------------------------------------------------------
+    # branch predicates (the raw material of ASBR)
+    # ------------------------------------------------------------------
+    @property
+    def zero_condition(self) -> Optional[Tuple[Condition, int]]:
+        """``(condition, register)`` if this branch is a zero comparison.
+
+        ``b<cond>z`` branches are inherently zero comparisons; ``beq``/
+        ``bne`` qualify when one operand is r0.  Two-register compares
+        return None — they cannot be captured by the per-register BDT and
+        are therefore never ASBR-foldable.
+        """
+        k = self.spec.kind
+        if k is Kind.BRANCH_Z:
+            assert self.spec.condition is not None
+            return (self.spec.condition, self.rs)
+        if k is Kind.BRANCH_CMP:
+            cond = Condition.EQZ if self.op == "beq" else Condition.NEZ
+            if self.rt == 0:
+                return (cond, self.rs)
+            if self.rs == 0:
+                return (cond, self.rt)
+        return None
+
+    # ------------------------------------------------------------------
+    # control-flow targets
+    # ------------------------------------------------------------------
+    def branch_target(self, pc: int) -> int:
+        """Absolute taken-target address of a branch at address ``pc``."""
+        return (pc + 4 + (self.imm << 2)) & 0xFFFFFFFF
+
+    def jump_target(self, pc: int) -> int:
+        """Absolute target address of a j/jal at address ``pc``."""
+        return ((pc + 4) & 0xF0000000) | ((self.target << 2) & 0x0FFFFFFF)
+
+    # ------------------------------------------------------------------
+    # pretty printing
+    # ------------------------------------------------------------------
+    def render(self, pc: Optional[int] = None) -> str:
+        """Disassembly text.  With ``pc``, control targets are absolute."""
+        syn = self.spec.syntax
+        if not syn:
+            return self.op
+        parts = []
+        for tok in syn.split(","):
+            tok = tok.strip()
+            if tok == "rd":
+                parts.append(reg_name(self.rd))
+            elif tok == "rs":
+                parts.append(reg_name(self.rs))
+            elif tok == "rt":
+                parts.append(reg_name(self.rt))
+            elif tok == "shamt":
+                parts.append(str(self.shamt))
+            elif tok == "imm":
+                parts.append(str(self.imm))
+            elif tok == "imm(rs)":
+                parts.append("%d(%s)" % (self.imm, reg_name(self.rs)))
+            elif tok == "label":
+                if pc is None:
+                    parts.append("%+d" % self.imm if self.is_branch
+                                 else "@%d" % self.target)
+                else:
+                    addr = (self.branch_target(pc) if self.is_branch
+                            else self.jump_target(pc))
+                    parts.append("0x%x" % addr)
+            else:  # pragma: no cover - table is closed
+                raise AssertionError("bad syntax token %r" % tok)
+        return "%s %s" % (self.op, ", ".join(parts))
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+#: Canonical no-op: ``sll r0, r0, 0``.
+def nop() -> Instruction:
+    """A fresh architectural no-op instruction."""
+    return Instruction("sll", rd=0, rs=0, shamt=0)

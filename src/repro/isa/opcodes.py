@@ -1,0 +1,143 @@
+"""Instruction specification table.
+
+Every instruction in the architecture is described by an
+:class:`InstrSpec` row: its binary format, encoding numbers, assembly
+operand syntax, and semantic class.  The assembler, disassembler, encoder
+and both simulators are all driven by this single table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.isa.conditions import Condition
+
+
+class Kind(enum.Enum):
+    """Semantic class of an instruction (drives operand/hazard handling)."""
+
+    ALU_RRR = "alu_rrr"      # rd = rs OP rt
+    SHIFT_I = "shift_i"      # rd = rs OP shamt
+    ALU_RRI = "alu_rri"      # rt = rs OP imm
+    LUI = "lui"              # rt = imm << 16
+    LOAD = "load"            # rt = MEM[rs + imm]
+    STORE = "store"          # MEM[rs + imm] = rt
+    BRANCH_CMP = "branch_cmp"  # if (rs ? rt) goto label      (beq/bne)
+    BRANCH_Z = "branch_z"    # if (rs ? 0) goto label
+    JUMP = "jump"            # j target
+    JAL = "jal"              # r31 = PC+4; j target
+    JR = "jr"                # PC = rs
+    JALR = "jalr"            # rd = PC+4; PC = rs
+    HALT = "halt"            # stop simulation
+    CTL = "ctl"              # control-register write (ASBR BIT bank select)
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction mnemonic."""
+
+    name: str
+    fmt: str                       # 'R', 'I', or 'J'
+    opcode: int                    # 6-bit major opcode
+    funct: int                     # 6-bit function code (R-format only)
+    kind: Kind
+    syntax: str                    # assembly operand pattern
+    alu_op: Optional[str] = None   # base op for repro.isa.alu.alu_execute
+    condition: Optional[Condition] = None  # zero-compare branches
+    signed_imm: bool = True        # sign-extend the 16-bit immediate?
+
+
+def _r(name, funct, kind, syntax, alu_op=None):
+    return InstrSpec(name, "R", 0x00, funct, kind, syntax, alu_op=alu_op)
+
+
+def _i(name, opcode, kind, syntax, alu_op=None, condition=None, signed_imm=True):
+    return InstrSpec(
+        name, "I", opcode, 0, kind, syntax,
+        alu_op=alu_op, condition=condition, signed_imm=signed_imm,
+    )
+
+
+_SPEC_LIST = [
+    # --- R-format ALU -----------------------------------------------------
+    _r("sll", 0x00, Kind.SHIFT_I, "rd,rs,shamt", "sll"),
+    _r("srl", 0x02, Kind.SHIFT_I, "rd,rs,shamt", "srl"),
+    _r("sra", 0x03, Kind.SHIFT_I, "rd,rs,shamt", "sra"),
+    _r("sllv", 0x04, Kind.ALU_RRR, "rd,rs,rt", "sll"),
+    _r("srlv", 0x06, Kind.ALU_RRR, "rd,rs,rt", "srl"),
+    _r("srav", 0x07, Kind.ALU_RRR, "rd,rs,rt", "sra"),
+    _r("jr", 0x08, Kind.JR, "rs"),
+    _r("jalr", 0x09, Kind.JALR, "rd,rs"),
+    _r("halt", 0x0D, Kind.HALT, ""),
+    _r("mul", 0x18, Kind.ALU_RRR, "rd,rs,rt", "mul"),
+    _r("div", 0x1A, Kind.ALU_RRR, "rd,rs,rt", "div"),
+    _r("rem", 0x1B, Kind.ALU_RRR, "rd,rs,rt", "rem"),
+    _r("add", 0x20, Kind.ALU_RRR, "rd,rs,rt", "add"),
+    _r("addu", 0x21, Kind.ALU_RRR, "rd,rs,rt", "addu"),
+    _r("sub", 0x22, Kind.ALU_RRR, "rd,rs,rt", "sub"),
+    _r("subu", 0x23, Kind.ALU_RRR, "rd,rs,rt", "subu"),
+    _r("and", 0x24, Kind.ALU_RRR, "rd,rs,rt", "and"),
+    _r("or", 0x25, Kind.ALU_RRR, "rd,rs,rt", "or"),
+    _r("xor", 0x26, Kind.ALU_RRR, "rd,rs,rt", "xor"),
+    _r("nor", 0x27, Kind.ALU_RRR, "rd,rs,rt", "nor"),
+    _r("slt", 0x2A, Kind.ALU_RRR, "rd,rs,rt", "slt"),
+    _r("sltu", 0x2B, Kind.ALU_RRR, "rd,rs,rt", "sltu"),
+    # --- branches ---------------------------------------------------------
+    _i("beq", 0x04, Kind.BRANCH_CMP, "rs,rt,label"),
+    _i("bne", 0x05, Kind.BRANCH_CMP, "rs,rt,label"),
+    _i("blez", 0x06, Kind.BRANCH_Z, "rs,label", condition=Condition.LEZ),
+    _i("bgtz", 0x07, Kind.BRANCH_Z, "rs,label", condition=Condition.GTZ),
+    _i("bltz", 0x10, Kind.BRANCH_Z, "rs,label", condition=Condition.LTZ),
+    _i("bgez", 0x11, Kind.BRANCH_Z, "rs,label", condition=Condition.GEZ),
+    _i("beqz", 0x12, Kind.BRANCH_Z, "rs,label", condition=Condition.EQZ),
+    _i("bnez", 0x13, Kind.BRANCH_Z, "rs,label", condition=Condition.NEZ),
+    # --- immediate ALU ----------------------------------------------------
+    _i("addi", 0x08, Kind.ALU_RRI, "rt,rs,imm", "add"),
+    _i("addiu", 0x09, Kind.ALU_RRI, "rt,rs,imm", "addu"),
+    _i("slti", 0x0A, Kind.ALU_RRI, "rt,rs,imm", "slt"),
+    _i("sltiu", 0x0B, Kind.ALU_RRI, "rt,rs,imm", "sltu"),
+    _i("andi", 0x0C, Kind.ALU_RRI, "rt,rs,imm", "and", signed_imm=False),
+    _i("ori", 0x0D, Kind.ALU_RRI, "rt,rs,imm", "or", signed_imm=False),
+    _i("xori", 0x0E, Kind.ALU_RRI, "rt,rs,imm", "xor", signed_imm=False),
+    _i("lui", 0x0F, Kind.LUI, "rt,imm", "lui", signed_imm=False),
+    # --- memory -----------------------------------------------------------
+    _i("lb", 0x20, Kind.LOAD, "rt,imm(rs)"),
+    _i("lh", 0x21, Kind.LOAD, "rt,imm(rs)"),
+    _i("lw", 0x23, Kind.LOAD, "rt,imm(rs)"),
+    _i("lbu", 0x24, Kind.LOAD, "rt,imm(rs)"),
+    _i("lhu", 0x25, Kind.LOAD, "rt,imm(rs)"),
+    _i("sb", 0x28, Kind.STORE, "rt,imm(rs)"),
+    _i("sh", 0x29, Kind.STORE, "rt,imm(rs)"),
+    _i("sw", 0x2B, Kind.STORE, "rt,imm(rs)"),
+    # --- system -----------------------------------------------------------
+    _i("ctlw", 0x3E, Kind.CTL, "imm", signed_imm=False),
+    # --- jumps ------------------------------------------------------------
+    InstrSpec("j", "J", 0x02, 0, Kind.JUMP, "label"),
+    InstrSpec("jal", "J", 0x03, 0, Kind.JAL, "label"),
+]
+
+#: mnemonic -> spec
+SPECS: Dict[str, InstrSpec] = {s.name: s for s in _SPEC_LIST}
+
+#: (opcode, funct) -> spec, for binary decoding
+DECODE_TABLE: Dict[tuple, InstrSpec] = {}
+for _s in _SPEC_LIST:
+    _key = (_s.opcode, _s.funct if _s.fmt == "R" else 0)
+    if _key in DECODE_TABLE:
+        raise AssertionError("duplicate encoding for %s" % _s.name)
+    DECODE_TABLE[_key] = _s
+
+#: Branch kinds, used all over the pipeline and profiler.
+BRANCH_KINDS = (Kind.BRANCH_CMP, Kind.BRANCH_Z)
+
+#: Kinds that redirect the PC.
+CONTROL_KINDS = BRANCH_KINDS + (Kind.JUMP, Kind.JAL, Kind.JR, Kind.JALR)
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    """Look up the spec for a mnemonic; raises KeyError if unknown."""
+    if mnemonic not in SPECS:
+        raise KeyError("unknown instruction mnemonic %r" % mnemonic)
+    return SPECS[mnemonic]

@@ -1,0 +1,92 @@
+"""Architectural registers and the register file.
+
+The architecture has 32 general-purpose 32-bit registers.  Register 0 is
+hard-wired to zero, as in MIPS.  Both numeric names (``r4``) and the MIPS
+conventional aliases (``$a0``, ``a0``) are accepted by the assembler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+NUM_REGS = 32
+
+#: Canonical numeric names: r0 .. r31.
+REG_NAMES: List[str] = ["r%d" % i for i in range(NUM_REGS)]
+
+#: MIPS software-convention aliases, in register-number order.
+_CONVENTIONAL = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+]
+
+#: Every accepted spelling -> register number.
+REG_ALIASES: Dict[str, int] = {}
+for _i in range(NUM_REGS):
+    REG_ALIASES["r%d" % _i] = _i
+    REG_ALIASES["$%d" % _i] = _i
+    REG_ALIASES[_CONVENTIONAL[_i]] = _i
+    REG_ALIASES["$" + _CONVENTIONAL[_i]] = _i
+
+
+def reg_num(name: str) -> int:
+    """Resolve a register spelling to its number.
+
+    Raises :class:`KeyError` with a helpful message for unknown names.
+    """
+    key = name.strip().lower()
+    if key not in REG_ALIASES:
+        raise KeyError("unknown register %r" % name)
+    return REG_ALIASES[key]
+
+
+def reg_name(num: int) -> str:
+    """Canonical (numeric) name for a register number."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError("register number out of range: %d" % num)
+    return REG_NAMES[num]
+
+
+class RegisterFile:
+    """A 32-entry register file with a hard-wired zero register.
+
+    Values are stored as unsigned 32-bit integers; use
+    :func:`repro.isa.alu.to_signed` for signed interpretation.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_REGS
+
+    def read(self, num: int) -> int:
+        return self._regs[num]
+
+    def write(self, num: int, value: int) -> None:
+        if num != 0:
+            self._regs[num] = value & 0xFFFFFFFF
+
+    def __getitem__(self, num: int) -> int:
+        return self._regs[num]
+
+    def __setitem__(self, num: int, value: int) -> None:
+        self.write(num, value)
+
+    def snapshot(self) -> List[int]:
+        """Copy of all register values (for differential testing)."""
+        return list(self._regs)
+
+    def load(self, values) -> None:
+        """Restore register values from :meth:`snapshot` output."""
+        if len(values) != NUM_REGS:
+            raise ValueError("expected %d values" % NUM_REGS)
+        self._regs = [v & 0xFFFFFFFF for v in values]
+        self._regs[0] = 0
+
+    def __repr__(self) -> str:
+        nz = ", ".join(
+            "%s=%d" % (REG_NAMES[i], v) for i, v in enumerate(self._regs) if v
+        )
+        return "RegisterFile(%s)" % nz

@@ -1,0 +1,20 @@
+"""Memory subsystem: flat main memory and set-associative caches.
+
+The paper's evaluation platform uses an 8KB instruction cache and an 8KB
+data cache in front of main memory (Section 8).  Caches here are timing
+models: they track tags/LRU/dirty state and report hit/miss so the
+pipeline can charge stall cycles; data always lives in
+:class:`MainMemory`, which both simulators share as the single source of
+architectural truth.
+"""
+
+from repro.memory.main_memory import MainMemory, MisalignedAccess
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+
+__all__ = [
+    "MainMemory",
+    "MisalignedAccess",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+]

@@ -1,0 +1,135 @@
+"""Set-associative cache timing model.
+
+Only tags, LRU order and dirty bits are tracked — the cache never holds
+data (architectural data lives in :class:`~repro.memory.MainMemory`).
+This is the standard decoupled functional/timing split: the cache's job
+is to answer "how many cycles does this access cost?".
+
+Default geometry matches the paper: 8KB, 32-byte blocks, 2-way.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache geometry and latency parameters."""
+
+    size_bytes: int = 8192
+    block_bytes: int = 32
+    assoc: int = 2
+    hit_latency: int = 1      # cycles, already covered by the pipeline stage
+    miss_penalty: int = 8     # extra stall cycles on a miss
+    writeback_penalty: int = 2  # extra cycles to evict a dirty block
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.block_bytes * self.assoc):
+            raise ValueError("size must be a multiple of block*assoc")
+        for name in ("size_bytes", "block_bytes", "assoc"):
+            v = getattr(self, name)
+            if v <= 0 or (v & (v - 1)):
+                raise ValueError("%s must be a positive power of two" % name)
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.block_bytes * self.assoc)
+
+
+@dataclass
+class CacheStats:
+    """Access statistics."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+class Cache:
+    """Write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig = CacheConfig(),
+                 name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # per-set: OrderedDict tag -> dirty flag; order = LRU (oldest first)
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._block_shift = config.block_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Access one address; returns the *extra* stall cycles incurred.
+
+        A hit costs 0 extra cycles (the hit latency is the pipeline
+        stage's own cycle); a miss costs ``miss_penalty`` plus a possible
+        dirty writeback.
+        """
+        block = addr >> self._block_shift
+        index = block & self._set_mask
+        tag = block >> 0  # full block number as tag (index redundancy is fine)
+        way = self._sets[index]
+        self.stats.accesses += 1
+
+        if tag in way:
+            way.move_to_end(tag)
+            if is_write:
+                way[tag] = True
+            return 0
+
+        self.stats.misses += 1
+        penalty = self.config.miss_penalty
+        if len(way) >= self.config.assoc:
+            _victim, dirty = way.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+                penalty += self.config.writeback_penalty
+        way[tag] = is_write
+        return penalty
+
+    def contains(self, addr: int) -> bool:
+        """True if the block holding ``addr`` is resident (no LRU update)."""
+        block = addr >> self._block_shift
+        return block in self._sets[block & self._set_mask]
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty writebacks."""
+        dirty = 0
+        for way in self._sets:
+            dirty += sum(1 for d in way.values() if d)
+            way.clear()
+        self.stats.writebacks += dirty
+        return dirty
+
+    # ------------------------------------------------------------------
+    @property
+    def state_bits(self) -> int:
+        """Approximate SRAM state of the cache (tag+state bits only)."""
+        tag_bits = 32 - self._block_shift
+        per_line = tag_bits + 2  # valid + dirty
+        lines = self.config.num_sets * self.config.assoc
+        return lines * per_line
+
+    def __repr__(self) -> str:
+        c = self.config
+        return ("Cache(%s, %dB, %dB blocks, %d-way, misses=%d/%d)"
+                % (self.name, c.size_bytes, c.block_bytes, c.assoc,
+                   self.stats.misses, self.stats.accesses))

@@ -1,0 +1,38 @@
+"""minic — a small C-like compiler targeting the repro ISA.
+
+The paper's toolchain compiles C with gcc and then applies (manual)
+scheduling for ASBR; this package closes the same loop for our ISA: a
+integer C subset is compiled to assembly text, assembled by
+:mod:`repro.asm`, optionally improved by the :mod:`repro.sched` list
+scheduler, and then profiled/folded like any hand-written program.
+
+Language subset:
+
+* types: ``int`` (32-bit) scalars, global ``int`` arrays;
+* functions with up to four ``int`` parameters, recursion allowed;
+* statements: declarations with initialisers, assignment (scalars and
+  array elements), ``if``/``else``, ``while``, ``for``, ``break``,
+  ``continue``, ``return``, blocks, expression statements;
+* expressions: integer literals, variables, array indexing, calls,
+  unary ``- ! ~``, binary ``* / % + - << >> < <= > >= == != & ^ |
+  && ||`` (C precedence; ``&&``/``||`` short-circuit; division
+  truncates toward zero as on the target).
+
+Entry point: :func:`compile_source` returns assembly text whose
+``main`` stub calls the user's ``main()`` and halts.
+"""
+
+from repro.minic.lexer import Token, LexerError, tokenize
+from repro.minic.parser import ParseError, parse
+from repro.minic.codegen import CodegenError, compile_source, compile_to_program
+
+__all__ = [
+    "Token",
+    "LexerError",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "CodegenError",
+    "compile_source",
+    "compile_to_program",
+]

@@ -1,0 +1,123 @@
+"""Abstract syntax tree for minic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# --- expressions --------------------------------------------------------
+@dataclass
+class IntLit:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Index:
+    name: str
+    index: "Expr"
+
+
+@dataclass
+class Unary:
+    op: str                 # '-', '!', '~'
+    operand: "Expr"
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Call:
+    name: str
+    args: List["Expr"]
+
+
+Expr = object  # union of the above; duck-typed in the codegen
+
+
+# --- statements ---------------------------------------------------------
+@dataclass
+class Declare:
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class Assign:
+    target: object          # Var or Index
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: List["Stmt"]
+    orelse: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List["Stmt"]
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+
+
+@dataclass
+class Return:
+    value: Optional[Expr]
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+Stmt = object
+
+
+# --- top level ----------------------------------------------------------
+@dataclass
+class GlobalVar:
+    name: str
+    size: Optional[int]     # None = scalar, else array element count
+    init: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Function:
+    name: str
+    params: List[str]
+    body: List[Stmt]
+
+
+@dataclass
+class Unit:
+    globals: List[GlobalVar]
+    functions: List[Function]

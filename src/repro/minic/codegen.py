@@ -1,0 +1,396 @@
+"""Code generation: minic AST -> repro assembly text.
+
+A straightforward stack-machine translation: every expression leaves
+its value in ``v0``; binary operators push the left operand on the
+(real) stack and pop it into ``t0``.  Locals and parameters live in a
+frame addressed off ``fp`` (the expression stack moves ``sp``, the
+frame pointer is stable), so generated code is obviously correct at the
+cost of density — exactly what the paper's ASBR selection likes, since
+fold-distance then comes from the list scheduler, not from luck.
+
+Calling convention: up to four arguments in ``a0``-``a3``, result in
+``v0``, ``ra``/``fp`` callee-saved in the frame.  The emitted ``main``
+is a stub that calls the user's ``main()`` and halts, leaving the
+returned value in ``v0``.
+
+C semantics notes: ``>>`` on ``int`` is arithmetic, division truncates
+toward zero, ``&&``/``||`` short-circuit and normalise to 0/1, all
+arithmetic wraps at 32 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.minic import ast
+from repro.minic.parser import parse
+
+
+class CodegenError(ValueError):
+    pass
+
+
+#: binary op -> instruction template(s) computing  v0 = t0 OP v0
+_SIMPLE_BINOPS = {
+    "+": ["addu v0, t0, v0"],
+    "-": ["subu v0, t0, v0"],
+    "*": ["mul  v0, t0, v0"],
+    "/": ["div  v0, t0, v0"],
+    "%": ["rem  v0, t0, v0"],
+    "&": ["and  v0, t0, v0"],
+    "|": ["or   v0, t0, v0"],
+    "^": ["xor  v0, t0, v0"],
+    "<<": ["sllv v0, t0, v0"],
+    ">>": ["srav v0, t0, v0"],
+    "<": ["slt  v0, t0, v0"],
+    ">": ["slt  v0, v0, t0"],
+    "<=": ["slt  v0, v0, t0", "xori v0, v0, 1"],
+    ">=": ["slt  v0, t0, v0", "xori v0, v0, 1"],
+    "==": ["subu v0, t0, v0", "sltiu v0, v0, 1"],
+    "!=": ["subu v0, t0, v0", "sltu v0, r0, v0"],
+}
+
+
+class _FunctionCompiler:
+    def __init__(self, unit_globals: Dict[str, ast.GlobalVar],
+                 functions: Dict[str, ast.Function],
+                 fn: ast.Function) -> None:
+        self.globals = unit_globals
+        self.functions = functions
+        self.fn = fn
+        self.lines: List[str] = []
+        self.slots: Dict[str, int] = {}
+        self.label_counter = 0
+        self.loop_stack: List[tuple] = []   # (break_label, continue_label)
+
+        for param in fn.params:
+            self._declare(param)
+        self._collect_locals(fn.body)
+        self.frame = 8 + 4 * max(len(self.slots), 1)
+
+    # ------------------------------------------------------------------
+    def _declare(self, name: str) -> None:
+        if name not in self.slots:
+            self.slots[name] = len(self.slots)
+
+    def _collect_locals(self, stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Declare):
+                self._declare(stmt.name)
+            elif isinstance(stmt, ast.If):
+                self._collect_locals(stmt.then)
+                self._collect_locals(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                self._collect_locals(stmt.body)
+            elif isinstance(stmt, ast.For):
+                if stmt.init is not None:
+                    self._collect_locals([stmt.init])
+                if stmt.step is not None:
+                    self._collect_locals([stmt.step])
+                self._collect_locals(stmt.body)
+
+    def _label(self, hint: str) -> str:
+        self.label_counter += 1
+        return "L%s_%d_%s" % (self.fn.name, self.label_counter, hint)
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(name + ":")
+
+    # ------------------------------------------------------------------
+    def compile(self) -> List[str]:
+        self.emit_label("fn_%s" % self.fn.name)
+        self.emit("addi sp, sp, -%d" % self.frame)
+        self.emit("sw   ra, %d(sp)" % (self.frame - 4))
+        self.emit("sw   fp, %d(sp)" % (self.frame - 8))
+        self.emit("move fp, sp")
+        for i, param in enumerate(self.fn.params):
+            self.emit("sw   a%d, %d(fp)" % (i, 4 * self.slots[param]))
+        for stmt in self.fn.body:
+            self.stmt(stmt)
+        # implicit `return 0` falling off the end
+        self.emit("li   v0, 0")
+        self.emit_label("fn_%s__ret" % self.fn.name)
+        self.emit("move sp, fp")
+        self.emit("lw   ra, %d(sp)" % (self.frame - 4))
+        self.emit("lw   fp, %d(sp)" % (self.frame - 8))
+        self.emit("addi sp, sp, %d" % self.frame)
+        self.emit("jr   ra")
+        return self.lines
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def stmt(self, node) -> None:
+        if isinstance(node, ast.Declare):
+            if node.init is not None:
+                self.expr(node.init)
+                self.emit("sw   v0, %d(fp)" % (4 * self.slots[node.name]))
+        elif isinstance(node, ast.Assign):
+            self._assign(node.target, node.value)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.expr(node.value)
+            else:
+                self.emit("li   v0, 0")
+            self.emit("b    fn_%s__ret" % self.fn.name)
+        elif isinstance(node, ast.Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside loop in %s"
+                                   % self.fn.name)
+            self.emit("b    %s" % self.loop_stack[-1][0])
+        elif isinstance(node, ast.Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside loop in %s"
+                                   % self.fn.name)
+            self.emit("b    %s" % self.loop_stack[-1][1])
+        elif isinstance(node, ast.ExprStmt):
+            self.expr(node.expr)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CodegenError("unknown statement %r" % (node,))
+
+    def _assign(self, target, value) -> None:
+        if isinstance(target, ast.Var):
+            self.expr(value)
+            self._store_var(target.name)
+        elif isinstance(target, ast.Index):
+            self._array_address(target)
+            self._push()
+            self.expr(value)
+            self._pop("t0")
+            self.emit("sw   v0, 0(t0)")
+        else:  # pragma: no cover
+            raise CodegenError("bad assignment target")
+
+    def _branch_if_false(self, cond, label: str) -> None:
+        """Evaluate ``cond`` and branch to ``label`` when it is false.
+
+        ASBR-aware special case: when the condition is a plain local
+        variable, load it through ``t2`` instead of the ``v0``
+        accumulator.  Every other generated instruction writes ``v0``,
+        so a v0-based predicate can never be hoisted; a t2-based load
+        only carries a memory dependence on the store that produced the
+        variable, and the list scheduler can then widen the
+        definition-to-branch distance past the ASBR threshold
+        (Section 5.1's compiler support, automated).
+        """
+        if isinstance(cond, ast.Var) and cond.name in self.slots:
+            self.emit("lw   t2, %d(fp)" % (4 * self.slots[cond.name]))
+            self.emit("beqz t2, %s" % label)
+            return
+        self.expr(cond)
+        self.emit("beqz v0, %s" % label)
+
+    def _if(self, node: ast.If) -> None:
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        self._branch_if_false(node.cond,
+                              else_label if node.orelse else end_label)
+        for s in node.then:
+            self.stmt(s)
+        if node.orelse:
+            self.emit("b    %s" % end_label)
+            self.emit_label(else_label)
+            for s in node.orelse:
+                self.stmt(s)
+        self.emit_label(end_label)
+
+    def _while(self, node: ast.While) -> None:
+        top = self._label("while")
+        end = self._label("endwhile")
+        self.emit_label(top)
+        self._branch_if_false(node.cond, end)
+        self.loop_stack.append((end, top))
+        for s in node.body:
+            self.stmt(s)
+        self.loop_stack.pop()
+        self.emit("b    %s" % top)
+        self.emit_label(end)
+
+    def _for(self, node: ast.For) -> None:
+        top = self._label("for")
+        step_label = self._label("forstep")
+        end = self._label("endfor")
+        if node.init is not None:
+            self.stmt(node.init)
+        self.emit_label(top)
+        if node.cond is not None:
+            self._branch_if_false(node.cond, end)
+        self.loop_stack.append((end, step_label))
+        for s in node.body:
+            self.stmt(s)
+        self.loop_stack.pop()
+        self.emit_label(step_label)
+        if node.step is not None:
+            self.stmt(node.step)
+        self.emit("b    %s" % top)
+        self.emit_label(end)
+
+    # ------------------------------------------------------------------
+    # expressions (result in v0)
+    # ------------------------------------------------------------------
+    def _push(self) -> None:
+        self.emit("addi sp, sp, -4")
+        self.emit("sw   v0, 0(sp)")
+
+    def _pop(self, reg: str) -> None:
+        self.emit("lw   %s, 0(sp)" % reg)
+        self.emit("addi sp, sp, 4")
+
+    def expr(self, node) -> None:
+        if isinstance(node, ast.IntLit):
+            self.emit("li   v0, %d" % node.value)
+        elif isinstance(node, ast.Var):
+            self._load_var(node.name)
+        elif isinstance(node, ast.Index):
+            self._array_address(node)
+            self.emit("lw   v0, 0(v0)")
+        elif isinstance(node, ast.Unary):
+            self.expr(node.operand)
+            if node.op == "-":
+                self.emit("subu v0, r0, v0")
+            elif node.op == "~":
+                self.emit("nor  v0, v0, r0")
+            else:   # '!'
+                self.emit("sltiu v0, v0, 1")
+        elif isinstance(node, ast.Binary):
+            if node.op in ("&&", "||"):
+                self._short_circuit(node)
+            else:
+                self.expr(node.left)
+                self._push()
+                self.expr(node.right)
+                self._pop("t0")
+                for line in _SIMPLE_BINOPS[node.op]:
+                    self.emit(line)
+        elif isinstance(node, ast.Call):
+            self._call(node)
+        else:  # pragma: no cover
+            raise CodegenError("unknown expression %r" % (node,))
+
+    def _short_circuit(self, node: ast.Binary) -> None:
+        out = self._label("sc_out")
+        decided = self._label("sc_decided")
+        self.expr(node.left)
+        if node.op == "&&":
+            self.emit("beqz v0, %s" % decided)   # left false -> 0
+        else:
+            self.emit("bnez v0, %s" % decided)   # left true -> 1
+        self.expr(node.right)
+        self.emit("sltu v0, r0, v0")             # normalise to 0/1
+        self.emit("b    %s" % out)
+        self.emit_label(decided)
+        self.emit("li   v0, %d" % (0 if node.op == "&&" else 1))
+        self.emit_label(out)
+
+    def _call(self, node: ast.Call) -> None:
+        if node.name not in self.functions:
+            raise CodegenError("call to undefined function %r"
+                               % node.name)
+        expected = len(self.functions[node.name].params)
+        if expected != len(node.args):
+            raise CodegenError(
+                "%s() takes %d arguments, got %d"
+                % (node.name, expected, len(node.args)))
+        for arg in node.args:
+            self.expr(arg)
+            self._push()
+        for i in range(len(node.args) - 1, -1, -1):
+            self._pop("a%d" % i)
+        self.emit("jal  fn_%s" % node.name)
+
+    # ------------------------------------------------------------------
+    def _load_var(self, name: str) -> None:
+        if name in self.slots:
+            self.emit("lw   v0, %d(fp)" % (4 * self.slots[name]))
+        elif name in self.globals:
+            if self.globals[name].size is not None:
+                raise CodegenError("array %r used without index" % name)
+            self.emit("la   t1, g_%s" % name)
+            self.emit("lw   v0, 0(t1)")
+        else:
+            raise CodegenError("undefined variable %r in %s"
+                               % (name, self.fn.name))
+
+    def _store_var(self, name: str) -> None:
+        if name in self.slots:
+            self.emit("sw   v0, %d(fp)" % (4 * self.slots[name]))
+        elif name in self.globals:
+            if self.globals[name].size is not None:
+                raise CodegenError("array %r assigned without index"
+                                   % name)
+            self.emit("la   t1, g_%s" % name)
+            self.emit("sw   v0, 0(t1)")
+        else:
+            raise CodegenError("undefined variable %r in %s"
+                               % (name, self.fn.name))
+
+    def _array_address(self, node: ast.Index) -> None:
+        """Leave &name[index] in v0."""
+        g = self.globals.get(node.name)
+        if g is None or g.size is None:
+            raise CodegenError("%r is not a global array" % node.name)
+        self.expr(node.index)
+        self.emit("sll  v0, v0, 2")
+        self.emit("la   t1, g_%s" % node.name)
+        self.emit("addu v0, v0, t1")
+
+
+def compile_unit(unit: ast.Unit) -> str:
+    """Compile a parsed unit to assembly text."""
+    globals_ = {}
+    for g in unit.globals:
+        if g.name in globals_:
+            raise CodegenError("duplicate global %r" % g.name)
+        globals_[g.name] = g
+    functions = {}
+    for f in unit.functions:
+        if f.name in functions:
+            raise CodegenError("duplicate function %r" % f.name)
+        functions[f.name] = f
+    if "main" not in functions:
+        raise CodegenError("no main() function")
+    if functions["main"].params:
+        raise CodegenError("main() takes no parameters")
+
+    lines: List[str] = ["# generated by repro.minic", ".data"]
+    for g in globals_.values():
+        if g.size is None:
+            value = g.init[0] if g.init else 0
+            lines.append("g_%s: .word %d" % (g.name, value))
+        else:
+            if g.init:
+                lines.append("g_%s: .word %s"
+                             % (g.name, ", ".join(str(v) for v in g.init)))
+                remaining = g.size - len(g.init)
+                if remaining:
+                    lines.append("    .space %d" % (4 * remaining))
+            else:
+                lines.append("g_%s: .space %d" % (g.name, 4 * g.size))
+
+    lines.append(".text")
+    lines.append("main:")
+    lines.append("    jal  fn_main")
+    lines.append("    halt")
+    for f in unit.functions:
+        lines.extend(_FunctionCompiler(globals_, functions, f).compile())
+    return "\n".join(lines) + "\n"
+
+
+def compile_source(source: str) -> str:
+    """minic source -> assembly text."""
+    return compile_unit(parse(source))
+
+
+def compile_to_program(source: str):
+    """minic source -> assembled :class:`~repro.asm.program.Program`."""
+    from repro.asm import assemble
+    return assemble(compile_source(source))

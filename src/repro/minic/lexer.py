@@ -1,0 +1,90 @@
+"""Tokenizer for the minic language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {"int", "if", "else", "while", "for", "return", "break",
+            "continue"}
+
+#: multi-character operators, longest first
+_OPERATORS = ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+              "+", "-", "*", "/", "%", "<", ">", "=", "!", "~",
+              "&", "|", "^", "(", ")", "{", "}", "[", "]", ",", ";"]
+
+
+class LexerError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'int', 'ident', 'kw' or the operator
+    text itself."""
+
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if c.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            tokens.append(Token("int", source[i:j], line))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(Token("kw" if word in KEYWORDS else "ident",
+                                word, line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise LexerError("unexpected character %r" % c, line)
+    tokens.append(Token("eof", "", line))
+    return tokens

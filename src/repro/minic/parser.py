@@ -1,0 +1,259 @@
+"""Recursive-descent parser with precedence climbing for minic."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minic import ast
+from repro.minic.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__("line %d: %s (at %r)"
+                         % (token.line, message, token.value))
+        self.token = token
+
+
+#: binary operator precedence (C-like); higher binds tighter
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.cur.kind == kind:
+            return self.advance()
+        return None
+
+    def accept_kw(self, word: str) -> Optional[Token]:
+        if self.cur.kind == "kw" and self.cur.value == word:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        if self.cur.kind != kind:
+            raise ParseError("expected %r" % kind, self.cur)
+        return self.advance()
+
+    def expect_kw(self, word: str) -> Token:
+        if not (self.cur.kind == "kw" and self.cur.value == word):
+            raise ParseError("expected %r" % word, self.cur)
+        return self.advance()
+
+    # -- top level -------------------------------------------------------
+    def unit(self) -> ast.Unit:
+        globals_: List[ast.GlobalVar] = []
+        functions: List[ast.Function] = []
+        while self.cur.kind != "eof":
+            self.expect_kw("int")
+            name = self.expect("ident").value
+            if self.cur.kind == "(":
+                functions.append(self._function(name))
+            else:
+                globals_.append(self._global(name))
+        return ast.Unit(globals_, functions)
+
+    def _global(self, name: str) -> ast.GlobalVar:
+        size = None
+        init: List[int] = []
+        if self.accept("["):
+            size = self._int_literal()
+            self.expect("]")
+        if self.accept("="):
+            if size is None:
+                init = [self._int_literal()]
+            else:
+                self.expect("{")
+                init.append(self._int_literal())
+                while self.accept(","):
+                    init.append(self._int_literal())
+                self.expect("}")
+                if len(init) > size:
+                    raise ParseError("too many initialisers", self.cur)
+        self.expect(";")
+        return ast.GlobalVar(name, size, init)
+
+    def _int_literal(self) -> int:
+        negative = bool(self.accept("-"))
+        tok = self.expect("int")
+        value = int(tok.value, 0)
+        return -value if negative else value
+
+    def _function(self, name: str) -> ast.Function:
+        self.expect("(")
+        params: List[str] = []
+        if self.cur.kind != ")":
+            while True:
+                self.expect_kw("int")
+                params.append(self.expect("ident").value)
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        if len(params) > 4:
+            raise ParseError("more than 4 parameters", self.cur)
+        body = self._block()
+        return ast.Function(name, params, body)
+
+    # -- statements --------------------------------------------------------
+    def _block(self) -> List[ast.Stmt]:
+        self.expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self._statement())
+        return stmts
+
+    def _statement(self) -> ast.Stmt:
+        if self.cur.kind == "{":
+            # flatten anonymous blocks into an If with true condition?
+            # simpler: represent as If(1){...}
+            return ast.If(ast.IntLit(1), self._block())
+        if self.accept_kw("int"):
+            name = self.expect("ident").value
+            init = self._expression() if self.accept("=") else None
+            self.expect(";")
+            return ast.Declare(name, init)
+        if self.accept_kw("if"):
+            self.expect("(")
+            cond = self._expression()
+            self.expect(")")
+            then = self._block_or_single()
+            orelse: List[ast.Stmt] = []
+            if self.accept_kw("else"):
+                orelse = self._block_or_single()
+            return ast.If(cond, then, orelse)
+        if self.accept_kw("while"):
+            self.expect("(")
+            cond = self._expression()
+            self.expect(")")
+            return ast.While(cond, self._block_or_single())
+        if self.accept_kw("for"):
+            self.expect("(")
+            init = None if self.cur.kind == ";" else self._simple_stmt()
+            self.expect(";")
+            cond = None if self.cur.kind == ";" else self._expression()
+            self.expect(";")
+            step = None if self.cur.kind == ")" else self._simple_stmt()
+            self.expect(")")
+            return ast.For(init, cond, step, self._block_or_single())
+        if self.accept_kw("return"):
+            value = None if self.cur.kind == ";" else self._expression()
+            self.expect(";")
+            return ast.Return(value)
+        if self.accept_kw("break"):
+            self.expect(";")
+            return ast.Break()
+        if self.accept_kw("continue"):
+            self.expect(";")
+            return ast.Continue()
+        stmt = self._simple_stmt()
+        self.expect(";")
+        return stmt
+
+    def _block_or_single(self) -> List[ast.Stmt]:
+        if self.cur.kind == "{":
+            return self._block()
+        return [self._statement()]
+
+    def _simple_stmt(self) -> ast.Stmt:
+        """Assignment, declaration (in for-init) or expression."""
+        if self.cur.kind == "kw" and self.cur.value == "int":
+            self.advance()
+            name = self.expect("ident").value
+            init = self._expression() if self.accept("=") else None
+            return ast.Declare(name, init)
+        # lookahead for assignment: ident [expr]? =
+        save = self.pos
+        if self.cur.kind == "ident":
+            name = self.advance().value
+            if self.accept("="):
+                return ast.Assign(ast.Var(name), self._expression())
+            if self.cur.kind == "[":
+                self.advance()
+                index = self._expression()
+                self.expect("]")
+                if self.accept("="):
+                    return ast.Assign(ast.Index(name, index),
+                                      self._expression())
+            self.pos = save
+        return ast.ExprStmt(self._expression())
+
+    # -- expressions --------------------------------------------------------
+    def _expression(self) -> ast.Expr:
+        return self._binary(1)
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.cur.kind
+            prec = _PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._binary(prec + 1)   # left-associative
+            left = ast.Binary(op, left, right)
+
+    def _unary(self) -> ast.Expr:
+        if self.cur.kind in ("-", "!", "~"):
+            op = self.advance().kind
+            return ast.Unary(op, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(int(tok.value, 0))
+        if tok.kind == "(":
+            self.advance()
+            expr = self._expression()
+            self.expect(")")
+            return expr
+        if tok.kind == "ident":
+            name = self.advance().value
+            if self.accept("("):
+                args: List[ast.Expr] = []
+                if self.cur.kind != ")":
+                    while True:
+                        args.append(self._expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                if len(args) > 4:
+                    raise ParseError("more than 4 arguments", tok)
+                return ast.Call(name, args)
+            if self.accept("["):
+                index = self._expression()
+                self.expect("]")
+                return ast.Index(name, index)
+            return ast.Var(name)
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> ast.Unit:
+    """Parse minic source into an AST."""
+    return _Parser(tokenize(source)).unit()

@@ -1,0 +1,117 @@
+"""Relative energy estimation for one pipeline run.
+
+Dynamic energy: every activation of a structure costs an energy that
+scales with the square root of its state (small-SRAM CACTI-like
+scaling).  Static energy: leakage proportional to total state times
+cycles.  Units are arbitrary but consistent, so ratios between
+configurations are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.asbr.folding import ASBRUnit
+from repro.memory.cache import Cache
+from repro.predictors.base import BranchPredictor
+from repro.sim.pipeline import PipelineSimulator, PipelineStats
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Model coefficients (relative units)."""
+
+    pipeline_slot: float = 10.0      # one instruction through one stage
+    stage_count: int = 5
+    table_access_coeff: float = 0.02   # x sqrt(state_bits) per access
+    cache_miss_energy: float = 200.0   # line fill from next level
+    leakage_coeff: float = 2e-7        # x state_bits per cycle
+    fold_energy: float = 1.0           # BIT hit + replacement mux
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown for one simulation."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, name: str) -> float:
+        return self.components.get(name, 0.0) / self.total if self.total \
+            else 0.0
+
+    def render(self, title: str = "energy breakdown") -> str:
+        lines = [title]
+        for name in sorted(self.components,
+                           key=lambda n: -self.components[n]):
+            value = self.components[name]
+            lines.append("  %-18s %12.1f  (%4.1f%%)"
+                         % (name, value, 100 * value / self.total))
+        lines.append("  %-18s %12.1f" % ("TOTAL", self.total))
+        return "\n".join(lines)
+
+
+def _access_energy(state_bits: int, params: EnergyParams) -> float:
+    return params.table_access_coeff * math.sqrt(max(state_bits, 1))
+
+
+def estimate_energy(sim: PipelineSimulator,
+                    params: Optional[EnergyParams] = None) -> EnergyReport:
+    """Energy report for a completed :class:`PipelineSimulator` run."""
+    params = params if params is not None else EnergyParams()
+    stats: PipelineStats = sim.stats
+    predictor: BranchPredictor = sim.predictor
+    icache: Cache = sim.icache
+    dcache: Cache = sim.dcache
+    asbr: Optional[ASBRUnit] = sim.asbr
+    report = EnergyReport()
+    comp = report.components
+
+    # pipeline activity: every fetched instruction occupies slots;
+    # committed ones walk all stages, squashed ones roughly half
+    comp["pipeline"] = params.pipeline_slot * (
+        stats.committed * params.stage_count
+        + stats.squashed * params.stage_count * 0.5)
+
+    # caches
+    e_ic = _access_energy(icache.state_bits, params)
+    e_dc = _access_energy(dcache.state_bits, params)
+    comp["icache"] = (icache.stats.accesses * e_ic
+                      + icache.stats.misses * params.cache_miss_energy)
+    comp["dcache"] = (dcache.stats.accesses * e_dc
+                      + (dcache.stats.misses + dcache.stats.writebacks)
+                      * params.cache_miss_energy)
+
+    # predictor: a lookup per fetched branch, an update per resolution
+    e_pred = _access_energy(predictor.state_bits, params)
+    comp["predictor"] = e_pred * (stats.predictor_lookups + stats.branches)
+
+    # ASBR structures
+    if asbr is not None:
+        e_bit = _access_energy(asbr.bit.state_bits, params)
+        e_bdt = _access_energy(asbr.bdt.state_bits, params)
+        bit_lookups = (stats.predictor_lookups
+                       + asbr.stats.folded + asbr.stats.invalid_fallbacks)
+        bdt_updates = stats.committed        # one per produced register, ~
+        comp["asbr"] = (e_bit * bit_lookups + e_bdt * bdt_updates
+                        + params.fold_energy * asbr.stats.folded)
+
+    # leakage over the whole run
+    state = (icache.state_bits + dcache.state_bits + predictor.state_bits
+             + (asbr.state_bits if asbr is not None else 0))
+    comp["leakage"] = params.leakage_coeff * state * stats.cycles
+
+    return report
+
+
+def compare_energy(baseline: EnergyReport,
+                   customized: EnergyReport) -> float:
+    """Relative energy saving of ``customized`` vs ``baseline``."""
+    if not baseline.total:
+        return 0.0
+    return 1.0 - customized.total / baseline.total

@@ -1,0 +1,45 @@
+"""Baseline branch predictors and their hardware cost model.
+
+These are the general-purpose predictors the paper measures against
+(Section 8): ``not taken``, ``bimodal`` (2-bit saturating counters +
+BTB) and ``gshare`` (global-history-XOR two-level predictor + BTB), plus
+``always taken``, profile-based ``static`` and a McFarling-style
+``combining`` predictor as extensions.
+
+Every predictor reports its SRAM state in bits (:attr:`state_bits`),
+which backs the paper's "comparable accuracy at significantly lower
+area" claim (Sections 1, 6) and the area ablation bench.
+"""
+
+from repro.predictors.base import BranchPredictor, Prediction
+from repro.predictors.btb import BranchTargetBuffer
+from repro.predictors.simple import (
+    AlwaysTakenPredictor,
+    NotTakenPredictor,
+    StaticPredictor,
+)
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.combining import CombiningPredictor
+from repro.predictors.evaluate import (
+    PredictorAccuracy,
+    evaluate_on_trace,
+    make_predictor,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "Prediction",
+    "BranchTargetBuffer",
+    "NotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "StaticPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "LocalHistoryPredictor",
+    "CombiningPredictor",
+    "PredictorAccuracy",
+    "evaluate_on_trace",
+    "make_predictor",
+]

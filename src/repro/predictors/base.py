@@ -1,0 +1,63 @@
+"""Branch predictor interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A fetch-stage prediction for a conditional branch.
+
+    ``taken`` is the predicted direction.  ``target`` is the predicted
+    taken-target address, or None when the hardware has no target to
+    redirect to (BTB miss) — in that case the front end must keep
+    fetching sequentially even if the direction predictor says taken,
+    exactly as in a real BTB-based front end.
+    """
+
+    taken: bool
+    target: Optional[int] = None
+
+    @property
+    def redirects(self) -> bool:
+        """Does this prediction actually redirect fetch?"""
+        return self.taken and self.target is not None
+
+
+NOT_TAKEN = Prediction(False, None)
+
+
+class BranchPredictor(abc.ABC):
+    """Interface shared by all direction predictors.
+
+    The pipeline calls :meth:`predict` in the fetch stage for every
+    conditional branch and :meth:`update` when the branch resolves in
+    execute.  Predictors are deterministic and contain only their own
+    table state, so the same object can be replayed over recorded branch
+    traces (:mod:`repro.predictors.evaluate`).
+    """
+
+    #: short name used in experiment tables (e.g. "bimodal")
+    name: str = "base"
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> Prediction:
+        """Predict the branch at address ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        """Train on the resolved outcome of the branch at ``pc``."""
+
+    @property
+    @abc.abstractmethod
+    def state_bits(self) -> int:
+        """Bits of SRAM/flip-flop state the predictor occupies."""
+
+    def reset(self) -> None:
+        """Return all tables to power-on state (optional override)."""
+
+    def __repr__(self) -> str:
+        return "%s(state_bits=%d)" % (type(self).__name__, self.state_bits)

@@ -1,0 +1,45 @@
+"""Branch target buffer.
+
+A direct-mapped, tagged table mapping branch PC to its taken-target
+address.  Direction predictors pair with one of these: a taken
+prediction can only redirect fetch when the BTB holds the target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB with full tags."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags: List[Optional[int]] = [None] * entries
+        self._targets: List[int] = [0] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Target address for the branch at ``pc``, or None on miss."""
+        i = self._index(pc)
+        return self._targets[i] if self._tags[i] == pc else None
+
+    def insert(self, pc: int, target: int) -> None:
+        """Record (or overwrite) the target of a taken branch."""
+        i = self._index(pc)
+        self._tags[i] = pc
+        self._targets[i] = target
+
+    def reset(self) -> None:
+        self._tags = [None] * self.entries
+        self._targets = [0] * self.entries
+
+    @property
+    def state_bits(self) -> int:
+        # tag (30 significant PC bits) + target (30) + valid, per entry
+        return self.entries * (30 + 30 + 1)

@@ -1,0 +1,66 @@
+"""McFarling combining (tournament) predictor — an extension baseline.
+
+Not evaluated in the paper's tables, but the paper cites McFarling [3]
+for both component predictors; the tournament combination is the natural
+"even larger general-purpose predictor" point for the area ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor, Prediction
+from repro.predictors.bimodal import BimodalPredictor, WEAK_NOT_TAKEN
+from repro.predictors.gshare import GSharePredictor
+
+
+class CombiningPredictor(BranchPredictor):
+    """Chooser-selected bimodal/gshare tournament predictor.
+
+    The chooser is a table of 2-bit counters indexed by PC: >=2 selects
+    gshare, otherwise bimodal.  Both components train on every branch;
+    the chooser trains toward whichever component was correct.
+    """
+
+    name = "combining"
+
+    def __init__(self, entries: int = 2048, history_bits: int = 11,
+                 btb_entries: int = 2048) -> None:
+        self.bimodal = BimodalPredictor(entries, btb_entries)
+        self.gshare = GSharePredictor(history_bits, entries, btb_entries=1)
+        # share one BTB: the gshare component reuses the bimodal's table
+        self.gshare.btb = self.bimodal.btb
+        self.entries = entries
+        self._mask = entries - 1
+        self._chooser: List[int] = [WEAK_NOT_TAKEN] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> Prediction:
+        use_gshare = self._chooser[self._index(pc)] >= 2
+        return self.gshare.predict(pc) if use_gshare \
+            else self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        b_ok = self.bimodal.predict(pc).taken == taken
+        g_ok = self.gshare.predict(pc).taken == taken
+        i = self._index(pc)
+        if g_ok and not b_ok and self._chooser[i] < 3:
+            self._chooser[i] += 1
+        elif b_ok and not g_ok and self._chooser[i] > 0:
+            self._chooser[i] -= 1
+        self.bimodal.update(pc, taken, target)
+        self.gshare.update(pc, taken, target)
+
+    def reset(self) -> None:
+        self.bimodal.reset()
+        self.gshare.reset()
+        self.gshare.btb = self.bimodal.btb
+        self._chooser = [WEAK_NOT_TAKEN] * self.entries
+
+    @property
+    def state_bits(self) -> int:
+        return (2 * self.entries            # chooser
+                + self.bimodal.state_bits   # includes the shared BTB
+                + 2 * self.gshare.entries + self.gshare.history_bits)

@@ -1,0 +1,60 @@
+"""Gshare predictor: global history XOR PC, two-bit counters + BTB.
+
+The paper's configuration (Section 8): 11-bit global history register,
+2048-entry second-level table, 2048-entry BTB.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor, Prediction
+from repro.predictors.bimodal import WEAK_NOT_TAKEN, WEAK_TAKEN
+from repro.predictors.btb import BranchTargetBuffer
+
+
+class GSharePredictor(BranchPredictor):
+    """McFarling's gshare: PHT indexed by (PC xor global history)."""
+
+    def __init__(self, history_bits: int = 11, entries: int = 2048,
+                 btb_entries: int = 2048) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("PHT entries must be a power of two")
+        if history_bits > entries.bit_length() - 1:
+            raise ValueError("history register wider than the PHT index")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._counters: List[int] = [WEAK_NOT_TAKEN] * entries
+        self.btb = BranchTargetBuffer(btb_entries)
+        self.name = "gshare-%d" % entries
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> Prediction:
+        taken = self._counters[self._index(pc)] >= WEAK_TAKEN
+        return Prediction(taken, self.btb.lookup(pc) if taken else None)
+
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        i = self._index(pc)
+        c = self._counters[i]
+        if taken:
+            if c < 3:
+                self._counters[i] = c + 1
+            self.btb.insert(pc, target)
+        elif c > 0:
+            self._counters[i] = c - 1
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+
+    def reset(self) -> None:
+        self._history = 0
+        self._counters = [WEAK_NOT_TAKEN] * self.entries
+        self.btb.reset()
+
+    @property
+    def state_bits(self) -> int:
+        return 2 * self.entries + self.history_bits + self.btb.state_bits

@@ -1,0 +1,70 @@
+"""Two-level local-history (PAg) predictor — extension baseline.
+
+Yeh & Patt's per-address history scheme, the other classic two-level
+organisation next to gshare's global history (McFarling [3] compares
+both).  Each branch keeps its own shift register of recent outcomes,
+which indexes a shared table of 2-bit counters: periodic per-branch
+patterns (loop trip counts, alternation) are learned exactly even when
+global history is polluted by interleaved branches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor, Prediction
+from repro.predictors.bimodal import WEAK_NOT_TAKEN, WEAK_TAKEN
+from repro.predictors.btb import BranchTargetBuffer
+
+
+class LocalHistoryPredictor(BranchPredictor):
+    """PAg: per-branch history registers over one global PHT."""
+
+    def __init__(self, history_bits: int = 8, history_entries: int = 512,
+                 pht_entries: int = 1024, btb_entries: int = 2048) -> None:
+        for name, v in (("history_entries", history_entries),
+                        ("pht_entries", pht_entries)):
+            if v <= 0 or v & (v - 1):
+                raise ValueError("%s must be a power of two" % name)
+        if (1 << history_bits) > pht_entries:
+            raise ValueError("history wider than the PHT index")
+        self.history_bits = history_bits
+        self.history_entries = history_entries
+        self.pht_entries = pht_entries
+        self._hist_mask = history_entries - 1
+        self._pattern_mask = (1 << history_bits) - 1
+        self._histories: List[int] = [0] * history_entries
+        self._counters: List[int] = [WEAK_NOT_TAKEN] * pht_entries
+        self.btb = BranchTargetBuffer(btb_entries)
+        self.name = "local-%d-%d" % (history_bits, pht_entries)
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> 2) & self._hist_mask
+
+    def predict(self, pc: int) -> Prediction:
+        pattern = self._histories[self._history_index(pc)]
+        taken = self._counters[pattern] >= WEAK_TAKEN
+        return Prediction(taken, self.btb.lookup(pc) if taken else None)
+
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        hi = self._history_index(pc)
+        pattern = self._histories[hi]
+        c = self._counters[pattern]
+        if taken:
+            if c < 3:
+                self._counters[pattern] = c + 1
+            self.btb.insert(pc, target)
+        elif c > 0:
+            self._counters[pattern] = c - 1
+        self._histories[hi] = ((pattern << 1) | int(taken)) \
+            & self._pattern_mask
+
+    def reset(self) -> None:
+        self._histories = [0] * self.history_entries
+        self._counters = [WEAK_NOT_TAKEN] * self.pht_entries
+        self.btb.reset()
+
+    @property
+    def state_bits(self) -> int:
+        return (self.history_entries * self.history_bits
+                + 2 * self.pht_entries + self.btb.state_bits)

@@ -1,0 +1,138 @@
+"""Branch profiler: execution counts, taken rates and fold distances.
+
+Runs the program once on the functional simulator, tracking for every
+register the retire-index of its last producer.  At each conditional
+branch it records the *definition-to-branch distance* — the number of
+dynamic instructions between the predicate-defining instruction and the
+branch — which, compared against the pipeline *threshold* (paper
+Section 5), decides whether an ASBR fold would succeed on that
+execution.
+
+Load-produced predicates are tracked separately: a load delivers its
+value at the memory stage, so under the aggressive ``execute`` BDT
+update it still behaves like the ``mem`` one (threshold 3 instead of 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.asbr.folding import THRESHOLD_BY_UPDATE
+from repro.asm.program import Program
+from repro.isa.conditions import Condition
+from repro.isa.instruction import Instruction
+from repro.memory.main_memory import MainMemory
+from repro.sim.functional import FunctionalSimulator
+
+#: Distances larger than this are recorded as "far" (always foldable).
+FAR_DISTANCE = 1 << 30
+
+
+@dataclass
+class BranchStats:
+    """Dynamic statistics for one static conditional branch."""
+
+    pc: int
+    instr: Instruction
+    count: int = 0
+    taken: int = 0
+    target: int = 0
+    zero_cond: Optional[tuple] = None       # (Condition, reg) or None
+    min_distance: int = FAR_DISTANCE
+    # executions whose fold would succeed, per BDT update point
+    foldable: Dict[str, int] = field(default_factory=lambda: {
+        "commit": 0, "mem": 0, "execute": 0})
+    load_produced: int = 0                  # predicate came from a load
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.count if self.count else 0.0
+
+    def fold_fraction(self, bdt_update: str) -> float:
+        """Fraction of executions ASBR would fold at this update point."""
+        if not self.count:
+            return 0.0
+        return self.foldable[bdt_update] / self.count
+
+    @property
+    def is_zero_comparison(self) -> bool:
+        return self.zero_cond is not None
+
+
+@dataclass
+class BranchProfile:
+    """Profile of all conditional branches in one program run."""
+
+    program: Program
+    branches: Dict[int, BranchStats] = field(default_factory=dict)
+    total_instructions: int = 0
+
+    @property
+    def total_branch_executions(self) -> int:
+        return sum(b.count for b in self.branches.values())
+
+    def sorted_by_count(self):
+        """Branches ordered by execution count, descending."""
+        return sorted(self.branches.values(),
+                      key=lambda b: (-b.count, b.pc))
+
+
+class BranchProfiler:
+    """Collects a :class:`BranchProfile` from one functional run."""
+
+    def __init__(self, max_instructions: int = 200_000_000) -> None:
+        self.max_instructions = max_instructions
+
+    def profile(self, program: Program,
+                memory: Optional[MainMemory] = None) -> BranchProfile:
+        sim = FunctionalSimulator(program, memory)
+        result = BranchProfile(program)
+        branches = result.branches
+        last_def_index = [-FAR_DISTANCE] * 32
+        last_def_load = [False] * 32
+        index = 0
+
+        while not sim.halted:
+            if index >= self.max_instructions:
+                raise RuntimeError("profiling instruction budget exhausted")
+            pc = sim.pc
+            instr = sim.program.instr_at(pc)
+
+            if instr.is_branch:
+                stats = branches.get(pc)
+                if stats is None:
+                    stats = BranchStats(pc=pc, instr=instr,
+                                        target=instr.branch_target(pc),
+                                        zero_cond=instr.zero_condition)
+                    branches[pc] = stats
+                taken = sim.branch_outcome(instr)
+                stats.count += 1
+                if taken:
+                    stats.taken += 1
+                zc = stats.zero_cond
+                if zc is not None:
+                    _reg = zc[1]
+                    distance = index - last_def_index[_reg]
+                    if distance < stats.min_distance:
+                        stats.min_distance = distance
+                    is_load = last_def_load[_reg]
+                    if is_load:
+                        stats.load_produced += 1
+                    for update, threshold in THRESHOLD_BY_UPDATE.items():
+                        eff = threshold
+                        if is_load and update == "execute":
+                            eff = THRESHOLD_BY_UPDATE["mem"]
+                        if distance > eff:
+                            stats.foldable[update] += 1
+
+            dest = instr.dest_reg
+            if dest is not None and dest != 0:
+                last_def_index[dest] = index
+                last_def_load[dest] = instr.is_load
+
+            sim.execute(instr)
+            index += 1
+
+        result.total_instructions = index
+        return result

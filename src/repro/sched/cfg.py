@@ -1,0 +1,110 @@
+"""Control-flow graph construction over assembled programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.asm.program import Program
+from repro.isa.opcodes import Kind
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    ``start``/``end`` are text-segment instruction indices
+    (end-exclusive).  Successors are block start indices; a ``jr``/
+    ``jalr`` terminator yields no static successors (indirect).
+    """
+
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def indices(self):
+        return range(self.start, self.end)
+
+
+@dataclass
+class ControlFlowGraph:
+    program: Program
+    blocks: Dict[int, BasicBlock] = field(default_factory=dict)
+
+    def block_of(self, index: int) -> BasicBlock:
+        """The block containing instruction ``index``."""
+        for b in self.blocks.values():
+            if b.start <= index < b.end:
+                return b
+        raise KeyError("no block contains index %d" % index)
+
+    def sorted_blocks(self) -> List[BasicBlock]:
+        return [self.blocks[s] for s in sorted(self.blocks)]
+
+
+def _target_index(program: Program, i: int) -> Optional[int]:
+    """Static control target of instruction ``i``, as a text index."""
+    instr = program.instrs[i]
+    pc = program.pc_of(i)
+    if instr.is_branch:
+        addr = instr.branch_target(pc)
+    elif instr.spec.kind in (Kind.JUMP, Kind.JAL):
+        addr = instr.jump_target(pc)
+    else:
+        return None
+    try:
+        return program.index_of(addr)
+    except ValueError:
+        return None   # target outside text (dead code / data jump)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition the text segment into basic blocks and link them."""
+    n = len(program.instrs)
+    if n == 0:
+        return ControlFlowGraph(program)
+    leaders: Set[int] = {0}
+    for i, instr in enumerate(program.instrs):
+        kind = instr.spec.kind
+        if instr.is_branch or kind in (Kind.JUMP, Kind.JAL,
+                                       Kind.JR, Kind.JALR):
+            target = _target_index(program, i)
+            if target is not None:
+                leaders.add(target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif kind is Kind.HALT and i + 1 < n:
+            leaders.add(i + 1)
+
+    starts = sorted(leaders)
+    cfg = ControlFlowGraph(program)
+    for j, start in enumerate(starts):
+        end = starts[j + 1] if j + 1 < len(starts) else n
+        cfg.blocks[start] = BasicBlock(start, end)
+
+    for block in cfg.blocks.values():
+        last = block.end - 1
+        instr = program.instrs[last]
+        kind = instr.spec.kind
+        succs: List[int] = []
+        target = _target_index(program, last)
+        if instr.is_branch:
+            if target is not None:
+                succs.append(target)
+            if block.end < n:
+                succs.append(block.end)     # fall-through
+        elif kind in (Kind.JUMP, Kind.JAL):
+            if target is not None:
+                succs.append(target)
+        elif kind in (Kind.JR, Kind.JALR, Kind.HALT):
+            pass                            # indirect or terminal
+        elif block.end < n:
+            succs.append(block.end)
+        block.succs = succs
+        for s in succs:
+            cfg.blocks[s].preds.append(block.start)
+    return cfg

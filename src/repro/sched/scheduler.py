@@ -1,0 +1,220 @@
+"""Local list scheduling that maximises definition-to-branch distance.
+
+Within each basic block the scheduler reorders instructions — honouring
+all register RAW/WAR/WAW dependences and conservative memory ordering —
+so that the backward slice of the terminating branch's predicate is
+issued as early as possible and all independent work drops in between.
+This is precisely the compiler support of paper Section 5.1: it turns
+branches whose predicate is computed "just in time" into ASBR fold
+candidates.
+
+Only positions *within* a block change, and any labelled instruction is
+treated as a block leader, so every control-flow target (including
+potential indirect ones) keeps its address; the transformation is
+therefore address-stable and semantics-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.asm.program import Program
+from repro.isa.opcodes import Kind
+from repro.sched.cfg import BasicBlock, build_cfg
+
+_CONTROL = (Kind.BRANCH_CMP, Kind.BRANCH_Z, Kind.JUMP, Kind.JAL,
+            Kind.JR, Kind.JALR, Kind.HALT, Kind.CTL)
+
+
+_ACCESS_WIDTH = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4,
+                 "sb": 1, "sh": 2, "sw": 4}
+
+
+def _block_deps(program: Program, block: BasicBlock) -> Dict[int, Set[int]]:
+    """Dependence predecessors for each instruction index in the block.
+
+    Memory ordering uses base+offset alias analysis: two accesses
+    through the *same, unmodified* base register with provably disjoint
+    ``[offset, offset+width)`` ranges are independent; anything else
+    involving a store is ordered conservatively.  This is what lets
+    compiled code (whose locals all live at distinct frame offsets) be
+    scheduled as freely as hand-written code.
+    """
+    deps: Dict[int, Set[int]] = {i: set() for i in block.indices()}
+    last_def: Dict[int, int] = {}
+    readers: Dict[int, List[int]] = {}
+    reg_version: Dict[int, int] = {}
+    # (index, is_store, base_reg, base_version, offset, width)
+    mem_ops: List[tuple] = []
+
+    def _disjoint(a, b) -> bool:
+        _i1, _s1, base1, ver1, off1, w1 = a
+        _i2, _s2, base2, ver2, off2, w2 = b
+        if base1 != base2 or ver1 != ver2:
+            return False          # bases not provably equal -> may alias
+        return off1 + w1 <= off2 or off2 + w2 <= off1
+
+    for i in block.indices():
+        instr = program.instrs[i]
+        # register dependences
+        for r in instr.src_regs:
+            if r == 0:
+                continue
+            if r in last_def:
+                deps[i].add(last_def[r])          # RAW
+            readers.setdefault(r, []).append(i)
+        # the address uses the base register's value *before* any write
+        # this instruction itself performs (e.g. lw r4, 0(r4))
+        base_version = reg_version.get(instr.rs, 0)
+        dest = instr.dest_reg
+        if dest is not None and dest != 0:
+            if dest in last_def:
+                deps[i].add(last_def[dest])       # WAW
+            for rd in readers.get(dest, []):
+                if rd != i:
+                    deps[i].add(rd)               # WAR
+            last_def[dest] = i
+            readers[dest] = []
+            reg_version[dest] = reg_version.get(dest, 0) + 1
+        # memory ordering with alias analysis
+        if instr.is_load or instr.is_store:
+            record = (i, instr.is_store, instr.rs,
+                      base_version, instr.imm,
+                      _ACCESS_WIDTH[instr.op])
+            for prev in mem_ops:
+                if (instr.is_store or prev[1]) \
+                        and not _disjoint(prev, record):
+                    deps[i].add(prev[0])
+            mem_ops.append(record)
+
+    # a control terminator stays last
+    last = block.end - 1
+    if program.instrs[last].spec.kind in _CONTROL:
+        for i in block.indices():
+            if i != last:
+                deps[last].add(i)
+    return deps
+
+
+def _predicate_slice(program: Program, block: BasicBlock,
+                     deps: Dict[int, Set[int]]) -> Set[int]:
+    """Backward slice of the terminator branch's predicate, if any."""
+    last = block.end - 1
+    terminator = program.instrs[last]
+    if not terminator.is_branch:
+        return set()
+    zc = terminator.zero_condition
+    if zc is None:
+        return set()
+    _cond, reg = zc
+    producer: Optional[int] = None
+    for i in range(last - 1, block.start - 1, -1):
+        dest = program.instrs[i].dest_reg
+        if dest == reg:
+            producer = i
+            break
+    if producer is None:
+        return set()   # predicate defined in another block: nothing to do
+    sl = set()
+    work = [producer]
+    while work:
+        node = work.pop()
+        if node in sl:
+            continue
+        sl.add(node)
+        work.extend(d for d in deps[node] if d not in sl)
+    return sl
+
+
+def _schedule_block(program: Program, block: BasicBlock) -> List[int]:
+    """New intra-block order (list of original indices)."""
+    deps = _block_deps(program, block)
+    priority_set = _predicate_slice(program, block, deps)
+    remaining: Dict[int, Set[int]] = {i: set(d) for i, d in deps.items()}
+    scheduled: List[int] = []
+    ready = [i for i, d in remaining.items() if not d]
+
+    while ready:
+        # slice members first, then original order (stable & deterministic)
+        ready.sort(key=lambda i: (0 if i in priority_set else 1, i))
+        pick = ready.pop(0)
+        scheduled.append(pick)
+        del remaining[pick]
+        for i, d in remaining.items():
+            d.discard(pick)
+        ready = [i for i, d in remaining.items()
+                 if not d and i not in scheduled]
+    if len(scheduled) != len(deps):   # pragma: no cover - DAG is acyclic
+        raise AssertionError("scheduling deadlock in block %d" % block.start)
+    return scheduled
+
+
+def schedule_program(program: Program) -> Program:
+    """Return a new, identically-laid-out program with scheduled blocks."""
+    cfg = build_cfg(program)
+    # address-taken labels are potential indirect-jump targets and must
+    # keep their index; plain (fall-through/branch-target) labels are
+    # already block leaders or free to let instructions move past them
+    extra_leaders = set()
+    for name in program.address_taken:
+        try:
+            extra_leaders.add(program.index_of(program.labels[name]))
+        except (KeyError, ValueError):
+            pass
+    order: List[int] = list(range(len(program.instrs)))
+    for block in cfg.sorted_blocks():
+        # honour label leaders inside the block by sub-splitting
+        cuts = sorted({block.start, block.end}
+                      | {i for i in extra_leaders
+                         if block.start < i < block.end})
+        for a, b in zip(cuts, cuts[1:]):
+            sub = BasicBlock(a, b)
+            new_order = _schedule_block(program, sub)
+            order[a:b] = new_order
+
+    new_prog = Program(text_base=program.text_base,
+                       data_base=program.data_base)
+    new_prog.labels = dict(program.labels)
+    new_prog.data = dict(program.data)
+    new_prog.entry = program.entry
+    new_prog.instrs = [program.instrs[i] for i in order]
+    from repro.isa.encoding import encode
+    new_prog.words = [encode(ins) for ins in new_prog.instrs]
+    for new_i, old_i in enumerate(order):
+        loc = program.source_map.get(program.pc_of(old_i))
+        if loc is not None:
+            new_prog.source_map[new_prog.pc_of(new_i)] = loc
+    return new_prog
+
+
+def schedule_for_folding(program: Program) -> Program:
+    """Alias with the paper's intent in the name."""
+    return schedule_program(program)
+
+
+def static_fold_distances(program: Program) -> Dict[int, Optional[int]]:
+    """Static definition-to-branch distance for every zero-cond branch.
+
+    Returns ``{branch_pc: distance}`` where the distance is counted in
+    instructions within the branch's own basic block; ``None`` means the
+    predicate register is not defined in the block (the dynamic distance
+    is then at least the block length, usually much larger).
+    """
+    cfg = build_cfg(program)
+    result: Dict[int, Optional[int]] = {}
+    for block in cfg.sorted_blocks():
+        last = block.end - 1
+        instr = program.instrs[last]
+        if not instr.is_branch:
+            continue
+        zc = instr.zero_condition
+        if zc is None:
+            continue
+        _cond, reg = zc
+        distance: Optional[int] = None
+        for i in range(last - 1, block.start - 1, -1):
+            if program.instrs[i].dest_reg == reg:
+                distance = last - i
+                break
+        result[program.pc_of(last)] = distance
+    return result

@@ -1,0 +1,27 @@
+"""Architectural simulators.
+
+* :class:`~repro.sim.functional.FunctionalSimulator` — instruction-accurate
+  golden model; also drives profiling and branch-trace collection.
+* :class:`~repro.sim.pipeline.PipelineSimulator` — cycle-accurate 5-stage
+  in-order single-issue pipeline with caches, a pluggable branch
+  predictor, and optional ASBR branch folding; the measurement vehicle
+  for every experiment in the paper.
+"""
+
+from repro.sim.functional import (
+    FunctionalSimulator,
+    SimulationError,
+    BranchRecord,
+    collect_branch_trace,
+)
+from repro.sim.pipeline import PipelineConfig, PipelineSimulator, PipelineStats
+
+__all__ = [
+    "FunctionalSimulator",
+    "SimulationError",
+    "BranchRecord",
+    "collect_branch_trace",
+    "PipelineConfig",
+    "PipelineSimulator",
+    "PipelineStats",
+]

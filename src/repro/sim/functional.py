@@ -1,0 +1,222 @@
+"""Instruction-accurate functional simulator (the golden model).
+
+Executes one instruction per step with no timing.  Its committed
+architectural state defines correctness for the pipelined simulator: for
+any program and any pipeline configuration (predictor, ASBR on/off), the
+final registers and memory must match this model exactly.
+
+The simulator also doubles as the profiling engine: ``run`` accepts an
+*observer* that is called on every retired instruction, which the branch
+profiler in :mod:`repro.profiling` uses to collect branch outcome traces
+and definition-to-branch distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.asm.program import Program, STACK_TOP
+from repro.isa.alu import alu_execute, load_value, to_signed
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Kind
+from repro.isa.registers import RegisterFile
+from repro.memory.main_memory import MainMemory
+
+_LOAD_SIZE = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+_STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4}
+
+
+class SimulationError(RuntimeError):
+    """A program did something architecturally illegal."""
+
+
+@dataclass
+class BranchRecord:
+    """One dynamic conditional-branch execution."""
+
+    pc: int
+    taken: bool
+    target: int          # taken-target address
+
+
+class FunctionalSimulator:
+    """Executes a :class:`~repro.asm.program.Program` one instruction at
+    a time.
+
+    Parameters
+    ----------
+    program:
+        The assembled program.  Text and data are loaded into ``memory``.
+    memory:
+        Optional pre-built memory (e.g. with workload input arrays
+        already written).  When supplied, the caller owns data-segment
+        initialisation — typically by starting from ``program.data``
+        and overlaying inputs, as :mod:`repro.workloads.loader` does.
+        When omitted, a fresh memory is created and the program's data
+        segment is loaded into it.  A private copy is NOT taken; pass
+        ``memory.copy()`` if the caller wants to keep the original.
+    """
+
+    def __init__(self, program: Program,
+                 memory: Optional[MainMemory] = None) -> None:
+        self.program = program
+        if memory is None:
+            memory = MainMemory()
+            for addr, word in program.data.items():
+                memory.write_word(addr, word)
+        self.memory = memory
+        for i, word in enumerate(program.words):
+            self.memory.write_word(program.pc_of(i), word)
+        self.regs = RegisterFile()
+        self.regs.write(29, STACK_TOP)  # sp
+        self.pc = program.entry if program.entry is not None \
+            else program.text_base
+        self.halted = False
+        self.instructions_retired = 0
+        self.ctl_writes: List[int] = []   # values written via ctlw
+
+    # ------------------------------------------------------------------
+    def step(self) -> Instruction:
+        """Execute one instruction; returns the instruction executed."""
+        if self.halted:
+            raise SimulationError("step() after halt")
+        instr = self.program.instr_at(self.pc)
+        self.execute(instr)
+        return instr
+
+    def execute(self, instr: Instruction) -> None:
+        """Execute ``instr`` at the current PC and advance the PC."""
+        pc = self.pc
+        next_pc = (pc + 4) & 0xFFFFFFFF
+        regs = self.regs
+        k = instr.spec.kind
+
+        if k is Kind.ALU_RRR:
+            regs.write(instr.rd, alu_execute(
+                instr.spec.alu_op, regs[instr.rs], regs[instr.rt]))
+        elif k is Kind.SHIFT_I:
+            regs.write(instr.rd, alu_execute(
+                instr.spec.alu_op, regs[instr.rs], instr.shamt))
+        elif k is Kind.ALU_RRI:
+            regs.write(instr.rt, alu_execute(
+                instr.spec.alu_op, regs[instr.rs], instr.imm))
+        elif k is Kind.LUI:
+            regs.write(instr.rt, (instr.imm << 16) & 0xFFFFFFFF)
+        elif k is Kind.LOAD:
+            addr = (regs[instr.rs] + instr.imm) & 0xFFFFFFFF
+            raw = self.memory.read(addr, _LOAD_SIZE[instr.op])
+            regs.write(instr.rt, load_value(instr.op, raw))
+        elif k is Kind.STORE:
+            addr = (regs[instr.rs] + instr.imm) & 0xFFFFFFFF
+            self.memory.write(addr, regs[instr.rt], _STORE_SIZE[instr.op])
+        elif k is Kind.BRANCH_CMP:
+            taken = (regs[instr.rs] == regs[instr.rt]) \
+                if instr.op == "beq" else (regs[instr.rs] != regs[instr.rt])
+            if taken:
+                next_pc = instr.branch_target(pc)
+        elif k is Kind.BRANCH_Z:
+            value = to_signed(regs[instr.rs])
+            cond = instr.spec.condition
+            taken = _eval_zero(cond.value, value)
+            if taken:
+                next_pc = instr.branch_target(pc)
+        elif k is Kind.JUMP:
+            next_pc = instr.jump_target(pc)
+        elif k is Kind.JAL:
+            regs.write(31, next_pc)
+            next_pc = instr.jump_target(pc)
+        elif k is Kind.JR:
+            next_pc = regs[instr.rs]
+        elif k is Kind.JALR:
+            regs.write(instr.rd, next_pc)
+            next_pc = regs[instr.rs]
+        elif k is Kind.HALT:
+            self.halted = True
+        elif k is Kind.CTL:
+            self.ctl_writes.append(instr.imm)
+        else:  # pragma: no cover - table is closed
+            raise SimulationError("unhandled kind %s" % k)
+
+        self.pc = next_pc
+        self.instructions_retired += 1
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 200_000_000,
+            observer: Optional[Callable[[int, Instruction, int], None]]
+            = None) -> int:
+        """Run to ``halt``; returns the number of instructions retired.
+
+        ``observer(pc, instr, next_pc)`` is invoked after each retired
+        instruction when supplied (used by the profiler).  Raises
+        :class:`SimulationError` if the instruction budget is exhausted
+        (runaway program).
+        """
+        start = self.instructions_retired
+        while not self.halted:
+            if self.instructions_retired - start >= max_instructions:
+                raise SimulationError(
+                    "instruction budget (%d) exhausted at pc=0x%x"
+                    % (max_instructions, self.pc))
+            pc = self.pc
+            instr = self.program.instr_at(pc)
+            self.execute(instr)
+            if observer is not None:
+                observer(pc, instr, self.pc)
+        return self.instructions_retired - start
+
+    # ------------------------------------------------------------------
+    def branch_outcome(self, instr: Instruction) -> bool:
+        """Would this conditional branch be taken in the current state?
+
+        Does not modify any state — used by predictor evaluation.
+        """
+        k = instr.spec.kind
+        if k is Kind.BRANCH_CMP:
+            eq = self.regs[instr.rs] == self.regs[instr.rt]
+            return eq if instr.op == "beq" else not eq
+        if k is Kind.BRANCH_Z:
+            return _eval_zero(instr.spec.condition.value,
+                              to_signed(self.regs[instr.rs]))
+        raise ValueError("not a conditional branch: %s" % instr)
+
+
+def _eval_zero(cond_sym: str, value: int) -> bool:
+    """Evaluate a zero-comparison on a signed value (hot helper)."""
+    if cond_sym == "==0":
+        return value == 0
+    if cond_sym == "!=0":
+        return value != 0
+    if cond_sym == "<0":
+        return value < 0
+    if cond_sym == "<=0":
+        return value <= 0
+    if cond_sym == ">0":
+        return value > 0
+    return value >= 0
+
+
+def collect_branch_trace(program: Program,
+                         memory: Optional[MainMemory] = None,
+                         max_instructions: int = 200_000_000
+                         ) -> List[BranchRecord]:
+    """Run a program functionally and record every conditional branch.
+
+    The resulting trace can replay against any number of standalone
+    branch predictors far faster than re-running the full simulation,
+    which is how the per-branch accuracy tables (paper Figures 7, 9, 10)
+    are produced.
+    """
+    sim = FunctionalSimulator(program, memory)
+    trace: List[BranchRecord] = []
+    append = trace.append
+    while not sim.halted:
+        if sim.instructions_retired >= max_instructions:
+            raise SimulationError("instruction budget exhausted")
+        pc = sim.pc
+        instr = sim.program.instr_at(pc)
+        if instr.is_branch:
+            taken = sim.branch_outcome(instr)
+            append(BranchRecord(pc, taken, instr.branch_target(pc)))
+        sim.execute(instr)
+    return trace

@@ -1,0 +1,512 @@
+"""Cycle-accurate 5-stage in-order pipeline simulator.
+
+Models the paper's evaluation platform (Section 8): a single-issue,
+in-order, 5-stage (IF/ID/EX/MEM/WB) embedded core with 8KB instruction
+and data caches, a pluggable branch predictor, and — optionally — the
+ASBR folding unit in the fetch stage.
+
+Timing model
+------------
+* Full ALU forwarding (EX/MEM -> EX and write-before-read register
+  file), one-cycle load-use interlock.
+* Conditional branches and ``jr``/``jalr`` resolve in EX; a misprediction
+  squashes the two younger instructions and redirects fetch (2-cycle
+  penalty).  ``j``/``jal`` redirect in ID (1-cycle penalty).  A correct
+  taken prediction redirects fetch through the BTB with no penalty.
+* Cache misses stall fetch (I-cache) or the MEM stage (D-cache) for the
+  miss penalty.
+* An ASBR fold consumes the branch in the fetch stage: the replacement
+  instruction (BTI/BFI) occupies the branch's fetch slot with its own
+  architectural PC, and fetch continues past it — the folded branch
+  costs zero cycles and never enters the pipeline.
+
+BDT timing (the *threshold*, Section 5.2) is emergent: values reach the
+early-condition logic at the end of EX, MEM or WB depending on the
+configured forwarding path, and a fetch-stage fold can only observe them
+on the following cycle.  This reproduces exactly the paper's
+distance-vs-threshold feasibility rule.
+
+Architectural behaviour is defined by
+:class:`~repro.sim.functional.FunctionalSimulator`; equality of final
+register/memory state under every configuration is enforced by the
+integration test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.asbr.folding import ASBRUnit
+from repro.asm.program import Program, STACK_TOP
+from repro.isa.alu import alu_execute, load_value, to_signed
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Kind
+from repro.isa.registers import RegisterFile
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.main_memory import MainMemory
+from repro.predictors.base import BranchPredictor
+from repro.predictors.simple import NotTakenPredictor
+from repro.sim.functional import SimulationError, _eval_zero
+
+_LOAD_SIZE = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+_STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4}
+
+
+@dataclass
+class PipelineConfig:
+    """Pipeline and memory-hierarchy parameters."""
+
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    max_cycles: int = 2_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+
+
+@dataclass
+class PipelineStats:
+    """Everything the experiments report."""
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0             # instructions that entered the pipeline
+    squashed: int = 0            # wrong-path instructions killed
+    branches: int = 0            # conditional branches committed (unfolded)
+    branch_mispredicts: int = 0
+    folds_committed: int = 0     # committed replacement (BTI/BFI) instrs;
+                                 # each stands for one right-path fold
+    uncond_folds_committed: int = 0  # CRISP-style unconditional folds
+    predictor_lookups: int = 0   # fetch-stage direction predictions made
+    jump_bubbles: int = 0        # ID-redirect bubbles from j/jal
+    jr_redirects: int = 0        # EX redirects from jr/jalr
+    load_use_stalls: int = 0
+    icache_miss_stalls: int = 0
+    dcache_miss_stalls: int = 0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.committed if self.committed else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Direction+target accuracy of the (auxiliary) predictor."""
+        if not self.branches:
+            return 0.0
+        return 1.0 - self.branch_mispredicts / self.branches
+
+
+class _Slot:
+    """One in-flight instruction (the content of a pipeline latch)."""
+
+    __slots__ = ("instr", "pc", "folded", "uncond_folded",
+                 "pred_next_pc", "is_cond_branch",
+                 "result", "mem_addr", "store_val", "mem_wait", "mem_done",
+                 "ex_done", "id_done", "acquired_reg")
+
+    def __init__(self, instr: Instruction, pc: int,
+                 folded: bool = False, uncond_folded: bool = False) -> None:
+        self.instr = instr
+        self.pc = pc
+        self.folded = folded
+        self.uncond_folded = uncond_folded
+        self.pred_next_pc = 0          # what fetch assumed comes next
+        self.is_cond_branch = instr.is_branch
+        self.result = 0
+        self.mem_addr = 0
+        self.store_val = 0
+        self.mem_wait = 0
+        self.mem_done = False
+        self.ex_done = False
+        self.id_done = False
+        self.acquired_reg: Optional[int] = None
+
+
+class PipelineSimulator:
+    """Runs one program to completion and collects cycle statistics."""
+
+    def __init__(self, program: Program,
+                 memory: Optional[MainMemory] = None,
+                 predictor: Optional[BranchPredictor] = None,
+                 asbr: Optional[ASBRUnit] = None,
+                 config: Optional[PipelineConfig] = None,
+                 fold_unconditional: bool = False) -> None:
+        """``fold_unconditional`` enables CRISP-style folding of
+        statically-unconditional control transfers (``j`` and
+        ``beq r0, r0``) at fetch — the classic scheme of Ditzel &
+        McLellan the paper cites as related work [10].  Like an ASBR
+        fold, the transfer is replaced in its fetch slot by its target
+        instruction whenever that instruction is itself foldable
+        (non-control)."""
+        self.program = program
+        self.config = config if config is not None else PipelineConfig()
+        if memory is None:
+            # data-segment initialisation is the caller's job when a
+            # pre-built memory is supplied (see FunctionalSimulator)
+            memory = MainMemory()
+            for addr, word in program.data.items():
+                memory.write_word(addr, word)
+        self.memory = memory
+        for i, word in enumerate(program.words):
+            self.memory.write_word(program.pc_of(i), word)
+        self.predictor = predictor if predictor is not None \
+            else NotTakenPredictor()
+        self.asbr = asbr
+        self.fold_unconditional = fold_unconditional
+        self.icache = Cache(self.config.icache, "icache")
+        self.dcache = Cache(self.config.dcache, "dcache")
+        self.regs = RegisterFile()
+        self.regs.write(29, STACK_TOP)
+        if asbr is not None:
+            # the BDT must agree with the initial register file, exactly
+            # as loading it at program-upload time would (Section 7)
+            for r in range(1, 32):
+                asbr.bdt.set_value(r, self.regs[r])
+        self.stats = PipelineStats()
+
+        self.fetch_pc = program.entry if program.entry is not None \
+            else program.text_base
+        self.halted = False
+
+        # pipeline latches: the slot currently occupying each stage
+        self.s_if: Optional[_Slot] = None     # being fetched (I$ wait)
+        self.if_wait = 0
+        self.s_id: Optional[_Slot] = None
+        self.s_ex: Optional[_Slot] = None
+        self.s_mem: Optional[_Slot] = None
+        self.s_wb: Optional[_Slot] = None
+        self._suppress_fetch = False
+        self._fetch_halted = False            # halt decoded on current path
+        self._pending_releases = []           # (reg, value) applied at EOT
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def run(self) -> PipelineStats:
+        """Simulate until the program's ``halt`` commits."""
+        max_cycles = self.config.max_cycles
+        while not self.halted:
+            if self.stats.cycles >= max_cycles:
+                raise SimulationError(
+                    "cycle budget (%d) exhausted; fetch_pc=0x%x"
+                    % (max_cycles, self.fetch_pc))
+            self.tick()
+        return self.stats
+
+    # ==================================================================
+    # one clock cycle
+    # ==================================================================
+    def tick(self) -> None:
+        self.stats.cycles += 1
+        self._suppress_fetch = False
+
+        # ---- WB: commit -------------------------------------------------
+        if self.s_wb is not None:
+            self._commit(self.s_wb)
+            self.s_wb = None
+            if self.halted:
+                # nothing younger may have architectural effect
+                return
+
+        # ---- MEM: first-cycle work --------------------------------------
+        mem = self.s_mem
+        if mem is not None and not mem.mem_done:
+            self._mem_work(mem)
+
+        # ---- EX: first-cycle work (may squash and redirect) -------------
+        ex = self.s_ex
+        if ex is not None and not ex.ex_done:
+            self._ex_work(ex)
+
+        # ---- ID: first-cycle work (jump redirect, BDT acquire) ----------
+        did = self.s_id
+        if did is not None and not did.id_done:
+            self._id_work(did)
+
+        # ---- IF: start a new fetch --------------------------------------
+        if (self.s_if is None and not self._suppress_fetch
+                and not self._fetch_halted):
+            self._start_fetch()
+
+        # ---- end of cycle: advance latches downstream-first -------------
+        self._advance()
+
+        # ---- apply deferred BDT releases (visible from next cycle) ------
+        if self._pending_releases:
+            asbr = self.asbr
+            for reg, value in self._pending_releases:
+                asbr.producer_value(reg, value)
+            self._pending_releases.clear()
+
+    # ==================================================================
+    # stage work
+    # ==================================================================
+    def _commit(self, slot: _Slot) -> None:
+        instr = slot.instr
+        kind = instr.spec.kind
+        dest = instr.dest_reg
+        if dest is not None:
+            self.regs.write(dest, slot.result)
+            if (self.asbr is not None and slot.acquired_reg is not None):
+                # commit-point BDT update (no forwarding paths configured)
+                if self.asbr.bdt_update == "commit":
+                    self._pending_releases.append((dest, slot.result))
+        if kind is Kind.HALT:
+            self.halted = True
+        elif kind is Kind.CTL and self.asbr is not None:
+            self.asbr.control_write(instr.imm)
+        if slot.folded:
+            self.stats.folds_committed += 1
+        if slot.uncond_folded:
+            self.stats.uncond_folds_committed += 1
+        self.stats.committed += 1
+
+    def _mem_work(self, slot: _Slot) -> None:
+        instr = slot.instr
+        slot.mem_done = True
+        if instr.is_load:
+            raw = self.memory.read(slot.mem_addr, _LOAD_SIZE[instr.op])
+            slot.result = load_value(instr.op, raw)
+            extra = self.dcache.access(slot.mem_addr, is_write=False)
+            slot.mem_wait = extra
+            self.stats.dcache_miss_stalls += extra
+        elif instr.is_store:
+            self.memory.write(slot.mem_addr, slot.store_val,
+                              _STORE_SIZE[instr.op])
+            extra = self.dcache.access(slot.mem_addr, is_write=True)
+            slot.mem_wait = extra
+            self.stats.dcache_miss_stalls += extra
+
+    def _operand(self, reg: int) -> int:
+        """EX-stage operand read with EX/MEM forwarding.
+
+        Loads in the MEM stage have already performed their access (MEM
+        work runs earlier in the same cycle), so their result is
+        forwardable too; the load-use interlock guarantees a dependent
+        instruction is never in EX during the load's first MEM cycle, so
+        this never shortens the architectural load-use latency.
+        """
+        if reg == 0:
+            return 0
+        fwd = self.s_mem
+        if fwd is not None and fwd.instr.dest_reg == reg:
+            return fwd.result
+        return self.regs[reg]
+
+    def _ex_work(self, slot: _Slot) -> None:
+        instr = slot.instr
+        kind = instr.spec.kind
+        slot.ex_done = True
+        pc = slot.pc
+
+        if kind is Kind.ALU_RRR:
+            slot.result = alu_execute(instr.spec.alu_op,
+                                      self._operand(instr.rs),
+                                      self._operand(instr.rt))
+        elif kind is Kind.SHIFT_I:
+            slot.result = alu_execute(instr.spec.alu_op,
+                                      self._operand(instr.rs), instr.shamt)
+        elif kind is Kind.ALU_RRI:
+            slot.result = alu_execute(instr.spec.alu_op,
+                                      self._operand(instr.rs), instr.imm)
+        elif kind is Kind.LUI:
+            slot.result = (instr.imm << 16) & 0xFFFFFFFF
+        elif kind is Kind.LOAD:
+            slot.mem_addr = (self._operand(instr.rs) + instr.imm) & 0xFFFFFFFF
+        elif kind is Kind.STORE:
+            slot.mem_addr = (self._operand(instr.rs) + instr.imm) & 0xFFFFFFFF
+            slot.store_val = self._operand(instr.rt)
+        elif kind is Kind.BRANCH_CMP or kind is Kind.BRANCH_Z:
+            self._resolve_branch(slot)
+            return
+        elif kind is Kind.JAL:
+            slot.result = (pc + 4) & 0xFFFFFFFF
+        elif kind is Kind.JR:
+            self._redirect(self._operand(instr.rs))
+            self.stats.jr_redirects += 1
+        elif kind is Kind.JALR:
+            slot.result = (pc + 4) & 0xFFFFFFFF
+            self._redirect(self._operand(instr.rs))
+            self.stats.jr_redirects += 1
+        # JUMP/HALT/CTL: nothing to compute
+
+    def _resolve_branch(self, slot: _Slot) -> None:
+        instr = slot.instr
+        pc = slot.pc
+        if instr.spec.kind is Kind.BRANCH_CMP:
+            eq = self._operand(instr.rs) == self._operand(instr.rt)
+            taken = eq if instr.op == "beq" else not eq
+        else:
+            taken = _eval_zero(instr.spec.condition.value,
+                               to_signed(self._operand(instr.rs)))
+        target = instr.branch_target(pc)
+        actual_next = target if taken else (pc + 4) & 0xFFFFFFFF
+        self.stats.branches += 1
+        self.predictor.update(pc, taken, target)
+        if actual_next != slot.pred_next_pc:
+            self.stats.branch_mispredicts += 1
+            self._redirect(actual_next)
+
+    def _redirect(self, new_pc: int) -> None:
+        """EX-stage control redirect: squash the two younger stages."""
+        self._squash(self.s_id)
+        self.s_id = None
+        self._squash(self.s_if)
+        self.s_if = None
+        self.if_wait = 0
+        self.fetch_pc = new_pc
+        self._suppress_fetch = True
+        self._fetch_halted = False   # any halt seen downstream was wrong-path
+
+    def _squash(self, slot: Optional[_Slot]) -> None:
+        if slot is None:
+            return
+        self.stats.squashed += 1
+        if self.asbr is not None and slot.acquired_reg is not None:
+            self.asbr.producer_squashed(slot.acquired_reg)
+            slot.acquired_reg = None
+
+    def _id_work(self, slot: _Slot) -> None:
+        instr = slot.instr
+        slot.id_done = True
+        dest = instr.dest_reg
+        if self.asbr is not None and dest is not None and dest != 0:
+            self.asbr.producer_decoded(dest)
+            slot.acquired_reg = dest
+        kind = instr.spec.kind
+        if kind is Kind.HALT:
+            # stop fetching down this path; an EX redirect re-enables it
+            self._fetch_halted = True
+        elif kind is Kind.JUMP or kind is Kind.JAL:
+            # target known after decode: redirect next cycle's fetch
+            self._squash(self.s_if)
+            self.s_if = None
+            self.if_wait = 0
+            self.fetch_pc = instr.jump_target(slot.pc)
+            self._suppress_fetch = True
+            self.stats.jump_bubbles += 1
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+    def _in_text(self, pc: int) -> bool:
+        return (self.program.text_base <= pc < self.program.text_end
+                and pc % 4 == 0)
+
+    @staticmethod
+    def _static_uncond_target(instr: Instruction,
+                              pc: int) -> Optional[int]:
+        """Target of a statically-unconditional transfer, else None."""
+        kind = instr.spec.kind
+        if kind is Kind.JUMP:
+            return instr.jump_target(pc)
+        if kind is Kind.BRANCH_CMP and instr.op == "beq" \
+                and instr.rs == 0 and instr.rt == 0:
+            return instr.branch_target(pc)
+        return None
+
+    def _start_fetch(self) -> None:
+        pc = self.fetch_pc
+        if not self._in_text(pc):
+            return  # ran off the text segment (wrong path) — fetch nothing
+        instr = self.program.instrs[(pc - self.program.text_base) >> 2]
+        extra = self.icache.access(pc)
+        self.stats.icache_miss_stalls += extra
+        self.if_wait = extra
+
+        if self.fold_unconditional:
+            target = self._static_uncond_target(instr, pc)
+            if target is not None and self._in_text(target):
+                tinstr = self.program.instrs[
+                    (target - self.program.text_base) >> 2]
+                if not tinstr.is_control \
+                        and tinstr.spec.kind is not Kind.HALT:
+                    self.s_if = _Slot(tinstr, target, uncond_folded=True)
+                    self.stats.fetched += 1
+                    self.fetch_pc = (target + 4) & 0xFFFFFFFF
+                    return
+
+        if instr.is_branch:
+            if self.asbr is not None:
+                fold = self.asbr.try_fold(pc)
+                if fold is not None:
+                    slot = _Slot(fold.instr, fold.instr_pc, folded=True)
+                    self.s_if = slot
+                    self.stats.fetched += 1
+                    self.fetch_pc = fold.next_pc
+                    return
+            pred = self.predictor.predict(pc)
+            self.stats.predictor_lookups += 1
+            slot = _Slot(instr, pc)
+            if pred.taken and pred.target is not None:
+                slot.pred_next_pc = pred.target
+            else:
+                slot.pred_next_pc = (pc + 4) & 0xFFFFFFFF
+            self.s_if = slot
+            self.stats.fetched += 1
+            self.fetch_pc = slot.pred_next_pc
+            return
+
+        self.s_if = _Slot(instr, pc)
+        self.stats.fetched += 1
+        self.fetch_pc = (pc + 4) & 0xFFFFFFFF
+
+    # ==================================================================
+    # latch advance (end of cycle), downstream first
+    # ==================================================================
+    def _advance(self) -> None:
+        update = self.asbr.bdt_update if self.asbr is not None else None
+
+        # MEM -> WB
+        mem = self.s_mem
+        if mem is not None and mem.mem_done:
+            if mem.mem_wait > 0:
+                mem.mem_wait -= 1
+            else:
+                if (update is not None and mem.acquired_reg is not None
+                        and (update == "mem"
+                             or (update == "execute" and mem.instr.is_load))):
+                    self._pending_releases.append(
+                        (mem.acquired_reg, mem.result))
+                    mem.acquired_reg = None
+                self.s_wb = mem
+                self.s_mem = None
+
+        # EX -> MEM
+        ex = self.s_ex
+        ex_is_load = False
+        ex_dest = None
+        if ex is not None and ex.ex_done and self.s_mem is None:
+            if (update == "execute" and ex.acquired_reg is not None
+                    and not ex.instr.is_load):
+                self._pending_releases.append((ex.acquired_reg, ex.result))
+                ex.acquired_reg = None
+            self.s_mem = ex
+            self.s_ex = None
+        # the interlock below keys off whichever instruction occupied EX
+        # during this cycle (ex), whether or not it just advanced
+        if ex is not None:
+            ex_is_load = ex.instr.is_load
+            ex_dest = ex.instr.dest_reg
+
+        # ID -> EX (load-use interlock against the instruction that was
+        # in EX this cycle)
+        did = self.s_id
+        if did is not None and did.id_done and self.s_ex is None:
+            if (ex_is_load and ex_dest is not None and ex_dest != 0
+                    and ex_dest in did.instr.src_regs):
+                self.stats.load_use_stalls += 1
+            else:
+                self.s_ex = did
+                self.s_id = None
+
+        # IF -> ID
+        fslot = self.s_if
+        if fslot is not None:
+            if self.if_wait > 0:
+                self.if_wait -= 1
+            elif self.s_id is None:
+                self.s_id = fslot
+                self.s_if = None

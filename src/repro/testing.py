@@ -1,0 +1,153 @@
+"""Test support: random terminating programs for differential testing.
+
+The strongest correctness argument this project makes is differential:
+for any program, the pipelined simulator (under any predictor and any
+ASBR configuration) must end with exactly the architectural state of the
+functional simulator.  This module generates arbitrary-but-terminating
+programs to feed that comparison.
+
+Termination is guaranteed by construction: control flow is forward-only
+except for counted loops whose dedicated counter registers (k0/k1) are
+never written by generated body instructions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.asm.program import Program
+from repro.isa.instruction import Instruction
+
+#: registers the generator may write (excludes r0; the loop counters
+#: k0/k1 = r26/r27; sp = r29, which bases the scratch memory region; and
+#: ra = r31, so a pending jal return address is never clobbered)
+_WRITABLE = [r for r in range(1, 26)] + [28, 30]
+_READABLE = _WRITABLE + [0, 31]
+
+_ALU_RRR = ["add", "addu", "sub", "subu", "and", "or", "xor", "nor",
+            "slt", "sltu", "mul", "div", "rem", "sllv", "srlv", "srav"]
+_ALU_RRI = ["addi", "addiu", "slti", "sltiu"]
+_ALU_RRI_U = ["andi", "ori", "xori"]
+_SHIFTS = ["sll", "srl", "sra"]
+_LOADS = ["lw", "lh", "lhu", "lb", "lbu"]
+_STORES = ["sw", "sh", "sb"]
+_BRANCH_Z = ["blez", "bgtz", "bltz", "bgez", "beqz", "bnez"]
+
+#: scratch data region: word offsets off sp (sp itself is never moved)
+_MEM_SLOTS = 64
+
+
+class ProgramBuilder:
+    """Accumulates instructions with pending-forward-branch patching."""
+
+    def __init__(self) -> None:
+        self.instrs: List[Instruction] = []
+
+    def emit(self, instr: Instruction) -> int:
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def patch_branch(self, index: int, target_index: int) -> None:
+        """Point the branch at ``index`` to the instruction at
+        ``target_index`` (both text indices)."""
+        self.instrs[index].imm = target_index - index - 1
+
+    def build(self) -> Program:
+        return Program.from_instrs(self.instrs)
+
+
+def _rand_alu(rng: random.Random) -> Instruction:
+    choice = rng.randrange(4)
+    if choice == 0:
+        return Instruction(rng.choice(_ALU_RRR),
+                           rd=rng.choice(_WRITABLE),
+                           rs=rng.choice(_READABLE),
+                           rt=rng.choice(_READABLE))
+    if choice == 1:
+        return Instruction(rng.choice(_ALU_RRI),
+                           rt=rng.choice(_WRITABLE),
+                           rs=rng.choice(_READABLE),
+                           imm=rng.randint(-32768, 32767))
+    if choice == 2:
+        return Instruction(rng.choice(_ALU_RRI_U),
+                           rt=rng.choice(_WRITABLE),
+                           rs=rng.choice(_READABLE),
+                           imm=rng.randint(0, 0xFFFF))
+    return Instruction(rng.choice(_SHIFTS),
+                       rd=rng.choice(_WRITABLE),
+                       rs=rng.choice(_READABLE),
+                       shamt=rng.randrange(32))
+
+
+def _rand_mem(rng: random.Random) -> Instruction:
+    # aligned accesses relative to sp; sizes respect natural alignment
+    op = rng.choice(_LOADS + _STORES)
+    size = {"lw": 4, "sw": 4, "lh": 2, "lhu": 2, "sh": 2,
+            "lb": 1, "lbu": 1, "sb": 1}[op]
+    slot = rng.randrange(_MEM_SLOTS) * 4
+    offset = slot + rng.randrange(4 // size) * size if size < 4 else slot
+    # negative offsets from sp keep accesses below the stack top
+    imm = -(offset + 4)
+    reg = rng.choice(_WRITABLE) if op in _LOADS else rng.choice(_READABLE)
+    return Instruction(op, rt=reg, rs=29, imm=imm)
+
+
+def _rand_instr(rng: random.Random) -> Instruction:
+    return _rand_mem(rng) if rng.random() < 0.25 else _rand_alu(rng)
+
+
+def random_program(seed: int, units: int = 12,
+                   rng: Optional[random.Random] = None) -> Program:
+    """A random terminating program.
+
+    ``units`` controls size; each unit is a short straight-line run, a
+    forward branch over some instructions, a counted loop, or a ``jal``
+    skip.  Dynamic length stays modest (loops are 2-5 iterations).
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    b = ProgramBuilder()
+    for _ in range(units):
+        kind = rng.random()
+        if kind < 0.40:                                   # straight line
+            for _i in range(rng.randint(2, 6)):
+                b.emit(_rand_instr(rng))
+        elif kind < 0.70:                                 # forward branch
+            if rng.random() < 0.7:
+                br = b.emit(Instruction(rng.choice(_BRANCH_Z),
+                                        rs=rng.choice(_READABLE)))
+            else:
+                br = b.emit(Instruction(rng.choice(["beq", "bne"]),
+                                        rs=rng.choice(_READABLE),
+                                        rt=rng.choice(_READABLE)))
+            for _i in range(rng.randint(1, 5)):
+                b.emit(_rand_instr(rng))
+            b.patch_branch(br, len(b.instrs))
+        elif kind < 0.95:                                 # counted loop
+            counter = rng.choice([26, 27])
+            b.emit(Instruction("addiu", rt=counter, rs=0,
+                               imm=rng.randint(2, 5)))
+            top = len(b.instrs)
+            for _i in range(rng.randint(2, 6)):
+                b.emit(_rand_instr(rng))
+            b.emit(Instruction("addiu", rt=counter, rs=counter, imm=-1))
+            br = b.emit(Instruction("bnez", rs=counter))
+            b.patch_branch(br, top)
+        else:                                             # jal skip + jr
+            jal = b.emit(Instruction("jal"))
+            for _i in range(rng.randint(1, 3)):
+                b.emit(_rand_instr(rng))
+            # the "function": a couple of instructions then return
+            target = len(b.instrs)
+            b.emit(_rand_alu(rng))
+            b.emit(Instruction("jr", rs=31))
+            # jal target is absolute (filled from the final layout)
+            prog_pc = Program().text_base + 4 * target
+            b.instrs[jal].target = (prog_pc >> 2) & 0x03FFFFFF
+            # fix up: fall through must skip the function body
+            # (the jal-skipped instructions run, then jump over the fn)
+            b.instrs.insert(target, Instruction("beq", rs=0, rt=0, imm=2))
+            b.instrs[jal].target = ((Program().text_base
+                                     + 4 * (target + 1)) >> 2) & 0x03FFFFFF
+    b.emit(Instruction("halt"))
+    return b.build()

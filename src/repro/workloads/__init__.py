@@ -1,0 +1,50 @@
+"""Benchmark workloads: ADPCM and G.721-style speech codecs.
+
+The paper evaluates on four MediaBench programs: the IMA/DVI ADPCM
+encoder and decoder, and the G.721 (CCITT ADPCM speech coding) encoder
+and decoder.  This package provides:
+
+* bit-exact Python *golden models* (:mod:`repro.workloads.golden`) used
+  to verify the assembly implementations differentially;
+* the assembly implementations themselves (``asm/*.s``), hand-written
+  for the repro ISA with the same manual fold-candidate scheduling the
+  paper applied;
+* synthetic speech-like input generation
+  (:mod:`repro.workloads.inputs`); MediaBench's audio files are not
+  redistributable, and a deterministic synthetic signal keeps every
+  experiment self-contained;
+* the :class:`~repro.workloads.loader.Workload` harness that assembles a
+  codec, loads inputs into simulator memory, runs either simulator and
+  extracts outputs.
+"""
+
+from repro.workloads.golden import (
+    AdpcmState,
+    G721State,
+    adpcm_decode,
+    adpcm_encode,
+    g721_decode,
+    g721_encode,
+)
+from repro.workloads.inputs import speech_like, step_pattern
+from repro.workloads.loader import (
+    Workload,
+    WorkloadResult,
+    get_workload,
+    WORKLOAD_NAMES,
+)
+
+__all__ = [
+    "AdpcmState",
+    "G721State",
+    "adpcm_encode",
+    "adpcm_decode",
+    "g721_encode",
+    "g721_decode",
+    "speech_like",
+    "step_pattern",
+    "Workload",
+    "WorkloadResult",
+    "get_workload",
+    "WORKLOAD_NAMES",
+]

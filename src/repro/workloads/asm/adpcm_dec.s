@@ -1,0 +1,107 @@
+# IMA/DVI ADPCM decoder (MediaBench "adpcm rawdaudio" equivalent).
+#
+# Interface (filled in by repro.workloads.loader):
+#   n_samples : number of codes to decode (word)
+#   code_buf  : 4-bit codes, one per byte (input)
+#   out_buf   : int16 PCM output samples
+#
+# Register allocation:
+#   s0=valpred  s1=index  s2=code ptr  s3=out ptr  s4=count
+#   s5=&step_table  s6=&index_table
+#
+# The three fold candidates (br_b4/br_b2/br_b1, the delta bit tests) get
+# their predicates computed right after the code byte loads, several
+# instructions before the branch — the decoder's natural schedule
+# already separates them, which is why the paper could fold 3 decoder
+# branches with no extra work.
+
+.data
+n_samples:   .word 0
+code_buf:    .space 16384
+out_buf:     .space 32768
+step_table:
+    .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+    .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+    .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+    .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+    .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+    .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+    .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+    .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+    .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+index_table:
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+
+.text
+main:
+    la   r8, n_samples
+    lw   s4, 0(r8)
+    la   s2, code_buf
+    la   s3, out_buf
+    la   s5, step_table
+    la   s6, index_table
+    li   s0, 0                 # valpred = 0
+    li   s1, 0                 # index = 0
+    beqz s4, done
+
+loop:
+    lbu  t5, 0(s2)             # delta code
+    addi s2, s2, 1
+    sll  t0, s1, 2             # step = step_table[index]
+    addu t0, t0, s5
+    lw   t1, 0(t0)             # t1 = step
+    andi t6, t5, 8             # sign                      <- predicate defs
+    andi t2, t5, 4             #   (all three bit tests and the sign are
+    andi t3, t5, 2             #    available right after the code load)
+    andi t4, t5, 1
+    sll  t0, t5, 2             # index += index_table[delta]
+    addu t0, t0, s6
+    lw   t0, 0(t0)
+    addu s1, s1, t0
+    bgez s1, ixnotneg
+    li   s1, 0
+ixnotneg:
+    li   t0, 88
+    slt  t7, t0, s1            # index > 88 ?
+    beqz t7, ixok
+    li   s1, 88
+ixok:
+    srl  t7, t1, 3             # vpdiff = step >> 3
+br_b4:
+    beqz t2, no4               # fold candidate (dist >= 8)
+    addu t7, t7, t1            # vpdiff += step
+no4:
+    srl  t8, t1, 1             # step >> 1
+br_b2:
+    beqz t3, no2               # fold candidate
+    addu t7, t7, t8            # vpdiff += step >> 1
+no2:
+    srl  t8, t1, 2             # step >> 2
+br_b1:
+    beqz t4, no1               # fold candidate
+    addu t7, t7, t8            # vpdiff += step >> 2
+no1:
+    addi s4, s4, -1            # count-- (hoisted; keeps the br_b1 fold
+                               # target non-control)
+    beqz t6, addv              # apply sign
+    subu s0, s0, t7
+    b    clampv
+addv:
+    addu s0, s0, t7
+clampv:
+    li   t0, 32767
+    slt  t1, t0, s0            # valpred > 32767 ?
+    beqz t1, nothi
+    li   s0, 32767
+nothi:
+    li   t0, -32768
+    slt  t1, s0, t0            # valpred < -32768 ?
+    beqz t1, notlo
+    li   s0, -32768
+notlo:
+    sh   s0, 0(s3)             # emit the reconstructed sample
+    addi s3, s3, 2
+    bnez s4, loop
+done:
+    halt

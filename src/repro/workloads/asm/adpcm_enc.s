@@ -1,0 +1,126 @@
+# IMA/DVI ADPCM encoder (MediaBench "adpcm rawcaudio" equivalent).
+#
+# Interface (filled in by repro.workloads.loader):
+#   n_samples : number of input samples (word)
+#   in_buf    : int16 PCM input samples
+#   code_buf  : one 4-bit code per output byte
+#
+# Register allocation:
+#   s0=valpred  s1=index  s2=in ptr  s3=out ptr  s4=count
+#   s5=&step_table  s6=&index_table
+#
+# The four hard-to-predict fold candidates (sign branch br_sign and the
+# three magnitude branches br_bit2/br_bit1/br_bit0) are manually
+# scheduled so their predicate register is defined >= 3 instructions
+# before the branch, as the paper does for its ADPCM candidates
+# (Section 8: "A manual scheduling in the application code is performed
+# for the branches that we identify as candidates for folding").
+
+.data
+n_samples:   .word 0
+in_buf:      .space 32768          # 16384 int16 samples
+code_buf:    .space 16384
+step_table:
+    .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+    .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+    .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+    .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+    .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+    .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+    .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+    .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+    .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+index_table:
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+
+.text
+main:
+    la   r8, n_samples
+    lw   s4, 0(r8)
+    la   s2, in_buf
+    la   s3, code_buf
+    la   s5, step_table
+    la   s6, index_table
+    li   s0, 0                 # valpred = 0
+    li   s1, 0                 # index = 0
+    beqz s4, done
+
+loop:
+    sll  t0, s1, 2             # step = step_table[index]
+    addu t0, t0, s5
+    lw   t1, 0(t0)             # t1 = step
+    lh   t2, 0(s2)             # sample (paper Figure 2's lh)
+    addi s2, s2, 2
+    subu t3, t2, s0            # diff = sample - valpred   <- predicate def
+    srl  t4, t1, 3             # vpdiff = step >> 3        (independent)
+    li   t5, 0                 # delta = 0                 (independent)
+    li   t6, 0                 # sign = 0                  (independent)
+br_sign:
+    bgez t3, possign           # fold candidate (dist 4)
+    subu t3, r0, t3            # diff = -diff
+    li   t6, 8                 # sign = 8
+possign:
+    subu t7, t3, t1            # c1 = diff - step          <- predicate def
+    srl  t8, t1, 1             # step2 = step >> 1         (independent)
+    srl  t9, t8, 1             # step4 = step >> 2         (independent)
+    or   t5, t5, t6            # delta |= sign (early)     (independent)
+br_bit2:
+    bltz t7, bit1              # fold candidate (dist 4)
+    ori  t5, t5, 4
+    move t3, t7                # diff -= step
+    addu t4, t4, t1            # vpdiff += step
+bit1:
+    subu t7, t3, t8            # c2 = diff - step2         <- predicate def
+    sll  t0, t6, 0             # keep sign handy           (independent)
+    addi s4, s4, -1            # count-- (hoisted)         (independent)
+    sll  t1, t9, 0             # copy step4                (independent)
+br_bit1:
+    bltz t7, bit0              # fold candidate (dist 4)
+    ori  t5, t5, 2
+    move t3, t7                # diff -= step2
+    addu t4, t4, t8            # vpdiff += step2
+bit0:
+    subu t7, t3, t9            # c3 = diff - step4         <- predicate def
+    sll  t2, t5, 2             # scale delta early for the
+    addu t2, t2, s6            #   index_table lookup      (independent)
+    sll  t3, t3, 0             # nop-ish filler            (independent)
+br_bit0:
+    bltz t7, nobit             # fold candidate (dist 4)
+    ori  t5, t5, 1
+    addu t4, t4, t9            # vpdiff += step4
+    sll  t2, t5, 2             # delta changed: redo table address
+    addu t2, t2, s6
+nobit:
+    lw   t7, 0(t2)             # index_table[delta] loaded early (keeps
+                               # the fold target non-control)
+    beqz t6, addv              # apply sign to valpred
+    subu s0, s0, t4
+    b    clampv
+addv:
+    addu s0, s0, t4
+clampv:
+    li   t0, 32767
+    slt  t1, t0, s0            # valpred > 32767 ?
+    beqz t1, nothi
+    li   s0, 32767
+nothi:
+    li   t0, -32768
+    slt  t1, s0, t0            # valpred < -32768 ?
+    beqz t1, notlo
+    li   s0, -32768
+notlo:
+    addu s1, s1, t7            # index += index_table[delta]
+    bgez s1, ixnotneg
+    li   s1, 0
+ixnotneg:
+    li   t0, 88
+    slt  t1, t0, s1            # index > 88 ?
+    beqz t1, ixok
+    li   s1, 88
+ixok:
+    sb   t5, 0(s3)             # emit the 4-bit code (one per byte)
+    addi s3, s3, 1
+    bnez s4, loop
+done:
+    halt

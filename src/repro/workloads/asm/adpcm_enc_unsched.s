@@ -1,0 +1,113 @@
+# IMA/DVI ADPCM encoder — UNSCHEDULED variant.
+#
+# Functionally identical to adpcm_enc.s (bit-exact same outputs), but in
+# the naive "as compiled" instruction order: every branch's predicate is
+# computed immediately before the branch, so the definition-to-branch
+# distance is 1 and nothing is ASBR-foldable.  Input for the scheduling
+# ablation (paper Section 5.1): repro.sched.schedule_program recovers
+# the fold distances automatically.
+#
+# Interface identical to adpcm_enc.s.
+
+.data
+n_samples:   .word 0
+in_buf:      .space 32768
+code_buf:    .space 16384
+step_table:
+    .word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17
+    .word 19, 21, 23, 25, 28, 31, 34, 37, 41, 45
+    .word 50, 55, 60, 66, 73, 80, 88, 97, 107, 118
+    .word 130, 143, 157, 173, 190, 209, 230, 253, 279, 307
+    .word 337, 371, 408, 449, 494, 544, 598, 658, 724, 796
+    .word 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066
+    .word 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358
+    .word 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899
+    .word 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+index_table:
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+    .word -1, -1, -1, -1, 2, 4, 6, 8
+
+.text
+main:
+    la   r8, n_samples
+    lw   s4, 0(r8)
+    la   s2, in_buf
+    la   s3, code_buf
+    la   s5, step_table
+    la   s6, index_table
+    li   s0, 0                 # valpred
+    li   s1, 0                 # index
+    beqz s4, done
+
+loop:
+    sll  t0, s1, 2
+    addu t0, t0, s5
+    lw   t1, 0(t0)             # step
+    lh   t2, 0(s2)             # sample
+    addi s2, s2, 2
+    li   t5, 0                 # delta
+    li   t6, 0                 # sign
+    srl  t4, t1, 3             # vpdiff = step >> 3
+    subu t3, t2, s0            # diff   <- defined right before the branch
+br_sign:
+    bgez t3, possign
+    subu t3, r0, t3
+    li   t6, 8
+possign:
+    subu t7, t3, t1            # c1     <- right before the branch
+br_bit2:
+    bltz t7, bit1
+    ori  t5, t5, 4
+    move t3, t7
+    addu t4, t4, t1
+bit1:
+    srl  t8, t1, 1             # step2
+    subu t7, t3, t8            # c2     <- right before the branch
+br_bit1:
+    bltz t7, bit0
+    ori  t5, t5, 2
+    move t3, t7
+    addu t4, t4, t8
+bit0:
+    srl  t9, t8, 1             # step4
+    subu t7, t3, t9            # c3     <- right before the branch
+br_bit0:
+    bltz t7, nobit
+    ori  t5, t5, 1
+    addu t4, t4, t9
+nobit:
+    or   t5, t5, t6            # delta |= sign
+    beqz t6, addv
+    subu s0, s0, t4
+    b    clampv
+addv:
+    addu s0, s0, t4
+clampv:
+    li   t0, 32767
+    slt  t1, t0, s0
+    beqz t1, nothi
+    li   s0, 32767
+nothi:
+    li   t0, -32768
+    slt  t1, s0, t0
+    beqz t1, notlo
+    li   s0, -32768
+notlo:
+    sll  t0, t5, 2
+    addu t0, t0, s6
+    lw   t7, 0(t0)
+    addu s1, s1, t7
+    bgez s1, ixnotneg
+    li   s1, 0
+ixnotneg:
+    li   t0, 88
+    slt  t1, t0, s1
+    beqz t1, ixok
+    li   s1, 88
+ixok:
+    sb   t5, 0(s3)
+    addi s3, s3, 1
+    addi s4, s4, -1
+    bnez s4, loop
+done:
+    halt

@@ -1,0 +1,282 @@
+# G.721-style ADPCM encoder (MediaBench "g721 encoder" equivalent).
+#
+# Structure: log-domain table-search quantizer (quan()), 2-pole/6-zero
+# adaptive predictor with sign-sign LMS adaptation and stability clamps,
+# adaptive scale factor.  Matches repro.workloads.golden.g721_encode
+# bit-for-bit.
+#
+# Interface (filled in by repro.workloads.loader):
+#   n_samples : number of input samples (word)
+#   in_buf    : int16 PCM input samples
+#   code_buf  : one 4-bit code per output byte
+#
+# Register allocation:
+#   s0=y  s1=a1  s2=a2  s3=sr1  s4=sr2  s5=in ptr  s6=out ptr  s7=count
+#   a0=&b_arr a1=&dq_arr a2=&quan_table a3=&dqln_table gp=&wi_table
+#   fp=sez  t9=se  t8=d  t2=dq  t3=sr  t5=code  t7=sign
+#
+# Fold candidates (hard-to-predict, manually scheduled so the predicate
+# register is defined >= 3 instructions before the branch):
+#   br_qsign  - sign of the prediction difference
+#   br_quan   - quantizer table-search exit (software-pipelined: the
+#               next threshold is computed while the current compare is
+#               in flight, the paper's Figure 5 technique)
+#   br_dqsign - sign bit of the code during dequantization
+#   br_bsign1/br_bsign2 - sign-sign LMS direction for the zero section
+#   br_a1sign1/br_a1sign2/br_a2sign1/br_a2sign2 - pole adaptation signs
+
+.data
+n_samples:  .word 0
+in_buf:     .space 32768           # 16384 int16 samples
+code_buf:   .space 16384
+b_arr:      .space 24              # six zero coefficients (Q14)
+dq_arr:     .space 24              # six past quantized differences
+quan_table: .word 80, 160, 280, 440, 640, 880, 1200, 32767
+dqln_table: .word 48, 120, 224, 360, 528, 760, 1040, 1360
+wi_table:   .word -12, 18, 41, 64, 112, 198, 355, 1122
+
+.text
+main:
+    la   t0, n_samples
+    lw   s7, 0(t0)
+    la   s5, in_buf
+    la   s6, code_buf
+    la   a0, b_arr
+    la   a1, dq_arr
+    la   a2, quan_table
+    la   a3, dqln_table
+    la   gp, wi_table
+    li   s0, 200               # y
+    li   s1, 0                 # a1
+    li   s2, 0                 # a2
+    li   s3, 0                 # sr1
+    li   s4, 0                 # sr2
+    beqz s7, done
+
+loop:
+    # ---- zero predictor: sez = clamp16(sum(b[i]*dq[i]) >> 14) --------
+    li   t0, 0
+    li   t1, 0
+sezloop:
+    addu v0, a0, t1
+    lw   v1, 0(v0)             # b[i]
+    addu v0, a1, t1
+    lw   v0, 0(v0)             # dq[i]
+    mul  v0, v0, v1
+    addu t0, t0, v0
+    addi t1, t1, 4
+    slti v0, t1, 24
+    bnez v0, sezloop
+    sra  t0, t0, 14
+    li   t1, 32767
+    slt  v0, t1, t0
+    beqz v0, seznothi
+    li   t0, 32767
+seznothi:
+    li   t1, -32768
+    slt  v0, t0, t1
+    beqz v0, seznotlo
+    li   t0, -32768
+seznotlo:
+    move fp, t0                # sez
+
+    # ---- full estimate: se = clamp16(sez + (a1*sr1 + a2*sr2) >> 14) --
+    mul  v0, s1, s3
+    mul  v1, s2, s4
+    addu v0, v0, v1
+    sra  v0, v0, 14
+    addu t9, fp, v0
+    li   t1, 32767
+    slt  v1, t1, t9
+    beqz v1, senothi
+    li   t9, 32767
+senothi:
+    li   t1, -32768
+    slt  v1, t9, t1
+    beqz v1, senotlo
+    li   t9, -32768
+senotlo:
+
+    # ---- difference + quantizer sign ---------------------------------
+    lh   v1, 0(s5)             # x
+    addi s5, s5, 2
+    subu t8, v1, t9            # d = x - se           <- predicate
+    lw   v0, 0(a2)             # q[0]                 (independent)
+    mul  v0, v0, s0            #                      (independent)
+    sra  v0, v0, 9             # thr0                 (independent)
+br_qsign:
+    bgez t8, qpos              # fold candidate (dist 4)
+    subu t6, r0, t8            # mag = -d
+    li   t7, 8                 # sign = 8
+    b    qsearch
+qpos:
+    move t6, t8                # mag = d
+    li   t7, 0
+qsearch:
+    li   t5, 0                 # i = 0
+    move t4, a2
+qloop:
+    subu t0, t6, v0            # c = mag - thr        <- predicate
+    addi t4, t4, 4             #                      (independent)
+    lw   v0, 0(t4)             # q[i+1], prefetched   (independent)
+    mul  v0, v0, s0            #   while the current  (independent)
+    sra  v0, v0, 9             #   compare resolves   (independent)
+br_quan:
+    bltz t0, qdone             # fold candidate (dist 5)
+    addi t5, t5, 1
+    slti t0, t5, 7
+    bnez t0, qloop
+qdone:
+    or   t5, t5, t7            # code = sign | i
+    sb   t5, 0(s6)             # emit
+    addi s6, s6, 1
+
+    # ---- dequantize: dq = +-((dqln[code&7] * y) >> 9) ----------------
+    andi t0, t5, 7
+    sll  t0, t0, 2
+    addu t0, t0, a3
+    lw   t2, 0(t0)             # dqln
+    mul  t2, t2, s0
+    sra  t2, t2, 9             # magnitude
+    andi t1, t5, 8             # sign bit             <- predicate
+    andi t4, t5, 7             # wi table offset      (independent)
+    sll  t4, t4, 2             #                      (independent)
+    addu t4, t4, gp            # &wi[code&7]          (independent)
+br_dqsign:
+    beqz t1, dqpos             # fold candidate (dist 4)
+    subu t2, r0, t2            # dq = -magnitude
+dqpos:
+    addu t3, t9, t2            # sr = se + dq
+    lw   t4, 0(t4)             # wi
+    li   t0, 32767
+    slt  v0, t0, t3
+    bnez v0, sr_hi
+    li   t0, -32768
+    slt  v0, t3, t0
+    bnez v0, sr_lo
+sr_ok:
+    # ---- scale factor: y += (wi - y) >> 5, clamp [1, 8192] -----------
+    subu t0, t4, s0
+    sra  t0, t0, 5
+    addu s0, s0, t0
+    slti v0, s0, 1
+    beqz v0, ynotmin
+    li   s0, 1
+ynotmin:
+    li   t0, 8192
+    slt  v0, t0, s0
+    beqz v0, ynotmax
+    li   s0, 8192
+ynotmax:
+
+    # ---- zero section: sign-sign LMS with leakage --------------------
+    li   t1, 0
+bloop:
+    addu t0, a1, t1
+    lw   t4, 0(t0)             # dq[i]
+    addu t0, a0, t1            # &b[i]
+    lw   t5, 0(t0)             # b[i]
+    mul  t4, t4, t2            # p = dq[i] * dq       <- predicate
+    sra  t6, t5, 8             #                      (independent)
+    subu t5, t5, t6            # leakage              (independent)
+    addi t1, t1, 4             #                      (independent)
+    slti t7, t1, 24            # loop test            (independent)
+br_bsign1:
+    bgtz t4, bpos              # fold candidate: same sign -> +32
+    sll  v0, r0, 0             # scheduling padding
+br_bsign2:
+    bgez t4, bclamp            # fold candidate: p == 0 -> unchanged
+    addi t5, t5, -32           # opposite sign -> -32
+    b    bclamp
+bpos:
+    addi t5, t5, 32
+bclamp:
+    li   t6, 12288
+    slt  v0, t6, t5
+    beqz v0, bnothi
+    li   t5, 12288
+bnothi:
+    li   t6, -12288
+    slt  v0, t5, t6
+    beqz v0, bnotlo
+    li   t5, -12288
+bnotlo:
+    sw   t5, 0(t0)
+    bnez t7, bloop
+
+    # ---- pole section -------------------------------------------------
+    addu t4, t2, fp            # pk0v = dq + sez
+    mul  t5, t4, s3            # p1 = pk0v * sr1      <- predicate
+    mul  t6, t4, s4            # p2 = pk0v * sr2      <- predicate
+    sra  t7, s1, 8
+    subu t7, s1, t7            # a1 leaked
+    sra  t0, s2, 8
+    subu t0, s2, t0            # a2 leaked
+br_a1sign1:
+    bgtz t5, a1pos             # fold candidate (dist 5)
+    sll  v0, r0, 0             # scheduling padding
+br_a1sign2:
+    bgez t5, a1done            # fold candidate: p1 == 0
+    addi t7, t7, -32
+    b    a1done
+a1pos:
+    addi t7, t7, 32
+a1done:
+    li   t1, 12288
+    slt  v0, t1, t7
+    beqz v0, a1nothi
+    li   t7, 12288
+a1nothi:
+    li   t1, -12288
+    slt  v0, t7, t1
+    beqz v0, a1notlo
+    li   t7, -12288
+a1notlo:
+    move s1, t7
+br_a2sign1:
+    bgtz t6, a2pos             # fold candidate
+    sll  v0, r0, 0             # scheduling padding
+br_a2sign2:
+    bgez t6, a2done            # fold candidate: p2 == 0
+    addi t0, t0, -16
+    b    a2done
+a2pos:
+    addi t0, t0, 16
+a2done:
+    li   t1, 6144
+    slt  v0, t1, t0
+    beqz v0, a2nothi
+    li   t0, 6144
+a2nothi:
+    li   t1, -6144
+    slt  v0, t0, t1
+    beqz v0, a2notlo
+    li   t0, -6144
+a2notlo:
+    move s2, t0
+
+    # ---- delay lines ---------------------------------------------------
+    lw   t0, 16(a1)
+    sw   t0, 20(a1)
+    lw   t0, 12(a1)
+    sw   t0, 16(a1)
+    lw   t0, 8(a1)
+    sw   t0, 12(a1)
+    lw   t0, 4(a1)
+    sw   t0, 8(a1)
+    lw   t0, 0(a1)
+    sw   t0, 4(a1)
+    sw   t2, 0(a1)             # dq[0] = dq
+    move s4, s3                # sr2 = sr1
+    move s3, t3                # sr1 = sr
+    addi s7, s7, -1
+    bnez s7, loop
+done:
+    halt
+
+sr_hi:
+    li   t3, 32767
+    b    sr_ok
+sr_lo:
+    li   t3, -32768
+    b    sr_ok

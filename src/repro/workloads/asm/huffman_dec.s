@@ -1,0 +1,84 @@
+# Bit-serial Huffman decoder — control-dominated reactive kernel.
+#
+# Decodes n_samples symbols from an LSB-first packed bitstream using a
+# static canonical code tree (see repro.workloads.huffman).  Every
+# decoded bit drives an input-data-dependent branch (br_bit) that is
+# architecturally 50/50 — the paper's Figure 2 pathology in its purest
+# form — plus a leaf-test branch (br_leaf) per tree step.
+#
+# Interface (filled in by repro.workloads.loader):
+#   n_samples : number of SYMBOLS to decode (word)
+#   in_buf    : packed bitstream bytes
+#   out_buf   : decoded symbols, one byte each
+#
+# Tree layout: tree[2*node] / tree[2*node+1] are the left/right child
+# entries; an entry with bit 0x100 set is a leaf carrying the symbol in
+# its low byte.  The table below is build_tree()'s output for the
+# canonical code in repro.workloads.huffman (verified by test).
+#
+# Register allocation:
+#   s0=current byte  s1=bitpos  s5=stream ptr  s6=out ptr  s7=symbols left
+#   a0=&tree  t0=node/child  t2=bit  t3=&entry  t5=leaf flag  others scratch
+
+.data
+n_samples:  .word 0
+in_buf:     .space 16384
+out_buf:    .space 16384
+tree:
+    .word 14, 1
+    .word 265, 2
+    .word 262, 3
+    .word 266, 4
+    .word 261, 5
+    .word 267, 6
+    .word 260, 7
+    .word 268, 8
+    .word 259, 9
+    .word 269, 10
+    .word 258, 11
+    .word 270, 12
+    .word 257, 13
+    .word 256, 271
+    .word 263, 264
+
+.text
+main:
+    la   t0, n_samples
+    lw   s7, 0(t0)
+    la   s5, in_buf
+    la   s6, out_buf
+    la   a0, tree
+    li   s1, 8                 # force a refill on the first bit
+    li   s0, 0
+    beqz s7, done
+
+sym_loop:
+    li   t0, 0                 # node = root
+walk:
+    slti t4, s1, 8             # bits left in the current byte?
+    bnez t4, nofill
+    lbu  s0, 0(s5)             # refill
+    addi s5, s5, 1
+    li   s1, 0
+nofill:
+    srlv t2, s0, s1            # shift current bit down
+    andi t2, t2, 1             # bit                  <- predicate
+    addi s1, s1, 1             # bitpos++             (independent)
+    sll  t3, t0, 3             # node * 8             (independent)
+    addu t3, t3, a0            # &tree[2*node]        (independent)
+br_bit:
+    beqz t2, goleft            # fold candidate: pure input data, 50/50
+    addi t3, t3, 4             # right-child slot
+goleft:
+    lw   t0, 0(t3)             # child entry
+    andi t5, t0, 0x100         # leaf?                <- predicate
+    andi t0, t0, 0xFF          # symbol / node index  (independent)
+    sll  t6, t5, 0             # scheduling padding   (independent)
+br_leaf:
+    beqz t5, walk              # fold candidate: internal node -> walk on
+    sb   t0, 0(s6)             # leaf: emit symbol
+    addi s6, s6, 1
+    addi s7, s7, -1
+    bnez s7, sym_loop
+done:
+    halt

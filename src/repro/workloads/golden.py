@@ -1,0 +1,313 @@
+"""Bit-exact Python reference models of the benchmark codecs.
+
+These are the architectural ground truth for the assembly
+implementations in ``workloads/asm``: the integration tests require the
+simulated assembly to reproduce these outputs bit-for-bit.
+
+* IMA/DVI ADPCM follows the classic Intel/DVI reference coder used by
+  MediaBench's ``adpcm`` benchmark (one 4-bit code per sample; we store
+  one code per byte instead of packing two per byte, which changes no
+  arithmetic and no branch behaviour).
+* The G.721-style codec is a structurally faithful re-implementation of
+  CCITT G.721's control skeleton: a log-domain table-search quantizer
+  (``quan()``), a two-pole/six-zero adaptive predictor with sign-sign
+  LMS adaptation and stability clamps, and an adaptive scale factor.
+  Encoder and decoder share the same numeric kernels, exactly as in the
+  paper's benchmarks ("both ... share the same numerical functions that
+  contain the tight application loops").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+# ----------------------------------------------------------------------
+# IMA / DVI ADPCM
+# ----------------------------------------------------------------------
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8,
+               -1, -1, -1, -1, 2, 4, 6, 8]
+
+STEPSIZE_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+
+@dataclass
+class AdpcmState:
+    """Predictor state carried across samples (and enc/dec calls)."""
+
+    valpred: int = 0
+    index: int = 0
+
+
+def adpcm_encode(samples: Sequence[int],
+                 state: AdpcmState = None) -> Tuple[List[int], AdpcmState]:
+    """Encode 16-bit PCM samples to 4-bit ADPCM codes (one per entry)."""
+    st = state if state is not None else AdpcmState()
+    valpred, index = st.valpred, st.index
+    codes: List[int] = []
+    for sample in samples:
+        step = STEPSIZE_TABLE[index]
+        diff = sample - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        if valpred > 32767:
+            valpred = 32767
+        elif valpred < -32768:
+            valpred = -32768
+
+        delta |= sign
+        index += INDEX_TABLE[delta]
+        if index < 0:
+            index = 0
+        elif index > 88:
+            index = 88
+        codes.append(delta)
+    return codes, AdpcmState(valpred, index)
+
+
+def adpcm_decode(codes: Sequence[int],
+                 state: AdpcmState = None) -> Tuple[List[int], AdpcmState]:
+    """Decode 4-bit ADPCM codes back to 16-bit PCM samples."""
+    st = state if state is not None else AdpcmState()
+    valpred, index = st.valpred, st.index
+    samples: List[int] = []
+    for delta in codes:
+        delta &= 0xF
+        step = STEPSIZE_TABLE[index]
+
+        index += INDEX_TABLE[delta]
+        if index < 0:
+            index = 0
+        elif index > 88:
+            index = 88
+
+        sign = delta & 8
+        delta &= 7
+        vpdiff = step >> 3
+        if delta & 4:
+            vpdiff += step
+        if delta & 2:
+            vpdiff += step >> 1
+        if delta & 1:
+            vpdiff += step >> 2
+
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        if valpred > 32767:
+            valpred = 32767
+        elif valpred < -32768:
+            valpred = -32768
+        samples.append(valpred)
+    return samples, AdpcmState(valpred, index)
+
+
+# ----------------------------------------------------------------------
+# G.721-style adaptive-predictor codec
+# ----------------------------------------------------------------------
+
+#: Log-domain quantizer decision thresholds (scaled by the adaptive
+#: scale factor ``y``); searched linearly exactly like G.721's quan().
+QUAN_TABLE = [80, 160, 280, 440, 640, 880, 1200]
+
+#: Reconstruction levels matching the 8 quantizer cells.
+DQLN_TABLE = [48, 120, 224, 360, 528, 760, 1040, 1360]
+
+#: Scale-factor adaptation weights per code magnitude.
+WI_TABLE = [-12, 18, 41, 64, 112, 198, 355, 1122]
+
+Y_MIN = 1
+Y_MAX = 1 << 13      # scale factor range
+COEF_MAX = 12288     # pole/zero coefficient clamp (0.75 in Q14)
+LEAK_SHIFT = 8       # coefficient leakage
+GAIN_SHIFT = 5       # sign-sign LMS gain
+
+
+@dataclass
+class G721State:
+    """Predictor + quantizer state (shared by encoder and decoder)."""
+
+    y: int = 200                       # adaptive scale factor
+    a1: int = 0                        # pole coefficients (Q14)
+    a2: int = 0
+    b: List[int] = field(default_factory=lambda: [0] * 6)   # zeros (Q14)
+    dq: List[int] = field(default_factory=lambda: [0] * 6)  # past quantized
+    sr1: int = 0                       # past reconstructed signals
+    sr2: int = 0
+
+
+def _sgn(v: int) -> int:
+    """Three-way sign: -1, 0, +1."""
+    if v > 0:
+        return 1
+    if v < 0:
+        return -1
+    return 0
+
+
+def _predict(st: G721State) -> Tuple[int, int]:
+    """Zero-predictor partial (sez) and full signal estimate (se).
+
+    Both are clamped to 16 bits, as in G.721's own 15/16-bit signal
+    arithmetic; the clamps also guarantee every later product fits in a
+    signed 32-bit multiply, keeping this model bit-exact with the
+    assembly implementation's ``mul``.
+    """
+    sez = 0
+    for i in range(6):
+        sez += st.b[i] * st.dq[i]
+    sez = _clamp16(sez >> 14)
+    se = sez + ((st.a1 * st.sr1 + st.a2 * st.sr2) >> 14)
+    return sez, _clamp16(se)
+
+
+def _quantize(d: int, y: int) -> int:
+    """4-bit code for difference ``d`` at scale ``y`` (quan() search)."""
+    sign = 8 if d < 0 else 0
+    mag = -d if d < 0 else d
+    i = 0
+    while i < 7:
+        if mag < ((QUAN_TABLE[i] * y) >> 9):
+            break
+        i += 1
+    return sign | i
+
+
+def _dequantize(code: int, y: int) -> int:
+    """Quantized difference reconstructed from a 4-bit code."""
+    mag = (DQLN_TABLE[code & 7] * y) >> 9
+    return -mag if code & 8 else mag
+
+
+def _clamp16(v: int) -> int:
+    if v > 32767:
+        return 32767
+    if v < -32768:
+        return -32768
+    return v
+
+
+def _update(st: G721State, code: int, dq: int, sr: int, sez: int) -> None:
+    """Adapt scale factor and predictor (shared by encode/decode).
+
+    Sign-sign LMS with leakage on the six zero coefficients, simplified
+    pole adaptation on (a1, a2) with stability clamps, and the G.721-
+    style scale-factor first-order update.  All quantities stay well
+    inside 32 bits so the assembly implementation matches exactly.
+    """
+    # scale factor adaptation
+    wi = WI_TABLE[code & 7]
+    y = st.y + ((wi - st.y) >> 5)
+    if y < Y_MIN:
+        y = Y_MIN
+    elif y > Y_MAX:
+        y = Y_MAX
+    st.y = y
+
+    # zero (FIR) section: sign-sign LMS + leakage
+    sgn_dq = _sgn(dq)
+    for i in range(6):
+        bi = st.b[i] - (st.b[i] >> LEAK_SHIFT)
+        if sgn_dq != 0:
+            if _sgn(st.dq[i]) == sgn_dq:
+                bi += 1 << GAIN_SHIFT
+            elif st.dq[i] != 0:
+                bi -= 1 << GAIN_SHIFT
+        if bi > COEF_MAX:
+            bi = COEF_MAX
+        elif bi < -COEF_MAX:
+            bi = -COEF_MAX
+        st.b[i] = bi
+
+    # pole (IIR) section on the reconstructed signal
+    pk0 = _sgn(dq + sez)
+    a1 = st.a1 - (st.a1 >> LEAK_SHIFT)
+    a2 = st.a2 - (st.a2 >> LEAK_SHIFT)
+    if pk0 != 0:
+        if _sgn(st.sr1) == pk0:
+            a1 += 1 << GAIN_SHIFT
+        elif st.sr1 != 0:
+            a1 -= 1 << GAIN_SHIFT
+        if _sgn(st.sr2) == pk0:
+            a2 += 1 << (GAIN_SHIFT - 1)
+        elif st.sr2 != 0:
+            a2 -= 1 << (GAIN_SHIFT - 1)
+    if a1 > COEF_MAX:
+        a1 = COEF_MAX
+    elif a1 < -COEF_MAX:
+        a1 = -COEF_MAX
+    if a2 > COEF_MAX >> 1:
+        a2 = COEF_MAX >> 1
+    elif a2 < -(COEF_MAX >> 1):
+        a2 = -(COEF_MAX >> 1)
+    st.a1, st.a2 = a1, a2
+
+    # shift delay lines
+    st.dq = [dq] + st.dq[:5]
+    st.sr2 = st.sr1
+    st.sr1 = sr
+
+
+def g721_encode(samples: Sequence[int],
+                state: G721State = None) -> Tuple[List[int], G721State]:
+    """Encode 16-bit PCM to 4-bit G.721-style codes."""
+    st = state if state is not None else G721State()
+    codes: List[int] = []
+    for x in samples:
+        sez, se = _predict(st)
+        d = x - se
+        code = _quantize(d, st.y)
+        dq = _dequantize(code, st.y)
+        sr = _clamp16(se + dq)
+        _update(st, code, dq, sr, sez)
+        codes.append(code)
+    return codes, st
+
+
+def g721_decode(codes: Sequence[int],
+                state: G721State = None) -> Tuple[List[int], G721State]:
+    """Decode 4-bit G.721-style codes back to PCM."""
+    st = state if state is not None else G721State()
+    samples: List[int] = []
+    for code in codes:
+        code &= 0xF
+        sez, se = _predict(st)
+        dq = _dequantize(code, st.y)
+        sr = _clamp16(se + dq)
+        _update(st, code, dq, sr, sez)
+        samples.append(sr)
+    return samples, st

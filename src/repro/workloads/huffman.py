@@ -1,0 +1,130 @@
+"""Huffman decoder workload — a maximally control-dominated kernel.
+
+The paper's motivation is "control intensive applications which are
+part of a typical reactive system" whose branches depend directly on
+input data (Figure 2).  A bit-serial Huffman decoder is the archetype:
+every decoded bit drives a 50/50, input-data-dependent branch that no
+history-based predictor can learn.  This module provides the golden
+model (static canonical code, tree construction, bit-exact
+encode/decode) used by the ``huffman_dec.s`` assembly workload.
+
+The alphabet is 16 symbols (PCM samples quantized to 4 bits), with
+canonical code lengths chosen to satisfy Kraft equality exactly, so the
+code tree is a full binary tree with 15 internal nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: symbols in decreasing expected frequency (quantized speech is
+#: concentrated around the midpoint 8)
+_FREQ_ORDER = [8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15, 0]
+
+#: canonical code lengths in that order; Kraft sum is exactly 1
+_LENGTHS = [2, 2, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 14]
+
+#: flag marking a leaf entry in the flattened tree
+LEAF_FLAG = 0x100
+
+
+def code_table() -> Dict[int, Tuple[int, int]]:
+    """symbol -> (code value, code length), canonical assignment.
+
+    Codes are built most-significant-bit-first in the usual canonical
+    way; the bitstream stores each code MSB-first.
+    """
+    pairs = sorted(zip(_LENGTHS, _FREQ_ORDER))
+    table: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = pairs[0][0]
+    for length, symbol in pairs:
+        code <<= (length - prev_len)
+        table[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return table
+
+
+def build_tree() -> List[int]:
+    """Flatten the code tree into ``[left0, right0, left1, right1...]``.
+
+    Entry values are either an internal-node index, or
+    ``LEAF_FLAG | symbol``.  Node 0 is the root.  The result is exactly
+    what ``huffman_dec.s`` carries in its ``.data`` segment.
+    """
+    table = code_table()
+    # build as dict-of-children first
+    children: List[List[int]] = [[-1, -1]]   # node 0 = root
+    for symbol, (code, length) in sorted(table.items()):
+        node = 0
+        for i in range(length - 1, -1, -1):
+            bit = (code >> i) & 1
+            if i == 0:
+                children[node][bit] = LEAF_FLAG | symbol
+            else:
+                child = children[node][bit]
+                if child == -1 or child & LEAF_FLAG:
+                    children.append([-1, -1])
+                    child = len(children) - 1
+                    children[node][bit] = child
+                node = child
+    flat: List[int] = []
+    for left, right in children:
+        if left == -1 or right == -1:
+            raise AssertionError("code tree is not full; Kraft violated")
+        flat.extend([left, right])
+    return flat
+
+
+def quantize(pcm: Sequence[int]) -> List[int]:
+    """16-level quantization of int16 PCM (the symbol stream)."""
+    return [min(15, max(0, (s + 32768) >> 12)) for s in pcm]
+
+
+def huffman_encode(symbols: Sequence[int]) -> List[int]:
+    """Encode symbols into a byte stream (bits LSB-first per byte).
+
+    LSB-first packing matches the assembly decoder's
+    ``(byte >> bitpos) & 1`` extraction.
+    """
+    table = code_table()
+    out: List[int] = []
+    acc = 0
+    nbits = 0
+    for sym in symbols:
+        code, length = table[sym & 0xF]
+        for i in range(length - 1, -1, -1):     # MSB of the code first
+            acc |= ((code >> i) & 1) << nbits
+            nbits += 1
+            if nbits == 8:
+                out.append(acc)
+                acc = 0
+                nbits = 0
+    if nbits:
+        out.append(acc)
+    return out
+
+
+def huffman_decode(stream: Sequence[int], n_symbols: int) -> List[int]:
+    """Golden decoder: walk the tree bit by bit (mirrors the assembly)."""
+    tree = build_tree()
+    out: List[int] = []
+    byte_index = 0
+    bitpos = 8                # force initial refill, like the assembly
+    current = 0
+    for _ in range(n_symbols):
+        node = 0
+        while True:
+            if bitpos == 8:
+                current = stream[byte_index]
+                byte_index += 1
+                bitpos = 0
+            bit = (current >> bitpos) & 1
+            bitpos += 1
+            value = tree[2 * node + bit]
+            if value & LEAF_FLAG:
+                out.append(value & 0xFF)
+                break
+            node = value
+    return out

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.workloads.inputs import speech_like, step_pattern
+
+
+@pytest.fixture(scope="session")
+def small_pcm():
+    """A short speech-like stimulus shared by workload tests."""
+    return speech_like(160, seed=7)
+
+
+@pytest.fixture(scope="session")
+def step_pcm():
+    return step_pattern(160, seed=8)
+
+
+COUNT_LOOP = """
+.text
+main:
+    li   r4, 10
+    li   r5, 0
+loop:
+    addu r5, r5, r4
+    addi r4, r4, -1
+    bnez r4, loop
+    halt
+"""
+
+
+@pytest.fixture()
+def count_loop_program():
+    """Sums 10..1 into r5 (=55): the simplest looping program."""
+    return assemble(COUNT_LOOP)
+
+
+FOLD_DEMO = """
+.data
+arr: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+.text
+main:
+    la   r4, arr
+    li   r5, 10
+    li   r6, 0
+loop:
+    lw   r2, 0(r4)
+    andi r9, r2, 1
+    addi r4, r4, 4
+    addu r6, r6, r2
+    addi r5, r5, -1
+    sll  r0, r0, 0
+    sll  r0, r0, 0
+br1:
+    beqz r9, even
+    addi r6, r6, 100
+even:
+    addu r6, r6, r0
+    bnez r5, loop
+    halt
+"""
+
+
+@pytest.fixture()
+def fold_demo_program():
+    """A loop with one fold-friendly branch labelled ``br1``.
+
+    Sums 1..10 plus 100 per odd element: r6 == 555 at halt.
+    """
+    return assemble(FOLD_DEMO)

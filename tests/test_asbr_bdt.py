@@ -1,0 +1,120 @@
+"""Unit and property tests for the Branch Direction Table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asbr.bdt import BranchDirectionTable
+from repro.isa.alu import to_unsigned
+from repro.isa.conditions import Condition, evaluate_condition
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestPowerOn:
+    def test_matches_zeroed_registers(self):
+        """Power-on bits must agree with the architectural reset value,
+        or a branch on a never-written register folds the wrong way
+        (regression test for a real bug found by differential testing)."""
+        bdt = BranchDirectionTable()
+        for reg in range(32):
+            for cond in Condition:
+                assert bdt.lookup(reg, cond) == evaluate_condition(cond, 0)
+
+    def test_all_valid_initially(self):
+        bdt = BranchDirectionTable()
+        assert all(e.valid for e in bdt.entries)
+
+
+class TestProtocol:
+    def test_acquire_invalidates(self):
+        bdt = BranchDirectionTable()
+        bdt.acquire(5)
+        assert bdt.lookup(5, Condition.EQZ) is None
+        assert bdt.lookup(6, Condition.EQZ) is not None
+
+    def test_release_revalidates_with_new_bits(self):
+        bdt = BranchDirectionTable()
+        bdt.acquire(5)
+        bdt.release(5, to_unsigned(-3))
+        assert bdt.lookup(5, Condition.LTZ) is True
+        assert bdt.lookup(5, Condition.GEZ) is False
+
+    def test_nested_producers(self):
+        bdt = BranchDirectionTable()
+        bdt.acquire(5)
+        bdt.acquire(5)
+        bdt.release(5, 1)
+        assert bdt.lookup(5, Condition.GTZ) is None    # one still in flight
+        bdt.release(5, to_unsigned(-1))
+        assert bdt.lookup(5, Condition.LTZ) is True    # youngest wins
+
+    def test_cancel_keeps_old_bits(self):
+        bdt = BranchDirectionTable()
+        bdt.set_value(5, 7)
+        bdt.acquire(5)
+        bdt.cancel(5)
+        assert bdt.lookup(5, Condition.GTZ) is True
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            BranchDirectionTable().release(3, 0)
+
+    def test_cancel_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            BranchDirectionTable().cancel(3)
+
+    def test_counter_overflow_detected(self):
+        bdt = BranchDirectionTable(counter_bits=2)
+        for _ in range(3):
+            bdt.acquire(1)
+        with pytest.raises(OverflowError):
+            bdt.acquire(1)
+
+    def test_reset(self):
+        bdt = BranchDirectionTable()
+        bdt.acquire(2)
+        bdt.reset()
+        assert bdt.lookup(2, Condition.EQZ) is True
+
+
+class TestBits:
+    @given(U32)
+    def test_bits_match_evaluate_condition(self, value):
+        bdt = BranchDirectionTable()
+        bdt.set_value(9, value)
+        for cond in Condition:
+            assert bdt.lookup(9, cond) == evaluate_condition(cond, value)
+
+    @given(st.lists(U32, min_size=1, max_size=10))
+    def test_last_release_wins(self, values):
+        bdt = BranchDirectionTable(counter_bits=5)
+        for v in values:
+            bdt.acquire(4)
+        for v in values:
+            bdt.release(4, v)
+        for cond in Condition:
+            assert bdt.lookup(4, cond) == \
+                evaluate_condition(cond, values[-1])
+
+
+class TestHardware:
+    def test_state_bits(self):
+        bdt = BranchDirectionTable(num_regs=32, counter_bits=3)
+        assert bdt.state_bits == 32 * (6 + 3)
+
+    def test_figure8_shape(self):
+        """Paper Figure 8: a 4-register BDT with != 0 and <= 0 columns."""
+        bdt = BranchDirectionTable(num_regs=4)
+        bdt.set_value(0, 0)
+        bdt.set_value(1, 5)
+        bdt.set_value(2, to_unsigned(-2))
+        bdt.set_value(3, 1)
+        nez = [bdt.lookup(r, Condition.NEZ) for r in range(4)]
+        lez = [bdt.lookup(r, Condition.LEZ) for r in range(4)]
+        assert nez == [False, True, True, True]
+        assert lez == [True, False, True, False]
+
+    def test_repr_shows_busy(self):
+        bdt = BranchDirectionTable()
+        bdt.acquire(7)
+        assert "7" in repr(bdt)

@@ -1,0 +1,206 @@
+"""Unit tests for the Branch Identification Table and branch-info
+extraction."""
+
+import pytest
+
+from repro.asbr.bit import (
+    BankedBIT,
+    BITS_PER_ENTRY,
+    BranchIdentificationTable,
+)
+from repro.asbr.branch_info import (
+    FoldabilityError,
+    extract_branch_info,
+    extract_many,
+)
+from repro.asm import assemble
+from repro.isa.conditions import Condition
+from repro.isa.encoding import decode
+
+
+@pytest.fixture()
+def prog():
+    return assemble("""
+    .data
+    v: .word 3
+    .text
+    main:
+        la   r4, v
+        lw   r2, 0(r4)
+        nop
+        nop
+        nop
+    br_a:
+        bgtz r2, pos
+        addi r3, r3, 1
+    pos:
+        addi r3, r3, 2
+    br_b:
+        beq  r2, r0, fin
+        addi r3, r3, 4
+    fin:
+        addu r3, r3, r0
+    br_two_reg:
+        bne  r2, r3, out
+        nop
+    out:
+        halt
+    """)
+
+
+class TestExtraction:
+    def test_basic_fields(self, prog):
+        pc = prog.labels["br_a"]
+        info = extract_branch_info(prog, pc)
+        assert info.pc == pc
+        assert info.condition is Condition.GTZ
+        assert info.cond_reg == 2
+        assert info.bta == prog.labels["pos"]
+        assert decode(info.bti_word).op == "addi"
+        assert decode(info.bfi_word).op == "addi"
+
+    def test_bti_is_instruction_at_target(self, prog):
+        info = extract_branch_info(prog, prog.labels["br_a"])
+        assert info.bti_word == prog.words[prog.index_of(info.bta)]
+
+    def test_bfi_is_fall_through(self, prog):
+        pc = prog.labels["br_a"]
+        info = extract_branch_info(prog, pc)
+        assert info.bfi_word == prog.words[prog.index_of(pc + 4)]
+
+    def test_beq_with_r0_is_zero_comparison(self, prog):
+        info = extract_branch_info(prog, prog.labels["br_b"])
+        assert info.condition is Condition.EQZ
+        assert info.cond_reg == 2
+
+    def test_two_register_compare_rejected(self, prog):
+        with pytest.raises(FoldabilityError, match="zero comparison"):
+            extract_branch_info(prog, prog.labels["br_two_reg"])
+
+    def test_non_branch_rejected(self, prog):
+        with pytest.raises(FoldabilityError, match="not a conditional"):
+            extract_branch_info(prog, prog.labels["main"])
+
+    def test_r0_predicate_rejected(self):
+        p = assemble(".text\nmain: beqz r0, t\nnop\nt: nop\nhalt\n")
+        with pytest.raises(FoldabilityError, match="r0"):
+            extract_branch_info(p, p.pc_of(0))
+
+    def test_control_bti_rejected(self):
+        p = assemble("""
+        .text
+        main: bnez r1, t
+              nop
+        t:    j main
+              halt
+        """)
+        with pytest.raises(FoldabilityError, match="control"):
+            extract_branch_info(p, p.pc_of(0))
+
+    def test_control_bfi_rejected(self):
+        p = assemble("""
+        .text
+        main: bnez r1, t
+              b main
+        t:    nop
+              halt
+        """)
+        with pytest.raises(FoldabilityError, match="control"):
+            extract_branch_info(p, p.pc_of(0))
+
+    def test_halt_replacement_rejected(self):
+        p = assemble(".text\nmain: bnez r1, t\nhalt\nt: nop\nhalt\n")
+        with pytest.raises(FoldabilityError):
+            extract_branch_info(p, p.pc_of(0))
+
+    def test_missing_fall_through_rejected(self):
+        p = assemble(".text\nmain: nop\nt: bnez r1, t\n")
+        with pytest.raises(FoldabilityError, match="fall-through"):
+            extract_branch_info(p, p.pc_of(1))
+
+    def test_extract_many_order(self, prog):
+        pcs = [prog.labels["br_b"], prog.labels["br_a"]]
+        infos = extract_many(prog, pcs)
+        assert [i.pc for i in infos] == pcs
+
+    def test_describe_mentions_label(self, prog):
+        info = extract_branch_info(prog, prog.labels["br_a"])
+        assert "pos" in info.describe(prog)
+
+
+class TestBIT:
+    def test_load_and_lookup(self, prog):
+        bit = BranchIdentificationTable(capacity=4)
+        info = extract_branch_info(prog, prog.labels["br_a"])
+        bit.load([info])
+        entry = bit.lookup(info.pc)
+        assert entry is not None
+        assert entry.bta == info.bta
+        assert entry.bti.op == "addi"
+        assert bit.lookup(info.pc + 4) is None
+
+    def test_capacity_enforced(self, prog):
+        bit = BranchIdentificationTable(capacity=1)
+        infos = extract_many(prog, [prog.labels["br_a"],
+                                    prog.labels["br_b"]])
+        with pytest.raises(ValueError, match="capacity"):
+            bit.load(infos)
+
+    def test_duplicate_pc_rejected(self, prog):
+        info = extract_branch_info(prog, prog.labels["br_a"])
+        bit = BranchIdentificationTable(capacity=4)
+        with pytest.raises(ValueError, match="duplicate"):
+            bit.load([info, info])
+
+    def test_reload_replaces(self, prog):
+        bit = BranchIdentificationTable(capacity=4)
+        a = extract_branch_info(prog, prog.labels["br_a"])
+        b = extract_branch_info(prog, prog.labels["br_b"])
+        bit.load([a])
+        bit.load([b])
+        assert bit.lookup(a.pc) is None
+        assert bit.lookup(b.pc) is not None
+
+    def test_len_and_iter(self, prog):
+        bit = BranchIdentificationTable(capacity=4)
+        bit.load(extract_many(prog, [prog.labels["br_a"]]))
+        assert len(bit) == 1
+        assert [e.pc for e in bit] == [prog.labels["br_a"]]
+
+    def test_state_bits(self):
+        assert BranchIdentificationTable(16).state_bits == \
+            16 * BITS_PER_ENTRY
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BranchIdentificationTable(0)
+
+
+class TestBankedBIT:
+    def test_active_bank_only(self, prog):
+        banked = BankedBIT(num_banks=2, capacity=4)
+        a = extract_branch_info(prog, prog.labels["br_a"])
+        b = extract_branch_info(prog, prog.labels["br_b"])
+        banked.load_bank(0, [a])
+        banked.load_bank(1, [b])
+        assert banked.lookup(a.pc) is not None
+        assert banked.lookup(b.pc) is None
+        banked.select_bank(1)
+        assert banked.lookup(a.pc) is None
+        assert banked.lookup(b.pc) is not None
+
+    def test_switch_count(self):
+        banked = BankedBIT(num_banks=3)
+        banked.select_bank(1)
+        banked.select_bank(1)     # no-op switch not counted
+        banked.select_bank(2)
+        assert banked.switches == 2
+
+    def test_bad_bank_rejected(self):
+        with pytest.raises(ValueError):
+            BankedBIT(num_banks=2).select_bank(5)
+
+    def test_state_scales_with_banks(self):
+        one = BankedBIT(num_banks=1, capacity=8).state_bits
+        two = BankedBIT(num_banks=2, capacity=8).state_bits
+        assert two == 2 * one

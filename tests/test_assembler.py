@@ -1,0 +1,303 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.program import DATA_BASE, TEXT_BASE
+from repro.isa.encoding import decode
+
+
+def one(src):
+    """Assemble a single-instruction .text body and return the instr."""
+    prog = assemble(".text\n" + src + "\n")
+    assert len(prog.instrs) >= 1
+    return prog.instrs[0]
+
+
+class TestBasicInstructions:
+    def test_three_reg(self):
+        i = one("add r3, r1, r2")
+        assert (i.op, i.rd, i.rs, i.rt) == ("add", 3, 1, 2)
+
+    def test_immediate(self):
+        i = one("addi r5, r4, -7")
+        assert (i.op, i.rt, i.rs, i.imm) == ("addi", 5, 4, -7)
+
+    def test_hex_immediate(self):
+        assert one("ori r1, r0, 0xFF").imm == 255
+
+    def test_memory_operand(self):
+        i = one("lw r8, 12(r4)")
+        assert (i.op, i.rt, i.rs, i.imm) == ("lw", 8, 4, 12)
+
+    def test_memory_operand_negative(self):
+        assert one("sw r8, -4(sp)").imm == -4
+
+    def test_memory_operand_no_offset(self):
+        assert one("lw r8, (r4)").imm == 0
+
+    def test_shift(self):
+        i = one("sll r2, r3, 5")
+        assert (i.rd, i.rs, i.shamt) == (2, 3, 5)
+
+    def test_aliases_accepted(self):
+        i = one("addu $v0, $a0, t3")
+        assert (i.rd, i.rs, i.rt) == (2, 4, 11)
+
+    def test_case_insensitive_mnemonic(self):
+        assert one("ADDU r1, r2, r3").op == "addu"
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self):
+        prog = assemble("""
+        .text
+        top: addi r1, r1, 1
+             bnez r1, top
+             halt
+        """)
+        br = prog.instrs[1]
+        assert br.branch_target(prog.pc_of(1)) == prog.labels["top"]
+
+    def test_forward_branch(self):
+        prog = assemble("""
+        .text
+        main: beqz r1, out
+              addi r2, r2, 1
+        out:  halt
+        """)
+        br = prog.instrs[0]
+        assert br.branch_target(prog.pc_of(0)) == prog.labels["out"]
+
+    def test_jump_absolute(self):
+        prog = assemble("""
+        .text
+        main: j fin
+              addi r1, r1, 1
+        fin:  halt
+        """)
+        assert prog.instrs[0].jump_target(prog.pc_of(0)) == \
+            prog.labels["fin"]
+
+    def test_label_on_own_line(self):
+        prog = assemble(".text\nalone:\n    halt\n")
+        assert prog.labels["alone"] == prog.pc_of(0)
+
+    def test_multiple_labels_same_address(self):
+        prog = assemble(".text\na:\nb: halt\n")
+        assert prog.labels["a"] == prog.labels["b"]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble(".text\nx: halt\nx: halt\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble(".text\nb nowhere\n")
+
+    def test_label_plus_offset(self):
+        prog = assemble("""
+        .data
+        tab: .word 1, 2, 3
+        .text
+        main: lw r1, 0(r0)
+              halt
+        """)
+        # %lo of tab+8 via la
+        prog2 = assemble("""
+        .data
+        tab: .word 1, 2, 3
+        .text
+        main: la r1, tab+8
+              halt
+        """)
+        lo = prog2.instrs[1].imm
+        assert lo == ((prog.labels["tab"] + 8) & 0xFFFF)
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        i = one("nop")
+        assert (i.op, i.rd, i.rs, i.shamt) == ("sll", 0, 0, 0)
+
+    def test_move(self):
+        i = one("move r5, r6")
+        assert (i.op, i.rd, i.rs, i.rt) == ("addu", 5, 6, 0)
+
+    def test_not(self):
+        i = one("not r5, r6")
+        assert (i.op, i.rd, i.rs, i.rt) == ("nor", 5, 6, 0)
+
+    def test_neg(self):
+        i = one("neg r5, r6")
+        assert (i.op, i.rd, i.rs, i.rt) == ("subu", 5, 0, 6)
+
+    def test_subi(self):
+        i = one("subi r5, r6, 10")
+        assert (i.op, i.imm) == ("addi", -10)
+
+    def test_b_unconditional(self):
+        prog = assemble(".text\nmain: b main\n")
+        i = prog.instrs[0]
+        assert (i.op, i.rs, i.rt) == ("beq", 0, 0)
+
+    def test_li_small_positive(self):
+        i = one("li r4, 100")
+        assert (i.op, i.imm) == ("addiu", 100)
+
+    def test_li_small_negative(self):
+        i = one("li r4, -5")
+        assert (i.op, i.imm) == ("addiu", -5)
+
+    def test_li_16bit_unsigned(self):
+        i = one("li r4, 0xFFFF")
+        assert (i.op, i.imm) == ("ori", 0xFFFF)
+
+    def test_li_32bit(self):
+        prog = assemble(".text\nli r4, 0x12345678\nhalt\n")
+        assert prog.instrs[0].op == "lui"
+        assert prog.instrs[1].op == "ori"
+        # execute mentally: (0x1234 << 16) | 0x5678
+        assert prog.instrs[0].imm == 0x1234
+        assert prog.instrs[1].imm == 0x5678
+
+    def test_li_32bit_zero_low(self):
+        prog = assemble(".text\nli r4, 0x20000\nhalt\n")
+        assert prog.instrs[0].op == "lui"
+        assert len(prog.instrs) == 3  # fixed two-instruction expansion
+
+    def test_la_two_instructions(self):
+        prog = assemble(".data\nv: .word 0\n.text\nla r4, v\nhalt\n")
+        assert prog.instrs[0].op == "lui"
+        assert prog.instrs[1].op == "ori"
+        addr = (prog.instrs[0].imm << 16) | prog.instrs[1].imm
+        assert addr == prog.labels["v"]
+
+    @pytest.mark.parametrize("mnem,ops,expect", [
+        ("blt", "r1, r2, t", ("slt", "bnez")),
+        ("bgt", "r1, r2, t", ("slt", "bnez")),
+        ("ble", "r1, r2, t", ("slt", "beqz")),
+        ("bge", "r1, r2, t", ("slt", "beqz")),
+    ])
+    def test_compare_branches(self, mnem, ops, expect):
+        prog = assemble(".text\nmain: %s %s\nt: halt\n" % (mnem, ops))
+        assert prog.instrs[0].op == expect[0]
+        assert prog.instrs[1].op == expect[1]
+        assert prog.instrs[0].rd == 1  # uses $at
+
+    def test_blt_semantics(self):
+        # blt r1, r2: slt at, r1, r2 ; bnez at
+        prog = assemble(".text\nmain: blt r1, r2, t\nt: halt\n")
+        slt = prog.instrs[0]
+        assert (slt.rs, slt.rt) == (1, 2)
+
+    def test_bgt_swaps_operands(self):
+        prog = assemble(".text\nmain: bgt r1, r2, t\nt: halt\n")
+        slt = prog.instrs[0]
+        assert (slt.rs, slt.rt) == (2, 1)
+
+
+class TestDataDirectives:
+    def test_word_values(self):
+        prog = assemble(".data\nv: .word 1, -2, 0x30\n")
+        base = prog.labels["v"]
+        assert prog.data[base] == 1
+        assert prog.data[base + 4] == 0xFFFFFFFE
+        assert prog.data[base + 8] == 0x30
+
+    def test_half_packing_little_endian(self):
+        prog = assemble(".data\nv: .half 0x1122, 0x3344\n")
+        assert prog.data[prog.labels["v"]] == 0x33441122
+
+    def test_byte_packing(self):
+        prog = assemble(".data\nv: .byte 1, 2, 3, 4\n")
+        assert prog.data[prog.labels["v"]] == 0x04030201
+
+    def test_space_zero_filled(self):
+        prog = assemble(".data\nv: .space 8\nw: .word 9\n")
+        assert prog.labels["w"] == prog.labels["v"] + 8
+        assert prog.data[prog.labels["v"]] == 0
+
+    def test_align(self):
+        prog = assemble(".data\na: .byte 1\n.align 2\nb: .word 5\n")
+        assert prog.labels["b"] % 4 == 0
+
+    def test_asciiz(self):
+        prog = assemble('.data\ns: .asciiz "Hi"\n')
+        word = prog.data[prog.labels["s"]]
+        assert word & 0xFF == ord("H")
+        assert (word >> 8) & 0xFF == ord("i")
+        assert (word >> 16) & 0xFF == 0
+
+    def test_word_label_reference(self):
+        prog = assemble("""
+        .data
+        ptr: .word tgt
+        tgt: .word 42
+        """)
+        assert prog.data[prog.labels["ptr"]] == prog.labels["tgt"]
+
+    def test_data_label_addresses(self):
+        prog = assemble(".data\nfirst: .word 1\nsecond: .word 2\n")
+        assert prog.labels["first"] == DATA_BASE
+        assert prog.labels["second"] == DATA_BASE + 4
+
+    def test_directive_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.word 5\n")
+
+
+class TestErrorsAndMeta:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".text\nfrob r1, r2\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblerError, match="operands"):
+            assemble(".text\nadd r1, r2\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble(".text\nadd r1, r2, r99\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble(".text\nnop\nbogus r1\n")
+
+    def test_comments_stripped(self):
+        prog = assemble(".text\nnop # comment\nnop ; also\nhalt\n")
+        assert len(prog.instrs) == 3
+
+    def test_entry_defaults_to_main(self):
+        prog = assemble(".text\nnop\nmain: halt\n")
+        assert prog.entry == prog.labels["main"]
+
+    def test_entry_falls_back_to_text_base(self):
+        prog = assemble(".text\nhalt\n")
+        assert prog.entry == TEXT_BASE
+
+    def test_source_map(self):
+        prog = assemble(".text\nnop\nhalt\n")
+        loc = prog.source_map[prog.pc_of(1)]
+        assert loc.text == "halt"
+
+    def test_words_match_instrs(self):
+        prog = assemble(".text\naddi r1, r0, 3\nhalt\n")
+        assert [decode(w) for w in prog.words] == prog.instrs
+
+    def test_address_taken_tracks_la(self):
+        prog = assemble("""
+        .data
+        v: .word 0
+        .text
+        main: la r4, v
+        lab:  halt
+        """)
+        assert "v" in prog.address_taken
+        assert "lab" not in prog.address_taken
+
+    def test_disassemble_contains_labels(self):
+        prog = assemble(".text\nmain: nop\nhalt\n")
+        text = prog.disassemble()
+        assert "main:" in text
+        assert "halt" in text

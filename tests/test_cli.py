@@ -1,0 +1,108 @@
+"""Tests for the command-line toolchain."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ASM_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src",
+                       "repro", "workloads", "asm")
+ADPCM_ENC = os.path.join(ASM_DIR, "adpcm_enc.s")
+
+
+@pytest.fixture()
+def tiny_program(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+.text
+main:
+    li   r4, 5
+    li   r5, 0
+loop:
+    addu r5, r5, r4
+    addi r4, r4, -1
+    sll  r0, r0, 0
+    sll  r0, r0, 0
+br:
+    bnez r4, loop
+    halt
+""")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sim_defaults(self):
+        args = build_parser().parse_args(["sim", "x.s"])
+        assert args.predictor == "bimodal-2048"
+        assert args.bdt_update == "execute"
+        assert not args.asbr
+
+    def test_bad_bdt_update_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sim", "x.s", "--bdt-update", "id"])
+
+    def test_experiments_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "fig99"])
+
+
+class TestCommands:
+    def test_asm_hex(self, tiny_program, capsys):
+        assert main(["asm", tiny_program]) == 0
+        out = capsys.readouterr().out
+        assert "00400000:" in out
+
+    def test_asm_disasm(self, tiny_program, capsys):
+        assert main(["asm", tiny_program, "--disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "bnez" in out
+
+    def test_run(self, tiny_program, capsys):
+        assert main(["run", tiny_program]) == 0
+        out = capsys.readouterr().out
+        assert "retired" in out
+        r5_lines = [ln for ln in out.splitlines() if "r5" in ln]
+        assert r5_lines and "15" in r5_lines[0]   # r5 = 5+4+3+2+1
+
+    def test_sim_plain(self, tiny_program, capsys):
+        assert main(["sim", tiny_program, "--predictor",
+                     "not-taken"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "CPI" in out
+
+    def test_sim_with_asbr_folds(self, tiny_program, capsys):
+        assert main(["sim", tiny_program, "--asbr"]) == 0
+        captured = capsys.readouterr()
+        assert "branches folded" in captured.out
+        assert "selected" in captured.err
+
+    def test_profile(self, tiny_program, capsys):
+        assert main(["profile", tiny_program]) == 0
+        out = capsys.readouterr().out
+        assert "br" in out          # the labelled branch appears
+        assert "foldable" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "adpcm_enc", "--samples", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs match golden model: True" in out
+
+    def test_workload_with_asbr(self, capsys):
+        assert main(["workload", "huffman_dec", "--samples", "60",
+                     "--asbr", "--predictor", "bimodal-512-512"]) == 0
+        out = capsys.readouterr().out
+        assert "branches folded" in out
+        assert "outputs match golden model: True" in out
+
+    def test_sim_real_workload_source(self, capsys):
+        assert main(["sim", ADPCM_ENC, "--predictor", "not-taken"]) == 0
+
+    def test_experiments_fig9(self, capsys):
+        assert main(["experiments", "fig9", "--samples", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Branches selected for adpcm_enc" in out

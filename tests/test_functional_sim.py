@@ -1,0 +1,192 @@
+"""Unit tests for the functional (golden) simulator."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.program import STACK_TOP
+from repro.isa.alu import to_unsigned
+from repro.sim.functional import (
+    FunctionalSimulator,
+    SimulationError,
+    collect_branch_trace,
+)
+
+
+def run(src, **kw):
+    sim = FunctionalSimulator(assemble(".text\nmain:\n" + src))
+    sim.run(**kw)
+    return sim
+
+
+class TestArithmetic:
+    def test_simple_sum(self):
+        sim = run("li r1, 2\nli r2, 3\naddu r3, r1, r2\nhalt\n")
+        assert sim.regs[3] == 5
+
+    def test_negative_values(self):
+        sim = run("li r1, -4\nli r2, 3\nadd r3, r1, r2\nhalt\n")
+        assert sim.regs[3] == to_unsigned(-1)
+
+    def test_lui_ori_compose(self):
+        sim = run("lui r1, 0x1234\nori r1, r1, 0x5678\nhalt\n")
+        assert sim.regs[1] == 0x12345678
+
+    def test_slt(self):
+        sim = run("li r1, -1\nslt r2, r1, r0\nsltu r3, r1, r0\nhalt\n")
+        assert sim.regs[2] == 1
+        assert sim.regs[3] == 0
+
+    def test_writes_to_r0_dropped(self):
+        sim = run("li r0, 55\nhalt\n")
+        assert sim.regs[0] == 0
+
+    def test_variable_shift(self):
+        sim = run("li r1, 1\nli r2, 4\nsllv r3, r1, r2\nhalt\n")
+        assert sim.regs[3] == 16
+
+
+class TestMemoryOps:
+    def test_store_load_word(self):
+        sim = run("li r1, 0x1234\nsw r1, -8(sp)\nlw r2, -8(sp)\nhalt\n")
+        assert sim.regs[2] == 0x1234
+
+    def test_lh_sign_extends(self):
+        sim = run("li r1, 0x8000\nsh r1, -8(sp)\nlh r2, -8(sp)\n"
+                  "lhu r3, -8(sp)\nhalt\n")
+        assert sim.regs[2] == 0xFFFF8000
+        assert sim.regs[3] == 0x8000
+
+    def test_byte_ops(self):
+        sim = run("li r1, 0x1FF\nsb r1, -8(sp)\nlbu r2, -8(sp)\n"
+                  "lb r3, -8(sp)\nhalt\n")
+        assert sim.regs[2] == 0xFF
+        assert sim.regs[3] == 0xFFFFFFFF
+
+    def test_data_segment_loaded(self):
+        prog = assemble("""
+        .data
+        v: .word 77
+        .text
+        main: la r1, v
+              lw r2, 0(r1)
+              halt
+        """)
+        sim = FunctionalSimulator(prog)
+        sim.run()
+        assert sim.regs[2] == 77
+
+    def test_sp_initialised(self):
+        sim = FunctionalSimulator(assemble(".text\nhalt\n"))
+        assert sim.regs[29] == STACK_TOP
+
+
+class TestControlFlow:
+    def test_loop_sum(self, count_loop_program):
+        sim = FunctionalSimulator(count_loop_program)
+        sim.run()
+        assert sim.regs[5] == 55
+
+    def test_branch_not_taken_falls_through(self):
+        sim = run("li r1, 1\nbeqz r1, skip\nli r2, 9\nskip: halt\n")
+        assert sim.regs[2] == 9
+
+    def test_jal_jr_call(self):
+        prog = assemble("""
+        .text
+        main:
+            jal fn
+            addi r2, r2, 1
+            halt
+        fn:
+            li r2, 10
+            jr ra
+        """)
+        sim = FunctionalSimulator(prog)
+        sim.run()
+        assert sim.regs[2] == 11
+        assert sim.regs[31] == prog.pc_of(1)
+
+    def test_jalr_links(self):
+        prog = assemble("""
+        .text
+        main:
+            la r9, fn
+            jalr r10, r9
+            halt
+        fn:
+            li r2, 5
+            jr r10
+        """)
+        sim = FunctionalSimulator(prog)
+        sim.run()
+        assert sim.regs[2] == 5
+
+    def test_two_register_beq(self):
+        sim = run("li r1, 4\nli r2, 4\nbeq r1, r2, eq\nli r3, 1\n"
+                  "eq: halt\n")
+        assert sim.regs[3] == 0
+
+
+class TestHaltAndErrors:
+    def test_halt_stops(self):
+        sim = run("halt\nli r1, 1\n")
+        assert sim.halted
+        assert sim.regs[1] == 0
+
+    def test_step_after_halt_raises(self):
+        sim = run("halt\n")
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_budget_exhausted(self):
+        with pytest.raises(SimulationError, match="budget"):
+            run("spin: b spin\nhalt\n", max_instructions=100)
+
+    def test_instructions_retired_counted(self):
+        sim = run("nop\nnop\nhalt\n")
+        assert sim.instructions_retired == 3
+
+    def test_ctl_writes_recorded(self):
+        sim = run("ctlw 3\nctlw 1\nhalt\n")
+        assert sim.ctl_writes == [3, 1]
+
+
+class TestBranchOutcome:
+    def test_matches_execution(self, fold_demo_program):
+        sim = FunctionalSimulator(fold_demo_program)
+        while not sim.halted:
+            instr = sim.program.instr_at(sim.pc)
+            if instr.is_branch:
+                predicted = sim.branch_outcome(instr)
+                pc = sim.pc
+                sim.execute(instr)
+                actually_taken = sim.pc == instr.branch_target(pc)
+                if instr.branch_target(pc) != pc + 4:
+                    assert predicted == actually_taken
+            else:
+                sim.execute(instr)
+
+    def test_rejects_non_branch(self):
+        sim = FunctionalSimulator(assemble(".text\nhalt\n"))
+        from repro.isa.instruction import Instruction
+        with pytest.raises(ValueError):
+            sim.branch_outcome(Instruction("add"))
+
+
+class TestTraceCollection:
+    def test_counts_and_outcomes(self, count_loop_program):
+        trace = collect_branch_trace(count_loop_program)
+        assert len(trace) == 10            # bnez executed 10 times
+        assert sum(r.taken for r in trace) == 9
+        assert not trace[-1].taken
+
+    def test_records_target(self, count_loop_program):
+        trace = collect_branch_trace(count_loop_program)
+        loop_pc = count_loop_program.labels["loop"]
+        assert all(r.target == loop_pc for r in trace)
+
+    def test_observer_hook(self, count_loop_program):
+        seen = []
+        sim = FunctionalSimulator(count_loop_program)
+        sim.run(observer=lambda pc, instr, nxt: seen.append(pc))
+        assert len(seen) == sim.instructions_retired

@@ -1,0 +1,95 @@
+"""End-to-end integration: the full paper flow on a real workload.
+
+profile -> replay predictors -> select -> extract -> load BIT -> run the
+pipeline with ASBR -> verify outputs, cycle savings and statistics.
+"""
+
+import pytest
+
+from repro.asbr import ASBRUnit
+from repro.predictors import evaluate_on_trace, make_predictor
+from repro.profiling import BranchProfiler, select_branches
+from repro.sim.functional import collect_branch_trace
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def flow():
+    """Run the complete flow once for ADPCM encode."""
+    wl = get_workload("adpcm_enc")
+    from repro.workloads.inputs import speech_like
+    pcm = speech_like(250, seed=17)
+    stream = wl.input_stream(pcm)
+
+    profile = BranchProfiler().profile(wl.program, wl.build_memory(stream))
+    trace = collect_branch_trace(wl.program, wl.build_memory(stream))
+    accuracy = evaluate_on_trace(make_predictor("bimodal-2048"), trace)
+    selection = select_branches(profile, accuracy, bit_capacity=16,
+                                bdt_update="execute")
+    unit = ASBRUnit.from_branch_infos(selection.infos,
+                                      bdt_update="execute")
+    baseline = wl.run_pipeline(pcm, predictor=make_predictor("bimodal-2048"))
+    asbr_run = wl.run_pipeline(pcm,
+                               predictor=make_predictor("bimodal-512-512"),
+                               asbr=unit)
+    return dict(wl=wl, pcm=pcm, profile=profile, trace=trace,
+                accuracy=accuracy, selection=selection, unit=unit,
+                baseline=baseline, asbr=asbr_run)
+
+
+class TestFlow:
+    def test_selection_found_the_marked_branches(self, flow):
+        prog = flow["wl"].program
+        marked = {prog.labels[n] for n in
+                  ("br_sign", "br_bit2", "br_bit1", "br_bit0")}
+        assert marked <= flow["selection"].pcs
+
+    def test_selected_are_hard_to_predict(self, flow):
+        for sel in flow["selection"].selected:
+            assert sel.accuracy < 0.9
+
+    def test_outputs_bit_exact_under_asbr(self, flow):
+        assert flow["asbr"].outputs == \
+            flow["wl"].golden_output(flow["pcm"])
+
+    def test_cycles_improve_materially(self, flow):
+        base = flow["baseline"].stats.cycles
+        asbr = flow["asbr"].stats.cycles
+        improvement = 1 - asbr / base
+        # the paper reports 22% for ADPCM encode with bi-512
+        assert improvement > 0.08
+
+    def test_folds_dominate_selected_executions(self, flow):
+        total_selected_execs = sum(s.stats.count
+                                   for s in flow["selection"].selected)
+        assert flow["asbr"].stats.folds_committed > \
+            0.8 * total_selected_execs
+
+    def test_committed_instructions_reduced(self, flow):
+        assert flow["asbr"].stats.committed < \
+            flow["baseline"].stats.committed
+
+    def test_fewer_wrong_path_instructions(self, flow):
+        """The paper's power argument: fewer instructions go through
+        the pipeline at all."""
+        base = flow["baseline"].stats
+        asbr = flow["asbr"].stats
+        assert asbr.fetched < base.fetched
+
+    def test_aux_predictor_accuracy_improves(self, flow):
+        """Removing folded branches from the predictor's stream must
+        leave it with the predictable rest (paper Section 6)."""
+        remaining = evaluate_on_trace(make_predictor("bimodal-512-512"),
+                                      flow["trace"],
+                                      skip_pcs=flow["selection"].pcs)
+        assert remaining.accuracy > flow["accuracy"].accuracy
+
+    def test_asbr_hardware_cheaper_than_displaced_tables(self, flow):
+        unit_bits = flow["unit"].state_bits
+        saved = (make_predictor("bimodal-2048").state_bits
+                 - make_predictor("bimodal-512-512").state_bits)
+        assert unit_bits < saved
+
+    def test_invalid_fallbacks_rare(self, flow):
+        stats = flow["unit"].stats
+        assert stats.invalid_fallbacks < 0.05 * max(stats.attempts, 1)

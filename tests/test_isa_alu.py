@@ -1,0 +1,165 @@
+"""Unit and property tests for the shared ALU semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.alu import (
+    MASK32,
+    alu_execute,
+    load_value,
+    sign_extend_16,
+    to_signed,
+    to_unsigned,
+)
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+S32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestSignConversion:
+    @given(U32)
+    def test_roundtrip(self, v):
+        assert to_unsigned(to_signed(v)) == v
+
+    @given(S32)
+    def test_signed_roundtrip(self, v):
+        assert to_signed(to_unsigned(v)) == v
+
+    def test_boundaries(self):
+        assert to_signed(0x7FFFFFFF) == 2147483647
+        assert to_signed(0x80000000) == -2147483648
+        assert to_signed(0xFFFFFFFF) == -1
+
+
+class TestArith:
+    def test_add_wraps(self):
+        assert alu_execute("add", 0xFFFFFFFF, 1) == 0
+        assert alu_execute("addu", 0x80000000, 0x80000000) == 0
+
+    def test_sub_wraps(self):
+        assert alu_execute("sub", 0, 1) == 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_add_sub_inverse(self, a, b):
+        assert alu_execute("sub", alu_execute("add", a, b), b) == a
+
+    @given(U32, U32)
+    def test_add_commutative(self, a, b):
+        assert alu_execute("add", a, b) == alu_execute("add", b, a)
+
+    def test_mul_signed(self):
+        assert alu_execute("mul", to_unsigned(-3), 5) == to_unsigned(-15)
+
+    @given(S32, S32)
+    def test_mul_matches_python_low_bits(self, a, b):
+        got = alu_execute("mul", to_unsigned(a), to_unsigned(b))
+        assert got == (a * b) & MASK32
+
+
+class TestLogic:
+    @given(U32, U32)
+    def test_de_morgan(self, a, b):
+        nor = alu_execute("nor", a, b)
+        assert nor == (~(a | b)) & MASK32
+
+    @given(U32)
+    def test_xor_self_is_zero(self, a):
+        assert alu_execute("xor", a, a) == 0
+
+    @given(U32)
+    def test_or_identity(self, a):
+        assert alu_execute("or", a, 0) == a
+
+
+class TestShifts:
+    def test_sll(self):
+        assert alu_execute("sll", 1, 31) == 0x80000000
+        assert alu_execute("sll", 3, 1) == 6
+
+    def test_srl_is_logical(self):
+        assert alu_execute("srl", 0x80000000, 31) == 1
+
+    def test_sra_is_arithmetic(self):
+        assert alu_execute("sra", 0x80000000, 31) == 0xFFFFFFFF
+        assert alu_execute("sra", to_unsigned(-8), 1) == to_unsigned(-4)
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_sra_matches_floor_division(self, a, sh):
+        # arithmetic shift right == floor division by 2**sh
+        assert to_signed(alu_execute("sra", a, sh)) == to_signed(a) >> sh
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_shift_amount_masked(self, a, sh):
+        assert alu_execute("sll", a, sh + 32) == alu_execute("sll", a, sh)
+
+
+class TestCompare:
+    def test_slt_signed(self):
+        assert alu_execute("slt", to_unsigned(-1), 0) == 1
+        assert alu_execute("slt", 0, to_unsigned(-1)) == 0
+
+    def test_sltu_unsigned(self):
+        assert alu_execute("sltu", to_unsigned(-1), 0) == 0
+        assert alu_execute("sltu", 0, to_unsigned(-1)) == 1
+
+    @given(S32, S32)
+    def test_slt_matches_python(self, a, b):
+        got = alu_execute("slt", to_unsigned(a), to_unsigned(b))
+        assert got == int(a < b)
+
+
+class TestDivRem:
+    def test_div_truncates_toward_zero(self):
+        assert to_signed(alu_execute("div", to_unsigned(-7), 2)) == -3
+        assert to_signed(alu_execute("div", 7, to_unsigned(-2))) == -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert to_signed(alu_execute("rem", to_unsigned(-7), 2)) == -1
+        assert to_signed(alu_execute("rem", 7, to_unsigned(-2))) == 1
+
+    def test_div_by_zero_defined(self):
+        assert alu_execute("div", 5, 0) == 0
+        assert alu_execute("rem", 5, 0) == 0
+
+    @given(S32, S32.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        q = to_signed(alu_execute("div", to_unsigned(a), to_unsigned(b)))
+        r = to_signed(alu_execute("rem", to_unsigned(a), to_unsigned(b)))
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+class TestMisc:
+    def test_lui(self):
+        assert alu_execute("lui", 0, 0x1234) == 0x12340000
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            alu_execute("frobnicate", 1, 2)
+
+    def test_sign_extend_16(self):
+        assert sign_extend_16(0x7FFF) == 32767
+        assert sign_extend_16(0x8000) == -32768
+        assert sign_extend_16(0xFFFF) == -1
+
+
+class TestLoadValue:
+    def test_lb_sign_extends(self):
+        assert load_value("lb", 0x80) == 0xFFFFFF80
+        assert load_value("lb", 0x7F) == 0x7F
+
+    def test_lbu_zero_extends(self):
+        assert load_value("lbu", 0x80) == 0x80
+
+    def test_lh_sign_extends(self):
+        assert load_value("lh", 0x8000) == 0xFFFF8000
+
+    def test_lhu_zero_extends(self):
+        assert load_value("lhu", 0x8000) == 0x8000
+
+    def test_lw_passthrough(self):
+        assert load_value("lw", 0xDEADBEEF) == 0xDEADBEEF
+
+    def test_non_load_raises(self):
+        with pytest.raises(ValueError):
+            load_value("sw", 0)

@@ -1,0 +1,79 @@
+"""Unit and property tests for zero-comparison conditions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.alu import to_signed, to_unsigned
+from repro.isa.conditions import (
+    Condition,
+    all_condition_bits,
+    evaluate_condition,
+)
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("value,expected", [
+        (0, {Condition.EQZ: True, Condition.NEZ: False,
+             Condition.LTZ: False, Condition.LEZ: True,
+             Condition.GTZ: False, Condition.GEZ: True}),
+        (1, {Condition.EQZ: False, Condition.NEZ: True,
+             Condition.LTZ: False, Condition.LEZ: False,
+             Condition.GTZ: True, Condition.GEZ: True}),
+        (to_unsigned(-1), {Condition.EQZ: False, Condition.NEZ: True,
+                           Condition.LTZ: True, Condition.LEZ: True,
+                           Condition.GTZ: False, Condition.GEZ: False}),
+    ])
+    def test_known_values(self, value, expected):
+        for cond, want in expected.items():
+            assert evaluate_condition(cond, value) is want
+
+    def test_msb_means_negative(self):
+        assert evaluate_condition(Condition.LTZ, 0x80000000)
+        assert not evaluate_condition(Condition.GEZ, 0x80000000)
+
+    def test_max_positive(self):
+        assert evaluate_condition(Condition.GTZ, 0x7FFFFFFF)
+
+
+class TestNegation:
+    @pytest.mark.parametrize("cond", list(Condition))
+    def test_negation_involutive(self, cond):
+        assert cond.negation.negation is cond
+
+    @given(U32, st.sampled_from(list(Condition)))
+    def test_negation_complements(self, value, cond):
+        assert evaluate_condition(cond, value) != \
+            evaluate_condition(cond.negation, value)
+
+
+class TestAllBits:
+    @given(U32)
+    def test_matches_pointwise(self, value):
+        bits = all_condition_bits(value)
+        for cond in Condition:
+            assert bits[cond] == evaluate_condition(cond, value)
+
+    @given(U32)
+    def test_trichotomy(self, value):
+        bits = all_condition_bits(value)
+        # exactly one of <0, ==0, >0
+        assert [bits[Condition.LTZ], bits[Condition.EQZ],
+                bits[Condition.GTZ]].count(True) == 1
+
+    @given(U32)
+    def test_compound_bits(self, value):
+        bits = all_condition_bits(value)
+        assert bits[Condition.LEZ] == (bits[Condition.LTZ]
+                                       or bits[Condition.EQZ])
+        assert bits[Condition.GEZ] == (bits[Condition.GTZ]
+                                       or bits[Condition.EQZ])
+        assert bits[Condition.NEZ] == (not bits[Condition.EQZ])
+
+    @given(U32)
+    def test_agrees_with_signed_interpretation(self, value):
+        s = to_signed(value)
+        bits = all_condition_bits(value)
+        assert bits[Condition.LTZ] == (s < 0)
+        assert bits[Condition.GTZ] == (s > 0)

@@ -1,0 +1,111 @@
+"""Round-trip and error tests for the 32-bit binary encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, decode_program, \
+    encode, encode_program
+from repro.isa.instruction import Instruction, nop
+from repro.isa.opcodes import SPECS
+
+REG = st.integers(min_value=0, max_value=31)
+SHAMT = st.integers(min_value=0, max_value=31)
+SIMM = st.integers(min_value=-32768, max_value=32767)
+UIMM = st.integers(min_value=0, max_value=0xFFFF)
+TARGET = st.integers(min_value=0, max_value=(1 << 26) - 1)
+
+_R_SPECS = sorted(n for n, s in SPECS.items() if s.fmt == "R")
+_I_SPECS_S = sorted(n for n, s in SPECS.items()
+                    if s.fmt == "I" and s.signed_imm)
+_I_SPECS_U = sorted(n for n, s in SPECS.items()
+                    if s.fmt == "I" and not s.signed_imm)
+_J_SPECS = sorted(n for n, s in SPECS.items() if s.fmt == "J")
+
+
+class TestRoundTrip:
+    @given(st.sampled_from(_R_SPECS), REG, REG, REG, SHAMT)
+    def test_r_format(self, op, rd, rs, rt, shamt):
+        i = Instruction(op, rd=rd, rs=rs, rt=rt, shamt=shamt)
+        assert decode(encode(i)) == i
+
+    @given(st.sampled_from(_I_SPECS_S), REG, REG, SIMM)
+    def test_i_format_signed(self, op, rs, rt, imm):
+        i = Instruction(op, rs=rs, rt=rt, imm=imm)
+        assert decode(encode(i)) == i
+
+    @given(st.sampled_from(_I_SPECS_U), REG, REG, UIMM)
+    def test_i_format_unsigned(self, op, rs, rt, imm):
+        i = Instruction(op, rs=rs, rt=rt, imm=imm)
+        assert decode(encode(i)) == i
+
+    @given(st.sampled_from(_J_SPECS), TARGET)
+    def test_j_format(self, op, target):
+        i = Instruction(op, target=target)
+        assert decode(encode(i)) == i
+
+    def test_nop_encodes_to_zero(self):
+        assert encode(nop()) == 0
+
+    def test_zero_decodes_to_nop(self):
+        assert decode(0).op == "sll"
+
+
+class TestKnownEncodings:
+    def test_addiu(self):
+        # opcode 0x09, rs=0, rt=5, imm=8
+        word = encode(Instruction("addiu", rt=5, rs=0, imm=8))
+        assert word == (0x09 << 26) | (0 << 21) | (5 << 16) | 8
+
+    def test_negative_imm_two_complement(self):
+        word = encode(Instruction("addi", rt=1, rs=1, imm=-1))
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_r_format_fields(self):
+        word = encode(Instruction("add", rd=3, rs=1, rt=2))
+        assert (word >> 26) == 0
+        assert (word >> 21) & 0x1F == 1
+        assert (word >> 16) & 0x1F == 2
+        assert (word >> 11) & 0x1F == 3
+        assert word & 0x3F == 0x20
+
+
+class TestErrors:
+    def test_imm_overflow_signed(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rt=1, rs=1, imm=40000))
+
+    def test_imm_negative_for_unsigned(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("ori", rt=1, rs=1, imm=-1))
+
+    def test_register_out_of_range(self):
+        i = Instruction("add")
+        i.rd = 32
+        with pytest.raises(EncodingError):
+            encode(i)
+
+    def test_decode_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26)
+
+    def test_decode_unknown_funct(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F)   # opcode 0, funct 0x3F unused
+
+    def test_decode_error_message_has_word(self):
+        with pytest.raises(EncodingError, match="0xfc000000"):
+            decode(0x3F << 26)
+
+
+class TestPrograms:
+    def test_encode_decode_program(self):
+        instrs = [Instruction("addiu", rt=1, rs=0, imm=5),
+                  Instruction("bnez", rs=1, imm=-1),
+                  Instruction("halt")]
+        words = encode_program(instrs)
+        assert decode_program(words) == instrs
+
+    def test_every_mnemonic_roundtrips_default(self):
+        for name in SPECS:
+            i = Instruction(name)
+            assert decode(encode(i)).op == name

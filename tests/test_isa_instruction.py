@@ -1,0 +1,171 @@
+"""Unit tests for the Instruction object: operands, classification,
+branch predicates and control-flow targets."""
+
+import pytest
+
+from repro.isa.conditions import Condition
+from repro.isa.instruction import Instruction, nop
+from repro.isa.opcodes import Kind, SPECS, spec_for
+
+
+class TestConstruction:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(KeyError):
+            Instruction("nonsense")
+
+    def test_spec_attached(self):
+        assert Instruction("add").spec is spec_for("add")
+
+    def test_nop_is_sll_zero(self):
+        n = nop()
+        assert n.op == "sll"
+        assert n.rd == 0 and n.rs == 0 and n.shamt == 0
+
+
+class TestClassification:
+    @pytest.mark.parametrize("op", ["beq", "bne", "blez", "bgtz", "bltz",
+                                    "bgez", "beqz", "bnez"])
+    def test_branches(self, op):
+        assert Instruction(op).is_branch
+        assert Instruction(op).is_control
+
+    @pytest.mark.parametrize("op", ["j", "jal", "jr", "jalr"])
+    def test_jumps_are_control_not_branch(self, op):
+        i = Instruction(op)
+        assert i.is_control
+        assert not i.is_branch
+
+    @pytest.mark.parametrize("op", ["lw", "lh", "lhu", "lb", "lbu"])
+    def test_loads(self, op):
+        assert Instruction(op).is_load
+        assert not Instruction(op).is_store
+
+    @pytest.mark.parametrize("op", ["sw", "sh", "sb"])
+    def test_stores(self, op):
+        assert Instruction(op).is_store
+        assert not Instruction(op).is_load
+
+    def test_alu_not_control(self):
+        assert not Instruction("add").is_control
+
+
+class TestRegisterUsage:
+    def test_alu_rrr(self):
+        i = Instruction("add", rd=3, rs=1, rt=2)
+        assert i.dest_reg == 3
+        assert i.src_regs == [1, 2]
+
+    def test_shift_immediate(self):
+        i = Instruction("sll", rd=4, rs=5, shamt=2)
+        assert i.dest_reg == 4
+        assert i.src_regs == [5]
+
+    def test_alu_rri(self):
+        i = Instruction("addi", rt=7, rs=6, imm=1)
+        assert i.dest_reg == 7
+        assert i.src_regs == [6]
+
+    def test_lui(self):
+        i = Instruction("lui", rt=9, imm=4)
+        assert i.dest_reg == 9
+        assert i.src_regs == []
+
+    def test_load(self):
+        i = Instruction("lw", rt=8, rs=4, imm=0)
+        assert i.dest_reg == 8
+        assert i.src_regs == [4]
+
+    def test_store_reads_both(self):
+        i = Instruction("sw", rt=8, rs=4, imm=0)
+        assert i.dest_reg is None
+        assert sorted(i.src_regs) == [4, 8]
+
+    def test_branch_cmp_reads_both(self):
+        i = Instruction("beq", rs=1, rt=2)
+        assert i.dest_reg is None
+        assert i.src_regs == [1, 2]
+
+    def test_branch_z_reads_rs(self):
+        i = Instruction("bltz", rs=3)
+        assert i.src_regs == [3]
+
+    def test_jal_writes_ra(self):
+        assert Instruction("jal").dest_reg == 31
+
+    def test_jalr_writes_rd_reads_rs(self):
+        i = Instruction("jalr", rd=2, rs=9)
+        assert i.dest_reg == 2
+        assert i.src_regs == [9]
+
+    def test_jr_reads_rs(self):
+        i = Instruction("jr", rs=31)
+        assert i.dest_reg is None
+        assert i.src_regs == [31]
+
+    def test_halt_touches_nothing(self):
+        i = Instruction("halt")
+        assert i.dest_reg is None
+        assert i.src_regs == []
+
+
+class TestZeroCondition:
+    @pytest.mark.parametrize("op,cond", [
+        ("blez", Condition.LEZ), ("bgtz", Condition.GTZ),
+        ("bltz", Condition.LTZ), ("bgez", Condition.GEZ),
+        ("beqz", Condition.EQZ), ("bnez", Condition.NEZ),
+    ])
+    def test_branch_z(self, op, cond):
+        i = Instruction(op, rs=5)
+        assert i.zero_condition == (cond, 5)
+
+    def test_beq_with_r0_rt(self):
+        assert Instruction("beq", rs=4, rt=0).zero_condition == \
+            (Condition.EQZ, 4)
+
+    def test_bne_with_r0_rs(self):
+        assert Instruction("bne", rs=0, rt=6).zero_condition == \
+            (Condition.NEZ, 6)
+
+    def test_two_register_compare_is_not_zero_cond(self):
+        assert Instruction("beq", rs=1, rt=2).zero_condition is None
+
+    def test_non_branch_is_none(self):
+        assert Instruction("add").zero_condition is None
+
+
+class TestTargets:
+    def test_branch_target_forward(self):
+        i = Instruction("beqz", rs=1, imm=3)
+        assert i.branch_target(0x400000) == 0x400000 + 4 + 12
+
+    def test_branch_target_backward(self):
+        i = Instruction("bnez", rs=1, imm=-2)
+        assert i.branch_target(0x400010) == 0x40000C
+
+    def test_jump_target(self):
+        i = Instruction("j", target=(0x400020 >> 2))
+        assert i.jump_target(0x400000) == 0x400020
+
+    def test_jump_keeps_high_nibble(self):
+        i = Instruction("j", target=1)
+        assert i.jump_target(0x10000000) == 0x10000004
+
+
+class TestRender:
+    def test_alu(self):
+        assert str(Instruction("add", rd=3, rs=1, rt=2)) == "add r3, r1, r2"
+
+    def test_memory(self):
+        assert str(Instruction("lw", rt=8, rs=29, imm=-4)) == "lw r8, -4(r29)"
+
+    def test_branch_with_pc(self):
+        i = Instruction("bnez", rs=1, imm=-2)
+        assert "0x40000c" in i.render(0x400010)
+
+    def test_halt_bare(self):
+        assert str(Instruction("halt")) == "halt"
+
+    def test_every_spec_renders(self):
+        for name in SPECS:
+            text = Instruction(name).render(0x400000)
+            assert text.startswith(name)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.isa.registers."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_ALIASES,
+    RegisterFile,
+    reg_name,
+    reg_num,
+)
+
+
+class TestRegNum:
+    def test_numeric_names(self):
+        for i in range(NUM_REGS):
+            assert reg_num("r%d" % i) == i
+
+    def test_dollar_numeric(self):
+        assert reg_num("$5") == 5
+
+    def test_conventional_aliases(self):
+        assert reg_num("zero") == 0
+        assert reg_num("at") == 1
+        assert reg_num("v0") == 2
+        assert reg_num("a0") == 4
+        assert reg_num("t0") == 8
+        assert reg_num("s0") == 16
+        assert reg_num("t8") == 24
+        assert reg_num("k0") == 26
+        assert reg_num("gp") == 28
+        assert reg_num("sp") == 29
+        assert reg_num("fp") == 30
+        assert reg_num("ra") == 31
+
+    def test_dollar_aliases(self):
+        assert reg_num("$sp") == 29
+        assert reg_num("$ra") == 31
+
+    def test_case_and_whitespace(self):
+        assert reg_num("  T3 ") == 11
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            reg_num("r32")
+        with pytest.raises(KeyError):
+            reg_num("bogus")
+
+    def test_alias_table_is_total(self):
+        covered = set(REG_ALIASES.values())
+        assert covered == set(range(NUM_REGS))
+
+
+class TestRegName:
+    def test_roundtrip(self):
+        for i in range(NUM_REGS):
+            assert reg_num(reg_name(i)) == i
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(32)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        rf = RegisterFile()
+        assert all(rf[i] == 0 for i in range(NUM_REGS))
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write(5, 1234)
+        assert rf.read(5) == 1234
+        rf[6] = 99
+        assert rf[6] == 99
+
+    def test_r0_hardwired(self):
+        rf = RegisterFile()
+        rf.write(0, 42)
+        assert rf[0] == 0
+        rf[0] = 7
+        assert rf[0] == 0
+
+    def test_truncates_to_32_bits(self):
+        rf = RegisterFile()
+        rf.write(1, 0x1_2345_6789)
+        assert rf[1] == 0x2345_6789
+        rf.write(2, -1)
+        assert rf[2] == 0xFFFFFFFF
+
+    def test_snapshot_is_a_copy(self):
+        rf = RegisterFile()
+        rf.write(3, 5)
+        snap = rf.snapshot()
+        rf.write(3, 6)
+        assert snap[3] == 5
+        assert rf[3] == 6
+
+    def test_load_restores(self):
+        rf = RegisterFile()
+        rf.write(4, 77)
+        snap = rf.snapshot()
+        rf2 = RegisterFile()
+        rf2.load(snap)
+        assert rf2[4] == 77
+
+    def test_load_forces_r0_zero(self):
+        values = [9] * NUM_REGS
+        rf = RegisterFile()
+        rf.load(values)
+        assert rf[0] == 0
+        assert rf[1] == 9
+
+    def test_load_wrong_length(self):
+        with pytest.raises(ValueError):
+            RegisterFile().load([0] * 3)
+
+    def test_repr_mentions_nonzero(self):
+        rf = RegisterFile()
+        rf.write(7, 3)
+        assert "r7=3" in repr(rf)

@@ -1,0 +1,161 @@
+"""Unit and property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(**kw):
+    args = dict(size_bytes=256, block_bytes=16, assoc=2,
+                miss_penalty=8, writeback_penalty=2)
+    args.update(kw)
+    return Cache(CacheConfig(**args))
+
+
+class TestConfig:
+    def test_default_matches_paper(self):
+        c = CacheConfig()
+        assert c.size_bytes == 8192
+
+    def test_num_sets(self):
+        assert CacheConfig(size_bytes=256, block_bytes=16,
+                           assoc=2).num_sets == 8
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3000)
+        with pytest.raises(ValueError):
+            CacheConfig(block_bytes=24)
+        with pytest.raises(ValueError):
+            CacheConfig(assoc=3)
+
+    def test_size_divisibility(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, block_bytes=64, assoc=2)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0x100) == 8
+        assert c.access(0x100) == 0
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+
+    def test_same_block_hits(self):
+        c = small_cache()
+        c.access(0x100)
+        assert c.access(0x10F) == 0    # same 16-byte block
+
+    def test_adjacent_block_misses(self):
+        c = small_cache()
+        c.access(0x100)
+        assert c.access(0x110) == 8
+
+    def test_contains(self):
+        c = small_cache()
+        assert not c.contains(0x100)
+        c.access(0x100)
+        assert c.contains(0x100)
+
+    def test_contains_does_not_touch_lru(self):
+        c = small_cache(assoc=2)
+        # fill a set with A and B (A is LRU)
+        c.access(0x000)
+        c.access(0x100)
+        c.contains(0x000)       # must NOT refresh A
+        c.access(0x200)         # evicts A
+        assert not c.contains(0x000)
+        assert c.contains(0x100)
+
+
+class TestLRUAndEviction:
+    def test_lru_eviction_order(self):
+        c = small_cache(assoc=2)   # 8 sets; set = (addr>>4) & 7
+        a, b, d = 0x000, 0x100, 0x200   # all map to set 0
+        c.access(a)
+        c.access(b)
+        c.access(a)      # a is now MRU
+        c.access(d)      # evicts b
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_dirty_writeback_charged(self):
+        c = small_cache(assoc=1)
+        c.access(0x000, is_write=True)
+        penalty = c.access(0x100)      # evicts dirty block
+        assert penalty == 8 + 2
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_not_charged(self):
+        c = small_cache(assoc=1)
+        c.access(0x000, is_write=False)
+        assert c.access(0x100) == 8
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = small_cache(assoc=1)
+        c.access(0x000)                 # clean fill
+        c.access(0x004, is_write=True)  # write hit dirties it
+        penalty = c.access(0x100)
+        assert penalty == 10
+
+    def test_flush_counts_dirty(self):
+        c = small_cache()
+        c.access(0x000, is_write=True)
+        c.access(0x100, is_write=False)
+        assert c.flush() == 1
+        assert not c.contains(0x000)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        c = small_cache()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        c = small_cache()
+        c.access(0)
+        c.stats.reset()
+        assert c.stats.accesses == 0
+
+    def test_state_bits_positive(self):
+        assert small_cache().state_bits > 0
+
+
+class _RefCache:
+    """Reference model: per-set list in LRU order."""
+
+    def __init__(self, num_sets, assoc, block_bytes):
+        self.sets = [[] for _ in range(num_sets)]
+        self.assoc = assoc
+        self.shift = block_bytes.bit_length() - 1
+        self.mask = num_sets - 1
+
+    def access(self, addr):
+        block = addr >> self.shift
+        way = self.sets[block & self.mask]
+        hit = block in way
+        if hit:
+            way.remove(block)
+        elif len(way) >= self.assoc:
+            way.pop(0)
+        way.append(block)
+        return hit
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=0x7FF), min_size=1,
+                max_size=300))
+def test_hit_miss_sequence_matches_reference(addrs):
+    """The cache's hit/miss behaviour equals a straightforward LRU model."""
+    c = small_cache()
+    ref = _RefCache(c.config.num_sets, c.config.assoc, c.config.block_bytes)
+    for a in addrs:
+        got_hit = c.access(a) == 0
+        assert got_hit == ref.access(a)

@@ -1,0 +1,120 @@
+"""Unit and property tests for MainMemory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.main_memory import MainMemory, MisalignedAccess
+
+ADDR = st.integers(min_value=0, max_value=0xFFFFFFF0)
+
+
+class TestWordAccess:
+    def test_default_zero(self):
+        assert MainMemory().read_word(0x1000) == 0
+
+    def test_write_read(self):
+        m = MainMemory()
+        m.write_word(0x1000, 0xDEADBEEF)
+        assert m.read_word(0x1000) == 0xDEADBEEF
+
+    def test_misaligned_rejected(self):
+        m = MainMemory()
+        with pytest.raises(MisalignedAccess):
+            m.read_word(0x1002)
+        with pytest.raises(MisalignedAccess):
+            m.write_word(0x1001, 1)
+
+    def test_truncates_to_32_bits(self):
+        m = MainMemory()
+        m.write_word(0, 0x1_0000_0001)
+        assert m.read_word(0) == 1
+
+
+class TestSubWordAccess:
+    def test_little_endian_bytes(self):
+        m = MainMemory()
+        m.write_word(0x100, 0x04030201)
+        assert [m.read(0x100 + i, 1) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_little_endian_halves(self):
+        m = MainMemory()
+        m.write_word(0x100, 0x33441122)
+        assert m.read(0x100, 2) == 0x1122
+        assert m.read(0x102, 2) == 0x3344
+
+    def test_byte_write_preserves_others(self):
+        m = MainMemory()
+        m.write_word(0x100, 0x44332211)
+        m.write(0x101, 0xAA, 1)
+        assert m.read_word(0x100) == 0x4433AA11
+
+    def test_half_write_preserves_other_half(self):
+        m = MainMemory()
+        m.write_word(0x100, 0x44332211)
+        m.write(0x102, 0xBEEF, 2)
+        assert m.read_word(0x100) == 0xBEEF2211
+
+    def test_half_misaligned_rejected(self):
+        m = MainMemory()
+        with pytest.raises(MisalignedAccess):
+            m.read(0x101, 2)
+        with pytest.raises(MisalignedAccess):
+            m.write(0x103, 1, 2)
+
+    def test_bad_size(self):
+        m = MainMemory()
+        with pytest.raises(ValueError):
+            m.read(0, 3)
+        with pytest.raises(ValueError):
+            m.write(0, 0, 8)
+
+    @given(ADDR, st.integers(min_value=0, max_value=0xFF))
+    def test_byte_roundtrip(self, addr, value):
+        m = MainMemory()
+        m.write(addr, value, 1)
+        assert m.read(addr, 1) == value
+
+    @given(ADDR.map(lambda a: a & ~1),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_half_roundtrip(self, addr, value):
+        m = MainMemory()
+        m.write(addr, value, 2)
+        assert m.read(addr, 2) == value
+
+    @given(ADDR.map(lambda a: a & ~3),
+           st.lists(st.integers(min_value=0, max_value=0xFF),
+                    min_size=4, max_size=4))
+    def test_bytes_compose_into_word(self, addr, data):
+        m = MainMemory()
+        for i, b in enumerate(data):
+            m.write(addr + i, b, 1)
+        expect = data[0] | (data[1] << 8) | (data[2] << 16) | (data[3] << 24)
+        assert m.read_word(addr) == expect
+
+
+class TestBulk:
+    def test_load_words(self):
+        m = MainMemory()
+        m.load_words([(0, 1), (4, 2), (8, 3)])
+        assert m.read_block(0, 3) == [1, 2, 3]
+
+    def test_snapshot_is_copy(self):
+        m = MainMemory()
+        m.write_word(0, 5)
+        snap = m.snapshot()
+        m.write_word(0, 6)
+        assert snap[0] == 5
+
+    def test_copy_independent(self):
+        m = MainMemory()
+        m.write_word(0, 5)
+        c = m.copy()
+        c.write_word(0, 9)
+        assert m.read_word(0) == 5
+        assert c.read_word(0) == 9
+
+    def test_len_counts_touched_words(self):
+        m = MainMemory()
+        m.write_word(0, 1)
+        m.write(5, 1, 1)   # touches word at 4
+        assert len(m) == 2

@@ -1,0 +1,108 @@
+"""Unit tests for the activity-based energy model."""
+
+import pytest
+
+from repro.asbr import ASBRUnit, extract_branch_info
+from repro.asm import assemble
+from repro.power import EnergyParams, compare_energy, estimate_energy
+from repro.power.model import _access_energy
+from repro.predictors import BimodalPredictor, NotTakenPredictor
+from repro.sim.pipeline import PipelineSimulator
+
+
+@pytest.fixture()
+def run_demo(fold_demo_program):
+    def _run(predictor=None, asbr=None):
+        sim = PipelineSimulator(fold_demo_program, predictor=predictor,
+                                asbr=asbr)
+        sim.run()
+        return sim
+    return _run
+
+
+class TestModelBasics:
+    def test_components_positive(self, run_demo):
+        report = estimate_energy(run_demo())
+        assert report.total > 0
+        for name in ("pipeline", "icache", "dcache", "predictor",
+                     "leakage"):
+            assert report.components[name] >= 0
+
+    def test_pipeline_dominates(self, run_demo):
+        """With relative constants chosen as documented, pipeline
+        activity is the biggest consumer."""
+        report = estimate_energy(run_demo())
+        assert report.fraction("pipeline") > 0.3
+
+    def test_access_energy_scales_sublinearly(self):
+        p = EnergyParams()
+        small = _access_energy(1024, p)
+        big = _access_energy(4096, p)
+        assert big == pytest.approx(2 * small)   # sqrt scaling
+
+    def test_render(self, run_demo):
+        text = estimate_energy(run_demo()).render("demo")
+        assert "TOTAL" in text and "pipeline" in text
+
+    def test_no_asbr_component_without_unit(self, run_demo):
+        report = estimate_energy(run_demo())
+        assert "asbr" not in report.components
+
+
+class TestClaims:
+    def test_bigger_predictor_costs_more(self, run_demo):
+        small = estimate_energy(run_demo(BimodalPredictor(64, 64)))
+        big = estimate_energy(run_demo(BimodalPredictor(2048, 2048)))
+        assert big.components["predictor"] > small.components["predictor"]
+        assert big.components["leakage"] > small.components["leakage"]
+
+    def test_asbr_reduces_energy(self, fold_demo_program, run_demo):
+        """The paper's power claim on the demo loop: folding the hard
+        branch cuts pipeline activity and total energy."""
+        info = extract_branch_info(fold_demo_program,
+                                   fold_demo_program.labels["br1"])
+        unit = ASBRUnit.from_branch_infos([info], bdt_update="execute")
+        base = estimate_energy(run_demo(NotTakenPredictor()))
+        cust = estimate_energy(run_demo(NotTakenPredictor(), unit))
+        assert cust.components["pipeline"] < base.components["pipeline"]
+        assert compare_energy(base, cust) > 0
+
+    def test_wrong_path_work_charged(self):
+        """A mispredicting run burns more pipeline energy than a
+        perfectly-predicted one of the same committed length."""
+        taken_loop = assemble("""
+        .text
+        main:
+            li r1, 30
+        loop:
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        bad = PipelineSimulator(taken_loop, predictor=NotTakenPredictor())
+        bad.run()
+        good = PipelineSimulator(taken_loop,
+                                 predictor=BimodalPredictor(64, 64))
+        good.run()
+        e_bad = estimate_energy(bad)
+        e_good = estimate_energy(good)
+        assert bad.stats.squashed > good.stats.squashed
+        assert e_bad.components["pipeline"] > e_good.components["pipeline"]
+
+    def test_compare_energy_zero_baseline(self):
+        from repro.power import EnergyReport
+        assert compare_energy(EnergyReport(), EnergyReport()) == 0.0
+
+
+class TestEnergyExperiment:
+    def test_extension_e1_rows(self):
+        from repro.experiments import energy
+        from repro.experiments.common import ExperimentSetup
+        setup = ExperimentSetup(n_samples=120)
+        rows = energy.run(setup)
+        assert len(rows) == 4
+        for r in rows:
+            assert r.saving > 0                       # the power claim
+            assert r.customized_fetched < r.baseline_fetched
+        text = energy.render(rows)
+        assert "E1" in text

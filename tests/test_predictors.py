@@ -1,0 +1,286 @@
+"""Unit tests for the branch predictor zoo."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchTargetBuffer,
+    CombiningPredictor,
+    GSharePredictor,
+    NotTakenPredictor,
+    StaticPredictor,
+    evaluate_on_trace,
+    make_predictor,
+)
+from repro.sim.functional import BranchRecord
+
+PC = 0x400100
+TGT = 0x400200
+
+
+def train(pred, pc, outcomes, target=TGT):
+    for taken in outcomes:
+        pred.update(pc, taken, target)
+
+
+class TestNotTaken:
+    def test_always_not_taken(self):
+        p = NotTakenPredictor()
+        train(p, PC, [True] * 10)
+        assert not p.predict(PC).taken
+
+    def test_no_state(self):
+        assert NotTakenPredictor().state_bits == 0
+
+
+class TestAlwaysTaken:
+    def test_taken_without_target_until_trained(self):
+        p = AlwaysTakenPredictor(64)
+        pred = p.predict(PC)
+        assert pred.taken
+        assert pred.target is None
+        assert not pred.redirects
+
+    def test_btb_fills_on_taken(self):
+        p = AlwaysTakenPredictor(64)
+        p.update(PC, True, TGT)
+        pred = p.predict(PC)
+        assert pred.redirects
+        assert pred.target == TGT
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        b = BranchTargetBuffer(64)
+        assert b.lookup(PC) is None
+        b.insert(PC, TGT)
+        assert b.lookup(PC) == TGT
+
+    def test_alias_eviction(self):
+        b = BranchTargetBuffer(64)
+        b.insert(PC, TGT)
+        alias = PC + 64 * 4      # same index, different tag
+        b.insert(alias, 0x999)
+        assert b.lookup(PC) is None
+        assert b.lookup(alias) == 0x999
+
+    def test_tag_prevents_false_hit(self):
+        b = BranchTargetBuffer(64)
+        b.insert(PC, TGT)
+        assert b.lookup(PC + 64 * 4) is None
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(100)
+
+    def test_reset(self):
+        b = BranchTargetBuffer(64)
+        b.insert(PC, TGT)
+        b.reset()
+        assert b.lookup(PC) is None
+
+
+class TestBimodal:
+    def test_initialises_weakly_not_taken(self):
+        assert not BimodalPredictor(64, 64).predict(PC).taken
+
+    def test_learns_taken_after_one(self):
+        # power-on counters are weakly-not-taken (1): a single taken
+        # outcome moves them to weakly-taken (2)
+        p = BimodalPredictor(64, 64)
+        train(p, PC, [True])
+        assert p.predict(PC).taken
+
+    def test_saturates(self):
+        p = BimodalPredictor(64, 64)
+        train(p, PC, [True] * 10)
+        train(p, PC, [False])              # one NT cannot flip saturation
+        assert p.predict(PC).taken
+
+    def test_hysteresis_two_flips_needed(self):
+        p = BimodalPredictor(64, 64)
+        train(p, PC, [True] * 10 + [False, False])
+        assert not p.predict(PC).taken
+
+    def test_counter_aliasing_by_index(self):
+        p = BimodalPredictor(64, 64)
+        train(p, PC, [True, True])
+        alias = PC + 64 * 4
+        # PHT aliases (no tags): alias sees the same counter...
+        assert p.predict(alias).taken
+        # ...but the tagged BTB does not alias, so no redirect
+        assert p.predict(alias).target is None
+
+    def test_state_bits(self):
+        p = BimodalPredictor(2048, 2048)
+        assert p.state_bits == 2 * 2048 + p.btb.state_bits
+
+    def test_reset(self):
+        p = BimodalPredictor(64, 64)
+        train(p, PC, [True] * 4)
+        p.reset()
+        assert not p.predict(PC).taken
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        """T/NT alternation is invisible to bimodal, trivial for gshare."""
+        pattern = [True, False] * 64
+        g = GSharePredictor(history_bits=4, entries=256, btb_entries=64)
+        b = BimodalPredictor(256, 64)
+        g_correct = b_correct = 0
+        for taken in pattern:
+            g_correct += g.predict(PC).taken == taken
+            b_correct += b.predict(PC).taken == taken
+            g.update(PC, taken, TGT)
+            b.update(PC, taken, TGT)
+        assert g_correct > 110          # near-perfect after warm-up
+        assert b_correct < 80           # bimodal dithers
+
+    def test_history_width_validation(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=12, entries=2048)
+
+    def test_correlation_across_branches(self):
+        """Branch B repeats branch A's outcome; gshare exploits it."""
+        g = GSharePredictor(history_bits=4, entries=256, btb_entries=64)
+        import random
+        rng = random.Random(3)
+        correct = total = 0
+        for i in range(400):
+            a = rng.random() < 0.5
+            g.update(PC, a, TGT)           # branch A resolves
+            pred = g.predict(PC + 8)
+            correct += pred.taken == a     # B == A
+            total += 1
+            g.update(PC + 8, a, TGT + 8)
+        assert correct / total > 0.9
+
+    def test_reset_clears_history(self):
+        g = GSharePredictor(4, 64, btb_entries=64)
+        train(g, PC, [True] * 8)
+        g.reset()
+        assert not g.predict(PC).taken
+
+
+class TestStatic:
+    def test_follows_profile(self):
+        p = StaticPredictor({PC: True}, {PC: TGT})
+        assert p.predict(PC).redirects
+        assert not p.predict(PC + 4).taken   # unknown -> not taken
+
+    def test_updates_ignored(self):
+        p = StaticPredictor({PC: False}, {})
+        train(p, PC, [True] * 50)
+        assert not p.predict(PC).taken
+
+
+class TestCombining:
+    def test_beats_both_components_on_mixed_workload(self):
+        """Biased branch (bimodal-friendly) + alternating branch
+        (gshare-friendly): the tournament should do well on both."""
+        c = CombiningPredictor(entries=256, history_bits=4,
+                               btb_entries=64)
+        correct = total = 0
+        for i in range(300):
+            # branch 1: always taken
+            assert_taken = True
+            correct += c.predict(PC).taken == assert_taken
+            c.update(PC, assert_taken, TGT)
+            # branch 2: alternating
+            alt = bool(i % 2)
+            correct += c.predict(PC + 4).taken == alt
+            c.update(PC + 4, alt, TGT)
+            total += 2
+        assert correct / total > 0.9
+
+
+class TestEvaluate:
+    def _trace(self, outcomes, pc=PC):
+        return [BranchRecord(pc, t, TGT) for t in outcomes]
+
+    def test_accuracy_overall(self):
+        acc = evaluate_on_trace(NotTakenPredictor(),
+                                self._trace([False] * 7 + [True] * 3))
+        assert acc.accuracy == pytest.approx(0.7)
+        assert acc.total == 10
+
+    def test_per_pc_accuracy(self):
+        trace = self._trace([True] * 4) + self._trace([False] * 6, PC + 8)
+        acc = evaluate_on_trace(NotTakenPredictor(), trace)
+        assert acc.pc_accuracy(PC) == 0.0
+        assert acc.pc_accuracy(PC + 8) == 1.0
+        assert acc.pc_count(PC) == 4
+
+    def test_skip_pcs_removes_from_stream(self):
+        trace = self._trace([True] * 4) + self._trace([False] * 6, PC + 8)
+        acc = evaluate_on_trace(NotTakenPredictor(), trace,
+                                skip_pcs={PC})
+        assert acc.total == 6
+        assert acc.pc_count(PC) == 0
+
+    def test_skipping_hard_branch_removes_aliasing(self):
+        """Removing an aliasing branch from the stream rescues the
+        branches it destroys — the paper's aliasing argument
+        (Section 6, third bullet)."""
+        # two branches sharing one bimodal counter; the not-taken one
+        # executes twice per round and drags the counter down
+        p_entries = 16
+        hard_pc = PC
+        easy_pc = PC + p_entries * 4     # same PHT index
+        trace = []
+        for _ in range(200):
+            trace.append(BranchRecord(hard_pc, False, TGT))
+            trace.append(BranchRecord(hard_pc, False, TGT))
+            trace.append(BranchRecord(easy_pc, True, TGT))
+        base = evaluate_on_trace(BimodalPredictor(p_entries, 64), trace)
+        folded = evaluate_on_trace(BimodalPredictor(p_entries, 64), trace,
+                                   skip_pcs={hard_pc})
+        assert base.pc_accuracy(easy_pc) < 0.1      # destroyed by aliasing
+        assert folded.pc_accuracy(easy_pc) > 0.95   # rescued by folding
+
+    def test_direction_only_vs_target(self):
+        # predictor with stale BTB target: direction right, target wrong
+        p = BimodalPredictor(64, 64)
+        train(p, PC, [True, True])       # BTB holds TGT
+        trace = [BranchRecord(PC, True, 0x400999)]
+        dir_acc = evaluate_on_trace(p, trace, direction_only=True)
+        p.reset()
+        train(p, PC, [True, True])
+        full_acc = evaluate_on_trace(p, trace, direction_only=False)
+        assert dir_acc.accuracy == 1.0
+        assert full_acc.accuracy == 0.0
+
+
+class TestMakePredictor:
+    @pytest.mark.parametrize("spec,cls", [
+        ("not-taken", NotTakenPredictor),
+        ("always-taken", AlwaysTakenPredictor),
+        ("bimodal", BimodalPredictor),
+        ("bimodal-512", BimodalPredictor),
+        ("bimodal-512-512", BimodalPredictor),
+        ("gshare", GSharePredictor),
+        ("gshare-2048-11", GSharePredictor),
+        ("combining", CombiningPredictor),
+    ])
+    def test_specs(self, spec, cls):
+        assert isinstance(make_predictor(spec), cls)
+
+    def test_sizes_applied(self):
+        p = make_predictor("bimodal-512-256")
+        assert p.entries == 512
+        assert p.btb.entries == 256
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            make_predictor("neural-42")
+
+    def test_paper_configs_state_ordering(self):
+        """bi-256 < bi-512 < bimodal-2048 in hardware state."""
+        sizes = [make_predictor(s).state_bits
+                 for s in ("bimodal-256-512", "bimodal-512-512",
+                           "bimodal-2048")]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[2] / 3

@@ -1,0 +1,150 @@
+"""Unit tests for the branch profiler (counts, distances, foldability)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.profiling import BranchProfiler
+from repro.profiling.profiler import FAR_DISTANCE
+
+
+def profile(src):
+    prog = assemble(src)
+    return prog, BranchProfiler().profile(prog)
+
+
+class TestCounts:
+    def test_execution_and_taken_counts(self, count_loop_program):
+        result = BranchProfiler().profile(count_loop_program)
+        loop_br = count_loop_program.pc_of(4)   # the bnez
+        stats = result.branches[loop_br]
+        assert stats.count == 10
+        assert stats.taken == 9
+        assert stats.taken_rate == pytest.approx(0.9)
+
+    def test_total_instructions(self, count_loop_program):
+        result = BranchProfiler().profile(count_loop_program)
+        assert result.total_instructions == 33
+
+    def test_sorted_by_count(self, fold_demo_program):
+        result = BranchProfiler().profile(fold_demo_program)
+        counts = [b.count for b in result.sorted_by_count()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_total_branch_executions(self, fold_demo_program):
+        result = BranchProfiler().profile(fold_demo_program)
+        assert result.total_branch_executions == 20  # 2 branches x 10
+
+    def test_target_recorded(self, count_loop_program):
+        result = BranchProfiler().profile(count_loop_program)
+        stats = next(iter(result.branches.values()))
+        assert stats.target == count_loop_program.labels["loop"]
+
+
+class TestDistances:
+    def test_exact_distance(self):
+        _prog, result = profile("""
+.text
+main:
+    addiu r9, r0, 1
+    nop
+    nop
+br: bnez r9, out
+out: halt
+""")
+        stats = list(result.branches.values())[0]
+        assert stats.min_distance == 3
+
+    def test_min_over_paths(self):
+        """The same branch reached with different distances records the
+        minimum (the validity-relevant one)."""
+        _prog, result = profile("""
+.text
+main:
+    li   r5, 2
+loop:
+    addiu r9, r0, 1      # distance varies: first iter 5, second 2
+    nop
+    nop
+    nop
+br: bnez r9, cont
+cont:
+    addi r5, r5, -1
+    addiu r9, r0, 1
+    nop
+    bnez r5, br
+    halt
+""")
+        br_pc = _prog.labels["br"]
+        assert result.branches[br_pc].min_distance == 3
+
+    def test_unwritten_register_far(self):
+        _prog, result = profile("""
+.text
+main:
+    nop
+br: beqz r9, out
+out: halt
+""")
+        stats = list(result.branches.values())[0]
+        assert stats.min_distance >= FAR_DISTANCE // 2
+
+    def test_two_register_branch_no_distance(self):
+        _prog, result = profile("""
+.text
+main:
+    add r1, r2, r3
+br: beq r1, r3, out
+out: halt
+""")
+        stats = list(result.branches.values())[0]
+        assert stats.zero_cond is None
+        assert not stats.is_zero_comparison
+
+
+class TestFoldability:
+    @pytest.mark.parametrize("distance,execute,mem,commit", [
+        (2, 0, 0, 0),
+        (3, 1, 0, 0),
+        (4, 1, 1, 0),
+        (5, 1, 1, 1),
+    ])
+    def test_alu_producer_thresholds(self, distance, execute, mem, commit):
+        fillers = "\n".join("nop" for _ in range(distance - 1))
+        _prog, result = profile("""
+.text
+main:
+    addiu r9, r0, 1
+    %s
+br: bnez r9, out
+out: halt
+""" % fillers)
+        stats = list(result.branches.values())[0]
+        assert stats.foldable["execute"] == execute
+        assert stats.foldable["mem"] == mem
+        assert stats.foldable["commit"] == commit
+
+    def test_load_producer_penalised_under_execute(self):
+        _prog, result = profile("""
+.text
+main:
+    lw  r9, -8(sp)
+    nop
+    nop
+br: beqz r9, out
+out: halt
+""")
+        stats = list(result.branches.values())[0]
+        assert stats.min_distance == 3
+        assert stats.load_produced == 1
+        assert stats.foldable["execute"] == 0   # load acts like mem
+        assert stats.foldable["mem"] == 0
+
+    def test_fold_fraction(self, fold_demo_program):
+        result = BranchProfiler().profile(fold_demo_program)
+        br1 = fold_demo_program.labels["br1"]
+        assert result.branches[br1].fold_fraction("execute") == 1.0
+
+    def test_budget_guard(self):
+        prog = assemble(".text\nmain: b main\nhalt\n")
+        with pytest.raises(RuntimeError, match="budget"):
+            BranchProfiler(max_instructions=50).profile(prog)

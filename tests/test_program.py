@@ -1,0 +1,99 @@
+"""Unit tests for the Program image and its helpers."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.program import Program, SourceLoc
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+
+
+@pytest.fixture()
+def prog():
+    return assemble("""
+    .data
+    v: .word 5
+    .text
+    main:
+        la r4, v
+        lw r2, 0(r4)
+    here:
+        addi r2, r2, 1
+        halt
+    """)
+
+
+class TestAddressing:
+    def test_pc_of_index_of_roundtrip(self, prog):
+        for i in range(len(prog.instrs)):
+            assert prog.index_of(prog.pc_of(i)) == i
+
+    def test_text_end(self, prog):
+        assert prog.text_end == prog.text_base + 4 * len(prog.instrs)
+
+    def test_index_of_rejects_outside(self, prog):
+        with pytest.raises(ValueError):
+            prog.index_of(prog.text_end)
+        with pytest.raises(ValueError):
+            prog.index_of(prog.text_base - 4)
+
+    def test_index_of_rejects_misaligned(self, prog):
+        with pytest.raises(ValueError):
+            prog.index_of(prog.text_base + 2)
+
+    def test_instr_at(self, prog):
+        assert prog.instr_at(prog.labels["here"]).op == "addi"
+
+    def test_label_at(self, prog):
+        assert prog.label_at(prog.labels["here"]) == "here"
+        assert prog.label_at(prog.pc_of(1)) is None
+
+    def test_address_of_missing(self, prog):
+        with pytest.raises(KeyError):
+            prog.address_of("nope")
+
+
+class TestMutation:
+    def test_replace_instr_keeps_words_in_sync(self, prog):
+        new = Instruction("addiu", rt=9, rs=0, imm=7)
+        prog.replace_instr(0, new)
+        assert prog.instrs[0] == new
+        assert prog.words[0] == encode(new)
+
+
+class TestConstruction:
+    def test_from_instrs(self):
+        instrs = [Instruction("addiu", rt=1, rs=0, imm=3),
+                  Instruction("halt")]
+        p = Program.from_instrs(instrs)
+        assert p.words == [encode(i) for i in instrs]
+        assert p.entry == p.text_base
+
+    def test_from_words_roundtrip(self):
+        instrs = [Instruction("addiu", rt=1, rs=0, imm=3),
+                  Instruction("halt")]
+        p = Program.from_words([encode(i) for i in instrs])
+        assert p.instrs == instrs
+
+    def test_source_loc(self):
+        loc = SourceLoc(3, "nop")
+        assert loc.line_no == 3 and loc.text == "nop"
+
+
+class TestDisassembly:
+    def test_round_trips_through_assembler(self, prog):
+        """Disassembly of every workload program re-assembles to the
+        same words (label-free reassembly via raw addresses is not
+        supported, so just verify the text is well-formed here)."""
+        text = prog.disassemble()
+        assert text.count("\n") >= len(prog.instrs) - 1
+        for i, word in enumerate(prog.words):
+            assert "%08x" % word in text
+
+    def test_all_workload_programs_disassemble(self):
+        from repro.workloads import WORKLOAD_NAMES, get_workload
+        for name in WORKLOAD_NAMES:
+            prog = get_workload(name).program
+            text = prog.disassemble()
+            assert "main:" in text
+            assert "halt" in text

@@ -1,0 +1,228 @@
+"""Unit and differential tests for the CFG and list scheduler."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sched import build_cfg, schedule_program, static_fold_distances
+from repro.sim.functional import FunctionalSimulator
+from repro.testing import random_program
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        prog = assemble(".text\nmain:\nnop\nnop\nhalt\n")
+        cfg = build_cfg(prog)
+        assert len(cfg.blocks) == 1
+        assert len(cfg.blocks[0]) == 3
+
+    def test_branch_splits_blocks(self):
+        prog = assemble("""
+        .text
+        main: beqz r1, out
+              nop
+        out:  halt
+        """)
+        cfg = build_cfg(prog)
+        assert sorted(cfg.blocks) == [0, 1, 2]
+        assert sorted(cfg.blocks[0].succs) == [1, 2]
+
+    def test_loop_back_edge(self, count_loop_program):
+        cfg = build_cfg(count_loop_program)
+        loop_head = count_loop_program.index_of(
+            count_loop_program.labels["loop"])
+        loop_block = cfg.block_of(loop_head)
+        assert loop_block.start in loop_block.succs
+
+    def test_jump_single_successor(self):
+        prog = assemble(".text\nmain: j fin\nnop\nfin: halt\n")
+        cfg = build_cfg(prog)
+        assert cfg.blocks[0].succs == [2]
+
+    def test_halt_terminates(self):
+        prog = assemble(".text\nmain: halt\nnop\n")
+        cfg = build_cfg(prog)
+        assert cfg.blocks[0].succs == []
+
+    def test_preds_are_inverse_of_succs(self, fold_demo_program):
+        cfg = build_cfg(fold_demo_program)
+        for block in cfg.blocks.values():
+            for s in block.succs:
+                assert block.start in cfg.blocks[s].preds
+
+    def test_block_of_missing(self):
+        prog = assemble(".text\nmain: halt\n")
+        with pytest.raises(KeyError):
+            build_cfg(prog).block_of(99)
+
+    def test_empty_program(self):
+        from repro.asm.program import Program
+        cfg = build_cfg(Program())
+        assert not cfg.blocks
+
+
+class TestStaticDistances:
+    def test_distance_in_block(self):
+        prog = assemble("""
+        .text
+        main:
+            addiu r9, r0, 1
+            nop
+            nop
+            bnez r9, out
+        out: halt
+        """)
+        d = static_fold_distances(prog)
+        assert d[prog.pc_of(3)] == 3
+
+    def test_cross_block_is_none(self):
+        prog = assemble("""
+        .text
+        main:
+            addiu r9, r0, 1
+            beqz r0, mid
+        mid:
+            bnez r9, out
+        out: halt
+        """)
+        d = static_fold_distances(prog)
+        assert d[prog.pc_of(2)] is None
+
+    def test_only_zero_cond_branches(self):
+        prog = assemble(".text\nmain: beq r1, r2, out\nout: halt\n")
+        assert static_fold_distances(prog) == {}
+
+
+class TestScheduler:
+    def test_hoists_predicate_chain(self):
+        prog = assemble("""
+        .text
+        main:
+            li   r1, 1
+            li   r2, 2
+            li   r3, 3
+            addu r4, r1, r2
+            subu r9, r1, r3        # predicate producer, right before br
+            bnez r9, out
+        out: halt
+        """)
+        before = static_fold_distances(prog)
+        after = static_fold_distances(schedule_program(prog))
+        pc = prog.pc_of(5)
+        assert before[pc] == 1
+        assert after[pc] > before[pc]
+
+    def test_respects_dependences(self):
+        """Scheduled program must compute identical results."""
+        prog = assemble("""
+        .text
+        main:
+            li   r1, 10
+            addi r2, r1, 5
+            sw   r2, -4(sp)
+            lw   r3, -4(sp)
+            addu r9, r2, r3
+            bnez r9, out
+            nop
+        out: halt
+        """)
+        sched = schedule_program(prog)
+        a = FunctionalSimulator(prog)
+        a.run()
+        b = FunctionalSimulator(sched)
+        b.run()
+        assert a.regs.snapshot() == b.regs.snapshot()
+        assert a.memory.snapshot() == b.memory.snapshot()
+
+    def test_memory_order_preserved(self):
+        """Two stores to the same address must not swap."""
+        prog = assemble("""
+        .text
+        main:
+            li   r1, 1
+            li   r2, 2
+            sw   r1, -4(sp)
+            sw   r2, -4(sp)
+            lw   r9, -4(sp)
+            bnez r9, out
+        out: halt
+        """)
+        sched = schedule_program(prog)
+        sim = FunctionalSimulator(sched)
+        sim.run()
+        assert sim.regs[9] == 2
+
+    def test_layout_invariants(self, fold_demo_program):
+        sched = schedule_program(fold_demo_program)
+        assert len(sched.instrs) == len(fold_demo_program.instrs)
+        assert sched.labels == fold_demo_program.labels
+        assert sched.data == fold_demo_program.data
+        assert sched.entry == fold_demo_program.entry
+        # terminators stay put
+        import repro.sched.cfg as cfgmod
+        cfg = cfgmod.build_cfg(fold_demo_program)
+        for block in cfg.blocks.values():
+            last = block.end - 1
+            if fold_demo_program.instrs[last].is_control:
+                assert sched.instrs[last].op == \
+                    fold_demo_program.instrs[last].op
+
+    def test_address_taken_labels_pinned(self):
+        """An instruction named by an address-taken label keeps its
+        index (it may be an indirect-jump target)."""
+        prog = assemble("""
+        .data
+        fnptr: .word callee
+        .text
+        main:
+            la   r9, fnptr
+            lw   r9, 0(r9)
+            jalr r10, r9
+            halt
+        callee:
+            li   r2, 5
+            li   r3, 6
+            jr   r10
+        """)
+        sched = schedule_program(prog)
+        idx = prog.index_of(prog.labels["callee"])
+        assert sched.instrs[idx] == prog.instrs[idx]
+        sim = FunctionalSimulator(sched)
+        sim.run()
+        assert sim.regs[2] == 5
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_programs_unchanged_semantics(self, seed):
+        """Scheduling any random program preserves its results.
+
+        Memory is compared outside the text segment: the text image
+        itself legitimately differs (the instructions were reordered).
+        """
+        def data_mem(sim, prog):
+            return {a: v for a, v in sim.memory.snapshot().items()
+                    if not prog.text_base <= a < prog.text_end}
+
+        prog = random_program(seed)
+        sched = schedule_program(prog)
+        a = FunctionalSimulator(prog)
+        na = a.run(max_instructions=100_000)
+        b = FunctionalSimulator(sched)
+        nb = b.run(max_instructions=100_000)
+        assert a.regs.snapshot() == b.regs.snapshot()
+        assert data_mem(a, prog) == data_mem(b, sched)
+        assert na == nb
+
+    def test_idempotent_on_optimal_code(self):
+        """Code already slice-first stays stable under rescheduling."""
+        prog = assemble("""
+        .text
+        main:
+            subu r9, r1, r2
+            addu r4, r5, r6
+            addu r7, r5, r6
+            bnez r9, out
+        out: halt
+        """)
+        once = schedule_program(prog)
+        twice = schedule_program(once)
+        assert [i.render() for i in once.instrs] == \
+            [i.render() for i in twice.instrs]

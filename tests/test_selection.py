@@ -1,0 +1,135 @@
+"""Unit tests for benefit-ranked branch selection (paper Section 6)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.predictors import NotTakenPredictor, evaluate_on_trace
+from repro.profiling import BranchProfiler, select_branches
+from repro.sim.functional import collect_branch_trace
+
+SRC = """
+.data
+arr: .word 1, 2, 3, 4, 5, 6, 7, 8
+.text
+main:
+    la   r4, arr
+    li   r5, 8
+    li   r6, 0
+loop:
+    lw   r2, 0(r4)
+    andi r9, r2, 1
+    andi r10, r2, 2
+    addi r4, r4, 4
+    addu r6, r6, r2
+    addi r5, r5, -1
+br_hot:
+    bnez r9, odd          # alternates: hard to predict, foldable
+odd:
+    addu r6, r6, r0
+br_near:
+    bnez r10, two         # foldable distance but executes same count
+two:
+    addu r6, r6, r0
+    bnez r5, loop
+    halt
+"""
+
+
+@pytest.fixture()
+def profiled():
+    prog = assemble(SRC)
+    profile = BranchProfiler().profile(prog)
+    trace = collect_branch_trace(prog)
+    accuracy = evaluate_on_trace(NotTakenPredictor(), trace)
+    return prog, profile, accuracy
+
+
+class TestFilters:
+    def test_selects_foldable_zero_comparisons(self, profiled):
+        prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=4)
+        assert prog.labels["br_hot"] in sel.pcs
+        assert prog.labels["br_near"] in sel.pcs
+
+    def test_min_count_filter(self, profiled):
+        _prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=100)
+        assert not sel.selected
+        assert any("times" in r for r in sel.rejected.values())
+
+    def test_capacity_truncates_by_rank(self, profiled):
+        _prog, profile, acc = profiled
+        all_sel = select_branches(profile, acc, min_count=4)
+        one = select_branches(profile, acc, min_count=4, bit_capacity=1)
+        assert len(one.selected) == 1
+        assert one.selected[0].pc == all_sel.selected[0].pc
+        assert any("capacity" in r for r in one.rejected.values())
+
+    def test_halt_fallthrough_rejected(self, profiled):
+        """The loop-back branch falls through into halt, which the
+        folding unit cannot inject."""
+        _prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=4)
+        loop_back = max(profile.branches)    # highest pc = bnez r5
+        assert loop_back not in sel.pcs
+        assert "halt" in sel.rejected[loop_back]
+
+    def test_fold_fraction_filter(self):
+        """A predicate defined immediately before its branch folds on
+        no execution: rejected for fold fraction."""
+        prog = assemble("""
+        .text
+        main:
+            li   r5, 6
+        loop:
+            addu r6, r6, r5
+            addi r5, r5, -1
+        br:
+            bnez r5, loop
+            addu r6, r6, r0
+            halt
+        """)
+        profile = BranchProfiler().profile(prog)
+        sel = select_branches(profile, None, min_count=4)
+        br = prog.labels["br"]
+        assert br not in sel.pcs
+        assert "fold fraction" in sel.rejected[br]
+
+    def test_rejection_reasons_exhaustive(self, profiled):
+        _prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=4)
+        covered = sel.pcs | set(sel.rejected)
+        assert covered == set(profile.branches)
+
+
+class TestRanking:
+    def test_harder_branch_ranks_higher(self, profiled):
+        """br_hot alternates (50% not-taken accuracy); br_near is taken
+        every other too... rank by benefit must put lower-accuracy
+        first when counts tie."""
+        _prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=4)
+        benefits = [s.benefit for s in sel.selected]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_accuracy_fallback_without_baseline(self, profiled):
+        _prog, profile, _acc = profiled
+        sel = select_branches(profile, None, min_count=4)
+        for s in sel.selected:
+            expect = max(s.stats.taken_rate, 1 - s.stats.taken_rate)
+            assert s.accuracy == pytest.approx(expect)
+
+    def test_describe_output(self, profiled):
+        _prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=4)
+        text = sel.describe()
+        assert "selected" in text
+        assert "br0" in text
+
+    def test_infos_ready_for_bit(self, profiled):
+        from repro.asbr import ASBRUnit
+        _prog, profile, acc = profiled
+        sel = select_branches(profile, acc, min_count=4)
+        unit = ASBRUnit.from_branch_infos(sel.infos)
+        for info in sel.infos:
+            assert unit.bit.lookup(info.pc) is not None

@@ -1,0 +1,127 @@
+"""Differential tests: assembly codecs vs golden models, bit-for-bit."""
+
+import pytest
+
+from repro.predictors import make_predictor
+from repro.sched import schedule_program
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.loader import MAX_SAMPLES
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(WORKLOAD_NAMES) >= {"adpcm_enc", "adpcm_dec",
+                                       "g721_enc", "g721_dec"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("mp3_enc")
+
+    def test_workloads_cached(self):
+        assert get_workload("adpcm_enc") is get_workload("adpcm_enc")
+
+    def test_programs_assemble(self):
+        for name in WORKLOAD_NAMES:
+            prog = get_workload(name).program
+            assert len(prog.instrs) > 20
+            assert prog.labels.get("main") == prog.entry
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_NAMES))
+class TestBitExactness:
+    def test_speech_input(self, name, small_pcm):
+        wl = get_workload(name)
+        res = wl.run_functional(small_pcm)
+        assert res.outputs == wl.golden_output(small_pcm)
+
+    def test_step_input(self, name, step_pcm):
+        wl = get_workload(name)
+        res = wl.run_functional(step_pcm)
+        assert res.outputs == wl.golden_output(step_pcm)
+
+    def test_extreme_amplitudes(self, name):
+        pcm = [32767, -32768] * 40 + [0] * 20 + [1, -1] * 20
+        wl = get_workload(name)
+        res = wl.run_functional(pcm)
+        assert res.outputs == wl.golden_output(pcm)
+
+    def test_pipeline_matches_golden_too(self, name, small_pcm):
+        wl = get_workload(name)
+        res = wl.run_pipeline(small_pcm,
+                              predictor=make_predictor("bimodal-512-512"))
+        assert res.outputs == wl.golden_output(small_pcm)
+        assert res.stats.cycles > res.stats.committed  # CPI > 1
+
+
+class TestScheduledVariants:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_NAMES))
+    def test_list_scheduled_codecs_stay_bit_exact(self, name, small_pcm):
+        wl = get_workload(name)
+        sched = wl.with_program(schedule_program(wl.program))
+        res = sched.run_functional(small_pcm)
+        assert res.outputs == wl.golden_output(small_pcm)
+
+    def test_unsched_variant_matches(self, small_pcm):
+        wl = get_workload("adpcm_enc_unsched")
+        res = wl.run_functional(small_pcm)
+        assert res.outputs == wl.golden_output(small_pcm)
+        assert res.outputs == \
+            get_workload("adpcm_enc").golden_output(small_pcm)
+
+
+class TestLoader:
+    def test_capacity_enforced(self):
+        wl = get_workload("adpcm_enc")
+        with pytest.raises(ValueError, match="capacity"):
+            wl.build_memory([0] * (MAX_SAMPLES + 1))
+
+    def test_input_stream_for_decoder_is_codes(self, small_pcm):
+        wl = get_workload("adpcm_dec")
+        stream = wl.input_stream(small_pcm)
+        assert all(0 <= c <= 15 for c in stream)
+
+    def test_memory_contains_input(self, small_pcm):
+        wl = get_workload("adpcm_enc")
+        mem = wl.build_memory(small_pcm)
+        base = wl.program.address_of("in_buf")
+        first = mem.read(base, 2)
+        expect = small_pcm[0] & 0xFFFF
+        assert first == expect
+
+    def test_memory_contains_count(self, small_pcm):
+        wl = get_workload("adpcm_enc")
+        mem = wl.build_memory(small_pcm)
+        assert mem.read_word(wl.program.address_of("n_samples")) == \
+            len(small_pcm)
+
+    def test_static_tables_present(self):
+        wl = get_workload("adpcm_enc")
+        mem = wl.build_memory([1, 2, 3])
+        assert mem.read_word(wl.program.address_of("step_table")) == 7
+
+    def test_zero_samples(self):
+        wl = get_workload("adpcm_enc")
+        res = wl.run_functional([])
+        assert res.outputs == []
+
+    def test_negative_samples_sign_corrected(self):
+        wl = get_workload("adpcm_dec")
+        pcm = [-1000, -2000, -30, 500] * 20
+        res = wl.run_functional(pcm)
+        assert res.outputs == wl.golden_output(pcm)
+        assert any(v < 0 for v in res.outputs)
+
+
+class TestFigure2Pattern:
+    def test_adpcm_enc_contains_lh_then_distant_branch(self):
+        """The paper's Figure 2 motif: a load-dependent predicate with
+        independent instructions scheduled between (br_sign)."""
+        prog = get_workload("adpcm_enc").program
+        br = prog.index_of(prog.labels["br_sign"])
+        br_instr = prog.instrs[br]
+        assert br_instr.op == "bgez"
+        _cond, reg = br_instr.zero_condition
+        # predicate producer at distance >= 3 within the block
+        for back in range(1, 4):
+            assert prog.instrs[br - back].dest_reg != reg
+        assert prog.instrs[br - 4].dest_reg == reg

@@ -1,0 +1,192 @@
+"""Property and unit tests for the golden codec models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.golden import (
+    AdpcmState,
+    G721State,
+    INDEX_TABLE,
+    STEPSIZE_TABLE,
+    adpcm_decode,
+    adpcm_encode,
+    g721_decode,
+    g721_encode,
+)
+from repro.workloads.inputs import speech_like, step_pattern
+
+SAMPLES = st.lists(st.integers(min_value=-32768, max_value=32767),
+                   min_size=1, max_size=120)
+
+
+class TestAdpcmTables:
+    def test_stepsize_table_shape(self):
+        assert len(STEPSIZE_TABLE) == 89
+        assert STEPSIZE_TABLE[0] == 7
+        assert STEPSIZE_TABLE[-1] == 32767
+        assert STEPSIZE_TABLE == sorted(STEPSIZE_TABLE)
+
+    def test_index_table_shape(self):
+        assert len(INDEX_TABLE) == 16
+        assert INDEX_TABLE[:8] == INDEX_TABLE[8:]
+
+
+class TestAdpcmEncode:
+    @given(SAMPLES)
+    @settings(max_examples=40)
+    def test_codes_are_4_bit(self, samples):
+        codes, _ = adpcm_encode(samples)
+        assert len(codes) == len(samples)
+        assert all(0 <= c <= 15 for c in codes)
+
+    @given(SAMPLES)
+    @settings(max_examples=40)
+    def test_state_stays_legal(self, samples):
+        _, st_out = adpcm_encode(samples)
+        assert 0 <= st_out.index <= 88
+        assert -32768 <= st_out.valpred <= 32767
+
+    def test_silence_encodes_quietly(self):
+        codes, _ = adpcm_encode([0] * 50)
+        # predictor locks on: magnitudes stay minimal
+        assert all((c & 7) == 0 for c in codes[5:])
+
+    def test_sign_bit_tracks_direction(self):
+        codes, _ = adpcm_encode([-30000])
+        assert codes[0] & 8      # first step must go down
+
+    @given(SAMPLES)
+    @settings(max_examples=20)
+    def test_chunked_equals_whole(self, samples):
+        """Encoding in two chunks with carried state matches one call."""
+        whole, _ = adpcm_encode(samples)
+        mid = len(samples) // 2
+        first, st_mid = adpcm_encode(samples[:mid])
+        second, _ = adpcm_encode(samples[mid:], st_mid)
+        assert first + second == whole
+
+
+class TestAdpcmRoundTrip:
+    @given(SAMPLES)
+    @settings(max_examples=40)
+    def test_decode_output_legal(self, samples):
+        codes, _ = adpcm_encode(samples)
+        decoded, _ = adpcm_decode(codes)
+        assert len(decoded) == len(codes)
+        assert all(-32768 <= s <= 32767 for s in decoded)
+
+    def test_reconstruction_tracks_input(self):
+        pcm = speech_like(600, seed=5)
+        codes, _ = adpcm_encode(pcm)
+        decoded, _ = adpcm_decode(codes)
+        # after convergence the decoder tracks within a few step sizes
+        err = [abs(a - b) for a, b in zip(pcm[100:], decoded[100:])]
+        assert sum(err) / len(err) < 2500
+
+    def test_decoder_mirrors_encoder_predictor(self):
+        """The decoder's valpred equals the encoder's (same updates)."""
+        pcm = step_pattern(200, seed=2)
+        codes, enc_state = adpcm_encode(pcm)
+        _, dec_state = adpcm_decode(codes)
+        assert enc_state.valpred == dec_state.valpred
+        assert enc_state.index == dec_state.index
+
+    def test_empty_input(self):
+        assert adpcm_encode([])[0] == []
+        assert adpcm_decode([])[0] == []
+
+
+class TestG721:
+    @given(SAMPLES)
+    @settings(max_examples=40)
+    def test_codes_are_4_bit(self, samples):
+        codes, _ = g721_encode(samples)
+        assert all(0 <= c <= 15 for c in codes)
+
+    @given(SAMPLES)
+    @settings(max_examples=40)
+    def test_state_invariants(self, samples):
+        _, state = g721_encode(samples)
+        assert 1 <= state.y <= 8192
+        assert abs(state.a1) <= 12288
+        assert abs(state.a2) <= 6144
+        assert all(abs(b) <= 12288 for b in state.b)
+        assert abs(state.sr1) <= 32768 and abs(state.sr2) <= 32768
+
+    @given(SAMPLES)
+    @settings(max_examples=30)
+    def test_products_fit_32_bits(self, samples):
+        """The clamps must keep every multiply within int32 so the
+        assembly implementation's wrapping mul can never diverge."""
+        state = G721State()
+        for x in samples:
+            from repro.workloads.golden import _predict, _quantize, \
+                _dequantize, _clamp16, _update
+            sez, se = _predict(state)
+            for prod in (se * 32767, (state.a1 * state.sr1),
+                         (state.a2 * state.sr2)):
+                assert abs(prod) < 2 ** 31
+            d = x - se
+            code = _quantize(d, state.y)
+            dq = _dequantize(code, state.y)
+            assert abs((dq + sez) * state.sr1) < 2 ** 31
+            assert abs((dq + sez) * state.sr2) < 2 ** 31
+            for i in range(6):
+                assert abs(dq * state.dq[i]) < 2 ** 31
+            sr = _clamp16(se + dq)
+            _update(state, code, dq, sr, sez)
+
+    def test_decoder_tracks_encoder(self):
+        pcm = speech_like(600, seed=6, amplitude=6000)
+        codes, _ = g721_encode(pcm)
+        decoded, _ = g721_decode(codes)
+        err = [abs(a - b) for a, b in zip(pcm[100:], decoded[100:])]
+        assert sum(err) / len(err) < 3000
+
+    def test_shared_state_evolution(self):
+        """Encoder and decoder predictors stay in lock step — the basis
+        of ADPCM and the reason the paper's enc/dec share branches."""
+        pcm = speech_like(300, seed=9)
+        codes, enc_state = g721_encode(pcm)
+        _, dec_state = g721_decode(codes)
+        assert enc_state.y == dec_state.y
+        assert enc_state.a1 == dec_state.a1
+        assert enc_state.b == dec_state.b
+        assert enc_state.dq == dec_state.dq
+
+    def test_quantizer_monotone(self):
+        """Bigger |d| never yields a smaller code magnitude."""
+        from repro.workloads.golden import _quantize
+        y = 500
+        mags = [_quantize(d, y) & 7 for d in range(0, 30000, 250)]
+        assert mags == sorted(mags)
+
+    def test_scale_factor_adapts_up_on_loud_input(self):
+        _, quiet = g721_encode([0] * 200)
+        _, loud = g721_encode(step_pattern(200, amplitude=20000))
+        assert loud.y > quiet.y
+
+
+class TestInputs:
+    def test_speech_like_deterministic(self):
+        assert speech_like(64, seed=3) == speech_like(64, seed=3)
+        assert speech_like(64, seed=3) != speech_like(64, seed=4)
+
+    def test_ranges(self):
+        pcm = speech_like(500, amplitude=8000)
+        assert all(-32768 <= s <= 32767 for s in pcm)
+        assert max(abs(s) for s in pcm) <= 8000
+
+    def test_step_pattern_holds(self):
+        pcm = step_pattern(100, hold=10)
+        assert pcm[0] == pcm[9]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            speech_like(0)
+        with pytest.raises(ValueError):
+            step_pattern(-1)
+
+    def test_signal_has_both_signs(self):
+        pcm = speech_like(2000)
+        assert min(pcm) < 0 < max(pcm)

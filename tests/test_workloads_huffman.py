@@ -1,0 +1,155 @@
+"""Tests for the Huffman decoder workload (golden model + assembly)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import get_workload
+from repro.workloads.huffman import (
+    LEAF_FLAG,
+    build_tree,
+    code_table,
+    huffman_decode,
+    huffman_encode,
+    quantize,
+)
+from repro.workloads.inputs import speech_like
+
+SYMBOLS = st.lists(st.integers(min_value=0, max_value=15),
+                   min_size=1, max_size=200)
+
+
+class TestCode:
+    def test_prefix_free(self):
+        table = code_table()
+        items = [(format(code, "0%db" % length))
+                 for code, length in table.values()]
+        for a in items:
+            for b in items:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_kraft_equality(self):
+        table = code_table()
+        assert sum(2.0 ** -length for _c, length in table.values()) \
+            == pytest.approx(1.0)
+
+    def test_frequent_symbols_get_short_codes(self):
+        table = code_table()
+        assert table[8][1] <= 2
+        assert table[0][1] >= 10
+
+    def test_all_16_symbols(self):
+        assert set(code_table()) == set(range(16))
+
+
+class TestTree:
+    def test_full_binary_tree(self):
+        tree = build_tree()
+        assert len(tree) == 2 * 15          # 15 internal nodes
+        leaves = [v & 0xFF for v in tree if v & LEAF_FLAG]
+        assert sorted(leaves) == list(range(16))
+
+    def test_internal_indices_in_range(self):
+        tree = build_tree()
+        for v in tree:
+            if not v & LEAF_FLAG:
+                assert 0 < v < 15
+
+    def test_assembly_table_matches_build_tree(self):
+        """The .data table in huffman_dec.s must be build_tree()'s
+        output, word for word."""
+        wl = get_workload("huffman_dec")
+        prog = wl.program
+        base = prog.address_of("tree")
+        flat = build_tree()
+        for i, value in enumerate(flat):
+            assert prog.data[base + 4 * i] == value, "tree[%d]" % i
+
+
+class TestRoundTrip:
+    @given(SYMBOLS)
+    @settings(max_examples=40)
+    def test_encode_decode_identity(self, symbols):
+        stream = huffman_encode(symbols)
+        assert huffman_decode(stream, len(symbols)) == symbols
+
+    @given(SYMBOLS)
+    @settings(max_examples=20)
+    def test_stream_is_bytes(self, symbols):
+        assert all(0 <= b <= 255 for b in huffman_encode(symbols))
+
+    def test_compression_on_biased_input(self):
+        # mostly-symbol-8 input compresses well below 4 bits/symbol
+        stream = huffman_encode([8] * 800)
+        assert len(stream) <= 800 * 2 // 8 + 1
+
+    def test_quantize_range(self):
+        q = quantize([-32768, 0, 32767])
+        assert q == [0, 8, 15]
+
+
+class TestAssemblyDecoder:
+    def test_bit_exact_speech(self):
+        wl = get_workload("huffman_dec")
+        pcm = speech_like(300, amplitude=28000)
+        res = wl.run_functional(pcm)
+        assert res.outputs == wl.golden_output(pcm)
+
+    def test_bit_exact_extremes(self):
+        wl = get_workload("huffman_dec")
+        pcm = [32767, -32768, 0, 1, -1] * 40
+        res = wl.run_functional(pcm)
+        assert res.outputs == wl.golden_output(pcm)
+
+    def test_pipeline_with_asbr_bit_exact(self):
+        from repro.asbr import ASBRUnit
+        from repro.predictors import make_predictor
+        from repro.profiling import BranchProfiler, select_branches
+
+        wl = get_workload("huffman_dec")
+        pcm = speech_like(250, amplitude=28000)
+        stream = wl.input_stream(pcm)
+        profile = BranchProfiler().profile(
+            wl.program, wl.build_memory(stream, len(pcm)))
+        sel = select_branches(profile, bit_capacity=16,
+                              bdt_update="execute")
+        unit = ASBRUnit.from_branch_infos(sel.infos, bdt_update="execute")
+        res = wl.run_pipeline(pcm, predictor=make_predictor("not-taken"),
+                              asbr=unit)
+        assert res.outputs == wl.golden_output(pcm)
+        assert res.stats.folds_committed > 0
+
+    def test_bit_branch_is_hard_and_foldable(self):
+        """br_bit consumes fresh input data each execution: near-50%
+        taken rate on mixed input, yet 100% foldable."""
+        from repro.profiling import BranchProfiler
+        wl = get_workload("huffman_dec")
+        pcm = speech_like(300, amplitude=28000)
+        stream = wl.input_stream(pcm)
+        profile = BranchProfiler().profile(
+            wl.program, wl.build_memory(stream, len(pcm)))
+        br_bit = wl.program.labels["br_bit"]
+        stats = profile.branches[br_bit]
+        assert 0.1 < stats.taken_rate < 0.9
+        assert stats.fold_fraction("execute") == 1.0
+
+    def test_asbr_beats_gshare_here(self):
+        """On input-data-dependent branches even the big gshare loses
+        to folding (the paper's Figure 2 argument, quantified)."""
+        from repro.asbr import ASBRUnit
+        from repro.predictors import make_predictor
+        from repro.profiling import BranchProfiler, select_branches
+
+        wl = get_workload("huffman_dec")
+        pcm = speech_like(300, amplitude=28000)
+        stream = wl.input_stream(pcm)
+        profile = BranchProfiler().profile(
+            wl.program, wl.build_memory(stream, len(pcm)))
+        sel = select_branches(profile, bit_capacity=16,
+                              bdt_update="execute")
+        unit = ASBRUnit.from_branch_infos(sel.infos, bdt_update="execute")
+        gshare = wl.run_pipeline(
+            pcm, predictor=make_predictor("gshare-2048-11-2048"))
+        asbr = wl.run_pipeline(
+            pcm, predictor=make_predictor("bimodal-512-512"), asbr=unit)
+        assert asbr.stats.cycles < gshare.stats.cycles
