@@ -79,3 +79,47 @@ def test_predictor_throughput(benchmark):
             pred.update(pc, bool(i & 1), pc + 64)
 
     benchmark(run)
+
+
+def test_sim_speed_summary(save_table):
+    """Record simulator throughput (ops/sec) under results/.
+
+    Best-of-3 wall-clock on the adpcm_enc workload; the decoded-dispatch
+    fast path (see DESIGN.md) is what these numbers track.
+    """
+    import time
+
+    from repro.experiments.common import render_table
+
+    wl = get_workload("adpcm_enc")
+    rows = []
+
+    best = work = 0
+    for _ in range(3):
+        sim = FunctionalSimulator(wl.program, wl.build_memory(_PCM))
+        t0 = time.perf_counter()
+        sim.run()
+        dt = time.perf_counter() - t0
+        if sim.instructions_retired / dt > best:
+            best, work = sim.instructions_retired / dt, \
+                sim.instructions_retired
+    rows.append(["functional", "instructions/s",
+                 "{:,.0f}".format(best), "{:,}".format(work)])
+    assert best > 0
+
+    best = work = 0
+    for _ in range(3):
+        sim = PipelineSimulator(wl.program, wl.build_memory(_PCM))
+        t0 = time.perf_counter()
+        stats = sim.run()
+        dt = time.perf_counter() - t0
+        if stats.cycles / dt > best:
+            best, work = stats.cycles / dt, stats.cycles
+    rows.append(["pipeline", "cycles/s",
+                 "{:,.0f}".format(best), "{:,}".format(work)])
+    assert best > 0
+
+    save_table("sim_speed", render_table(
+        ["simulator", "unit", "ops/sec", "work per run"], rows,
+        "Simulator throughput (adpcm_enc, %d samples, best of 3)"
+        % len(_PCM)))

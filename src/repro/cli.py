@@ -9,6 +9,7 @@ Usage (also installed as the ``repro-asbr`` console script)::
     python -m repro.cli profile program.s
     python -m repro.cli workload adpcm_enc --samples 1000 --asbr
     python -m repro.cli experiments fig11 --samples 600
+    python -m repro.cli experiments all --workers 4
 
 ``sim --asbr`` performs the paper's whole methodology on the program:
 profile it, select fold candidates, load the BIT, and re-simulate.
@@ -17,6 +18,7 @@ profile it, select fold candidates, load the BIT, and re-simulate.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -156,7 +158,9 @@ def cmd_experiments(args) -> int:
     from repro.experiments import (ablations, energy, fig6, fig7, fig9,
                                    fig10, fig11)
     from repro.experiments.common import ExperimentSetup
-    setup = ExperimentSetup(n_samples=args.samples)
+    cache_dir = None if args.no_cache else args.cache_dir
+    setup = ExperimentSetup(n_samples=args.samples, workers=args.workers,
+                            cache_dir=cache_dir)
     drivers = {
         "fig6": fig6.main, "fig7": fig7.main, "fig9": fig9.main,
         "fig10": fig10.main, "fig11": fig11.main,
@@ -166,6 +170,11 @@ def cmd_experiments(args) -> int:
     for name in names:
         drivers[name](setup)
         print()
+    cache = setup.result_cache()
+    if cache is not None:
+        print("run cache (%s): %d hits, %d misses, %d corrupt dropped"
+              % (cache.root, cache.hits, cache.misses, cache.dropped),
+              file=sys.stderr)
     return 0
 
 
@@ -225,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
                                      "fig11", "ablations", "energy",
                                      "all"))
     p.add_argument("--samples", type=int, default=600)
+    p.add_argument("--workers", type=int,
+                   default=int(os.environ.get("REPRO_WORKERS", "0")),
+                   help="simulate independent configurations on N "
+                        "processes (0/1 = inline; results identical)")
+    p.add_argument("--cache-dir",
+                   default=os.environ.get("REPRO_CACHE_DIR",
+                                          "results/.runcache"),
+                   help="on-disk result cache location (content-"
+                        "addressed; safe to delete at any time)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result cache")
     p.set_defaults(fn=cmd_experiments)
     return parser
 

@@ -43,6 +43,8 @@ def threshold_sweep(benchmark: str = "adpcm_enc",
                     ) -> List[ThresholdRow]:
     setup = setup if setup is not None else default_setup()
     from repro.asbr.folding import THRESHOLD_BY_UPDATE
+    setup.prefetch((benchmark, "bimodal-512-512", True, None, update)
+                   for update in THRESHOLD_BY_UPDATE)
     rows = []
     for update, threshold in sorted(THRESHOLD_BY_UPDATE.items(),
                                     key=lambda kv: kv[1]):
@@ -79,6 +81,8 @@ def bit_size_sweep(benchmark: str = "g721_enc",
                    setup: Optional[ExperimentSetup] = None
                    ) -> List[BitSizeRow]:
     setup = setup if setup is not None else default_setup()
+    setup.prefetch((benchmark, "bimodal-512-512", True, cap)
+                   for cap in capacities)
     rows = []
     for cap in capacities:
         sel = setup.selection(benchmark, bit_capacity=cap)
@@ -115,6 +119,12 @@ def area_table(benchmark: str = "adpcm_enc",
                setup: Optional[ExperimentSetup] = None) -> List[AreaRow]:
     """Accuracy and cycles vs hardware state, with and without ASBR."""
     setup = setup if setup is not None else default_setup()
+    setup.prefetch(
+        [(benchmark, spec, False)
+         for spec in ("bimodal-256-512", "bimodal-512-512", "bimodal-2048",
+                      "gshare-2048-11-2048", "combining-2048")]
+        + [(benchmark, spec, True)
+           for spec in ("bimodal-256-512", "bimodal-512-512")])
     rows = []
     for spec in ("bimodal-256-512", "bimodal-512-512", "bimodal-2048",
                  "gshare-2048-11-2048", "combining-2048"):

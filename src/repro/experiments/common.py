@@ -5,6 +5,15 @@ figures need the same (workload, predictor, ASBR) runs.  An
 :class:`ExperimentSetup` memoises them so e.g. the Figure 11 driver and
 its benchmark wrapper never simulate the same configuration twice in a
 process.
+
+Two further layers ride on :mod:`repro.runner`:
+
+* ``workers > 1`` (or ``REPRO_WORKERS``) lets :meth:`ExperimentSetup.
+  prefetch` compute a figure's whole configuration matrix on a process
+  pool before the driver walks it serially;
+* ``cache_dir`` (or ``REPRO_CACHE_DIR``) adds a content-addressed
+  on-disk cache, so re-rendering a figure with unchanged programs and
+  inputs costs one JSON read per configuration instead of a simulation.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from repro.predictors import evaluate_on_trace, make_predictor
 from repro.predictors.evaluate import PredictorAccuracy
 from repro.profiling import BranchProfiler, SelectionResult, select_branches
 from repro.profiling.profiler import BranchProfile
+from repro.runner import ResultCache, RunSpec, key_for_spec, run_sweep
 from repro.sim.functional import BranchRecord, collect_branch_trace
 from repro.sim.pipeline import PipelineStats
 from repro.workloads import get_workload, speech_like
@@ -36,6 +46,14 @@ DEFAULT_SEED = 20010618  # DAC 2001 opened June 18, 2001
 DEFAULT_BDT_UPDATE = "execute"
 
 
+def _default_workers() -> int:
+    return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+def _default_cache_dir() -> Optional[str]:
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
 @dataclass
 class ExperimentSetup:
     """One experimental context: input, caches of profiles and runs."""
@@ -44,6 +62,8 @@ class ExperimentSetup:
     seed: int = DEFAULT_SEED
     bdt_update: str = DEFAULT_BDT_UPDATE
     bit_capacity: int = 16
+    workers: int = field(default_factory=_default_workers)
+    cache_dir: Optional[str] = field(default_factory=_default_cache_dir)
     _pcm: Optional[list] = field(default=None, repr=False)
     _profiles: Dict[str, BranchProfile] = field(default_factory=dict,
                                                 repr=False)
@@ -53,6 +73,7 @@ class ExperimentSetup:
                                               repr=False)
     _selections: Dict[tuple, SelectionResult] = field(default_factory=dict,
                                                       repr=False)
+    _result_cache: Optional[ResultCache] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -104,31 +125,107 @@ class ExperimentSetup:
         return self._selections[key]
 
     # ------------------------------------------------------------------
+    # pipeline runs: in-memory memo -> disk cache -> simulate
+    # ------------------------------------------------------------------
+    def _spec(self, name: str, predictor_spec: str, with_asbr: bool,
+              bit_capacity: Optional[int],
+              bdt_update: Optional[str]) -> RunSpec:
+        cap = bit_capacity if bit_capacity is not None else self.bit_capacity
+        upd = bdt_update if bdt_update is not None else self.bdt_update
+        return RunSpec(benchmark=name, n_samples=self.n_samples,
+                       seed=self.seed, predictor_spec=predictor_spec,
+                       with_asbr=with_asbr, bit_capacity=cap,
+                       bdt_update=upd)
+
+    @staticmethod
+    def _memo_key(spec: RunSpec) -> tuple:
+        return (spec.benchmark, spec.predictor_spec, spec.with_asbr,
+                spec.bit_capacity, spec.bdt_update)
+
+    def _canonical_input(self) -> bool:
+        """True unless ``_pcm`` was hand-replaced with something other
+        than the canonical ``speech_like(n_samples, seed)`` signal —
+        RunSpecs identify the input by that pair, so the disk cache and
+        worker pool are bypassed for non-canonical inputs."""
+        return (self._pcm is None
+                or self._pcm == speech_like(self.n_samples, self.seed))
+
+    def result_cache(self) -> Optional[ResultCache]:
+        """The on-disk cache, if ``cache_dir`` is configured."""
+        if self.cache_dir is None:
+            return None
+        if self._result_cache is None:
+            self._result_cache = ResultCache(self.cache_dir)
+        return self._result_cache
+
+    def prefetch(self, configs) -> None:
+        """Warm the run memo for many configurations at once.
+
+        ``configs`` is an iterable of ``(name, predictor_spec,
+        with_asbr)`` or ``(name, predictor_spec, with_asbr,
+        bit_capacity, bdt_update)`` tuples — exactly the arguments the
+        driver will later pass to :meth:`run`.  Distinct uncached
+        configurations are simulated through :func:`repro.runner.
+        run_sweep`, on ``self.workers`` processes when configured.
+        """
+        if not self._canonical_input():
+            return                       # .run() will compute inline
+        specs = []
+        for cfg in configs:
+            name, predictor_spec, with_asbr = cfg[0], cfg[1], cfg[2]
+            cap = cfg[3] if len(cfg) > 3 else None
+            upd = cfg[4] if len(cfg) > 4 else None
+            spec = self._spec(name, predictor_spec, with_asbr, cap, upd)
+            if self._memo_key(spec) not in self._runs:
+                specs.append(spec)
+        if not specs:
+            return
+        stats_list = run_sweep(specs, workers=self.workers,
+                               cache=self.result_cache())
+        for spec, stats in zip(specs, stats_list):
+            self._runs[self._memo_key(spec)] = stats
+
     def run(self, name: str, predictor_spec: str,
             with_asbr: bool = False,
             bit_capacity: Optional[int] = None,
             bdt_update: Optional[str] = None) -> PipelineStats:
         """Cycle-accurate run of one configuration (cached)."""
-        cap = bit_capacity if bit_capacity is not None else self.bit_capacity
-        upd = bdt_update if bdt_update is not None else self.bdt_update
-        key = (name, predictor_spec, with_asbr, cap, upd)
-        if key not in self._runs:
-            wl = self.workload(name)
-            asbr = None
-            if with_asbr:
-                sel = self.selection(name, cap, upd)
-                asbr = ASBRUnit.from_branch_infos(
-                    sel.infos, capacity=cap, bdt_update=upd)
-            result = wl.run_pipeline(self.pcm,
-                                     predictor=make_predictor(predictor_spec),
-                                     asbr=asbr)
-            expected = wl.golden_output(self.pcm)
-            if result.outputs != expected:
-                raise AssertionError(
-                    "%s produced wrong output under %s (asbr=%s)"
-                    % (name, predictor_spec, with_asbr))
-            self._runs[key] = result.stats
-        return self._runs[key]
+        spec = self._spec(name, predictor_spec, with_asbr,
+                          bit_capacity, bdt_update)
+        key = self._memo_key(spec)
+        if key in self._runs:
+            return self._runs[key]
+
+        cache = self.result_cache()
+        canonical = self._canonical_input()
+        disk_key = None
+        if cache is not None and canonical:
+            disk_key = key_for_spec(spec)
+            hit = cache.get(disk_key)
+            if hit is not None:
+                self._runs[key] = hit
+                return hit
+
+        # inline compute, sharing this setup's memoised selection
+        wl = self.workload(name)
+        asbr = None
+        if with_asbr:
+            sel = self.selection(name, spec.bit_capacity, spec.bdt_update)
+            asbr = ASBRUnit.from_branch_infos(
+                sel.infos, capacity=spec.bit_capacity,
+                bdt_update=spec.bdt_update)
+        result = wl.run_pipeline(self.pcm,
+                                 predictor=make_predictor(predictor_spec),
+                                 asbr=asbr)
+        expected = wl.golden_output(self.pcm)
+        if result.outputs != expected:
+            raise AssertionError(
+                "%s produced wrong output under %s (asbr=%s)"
+                % (name, predictor_spec, with_asbr))
+        self._runs[key] = result.stats
+        if disk_key is not None:
+            cache.put(disk_key, result.stats, describe=repr(spec))
+        return result.stats
 
 
 _DEFAULT: Optional[ExperimentSetup] = None

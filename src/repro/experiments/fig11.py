@@ -59,6 +59,11 @@ class Fig11Row:
 
 def run(setup: Optional[ExperimentSetup] = None) -> List[Fig11Row]:
     setup = setup if setup is not None else default_setup()
+    setup.prefetch(
+        [(bench, spec, True)
+         for bench in BENCHMARKS for spec in AUX_PREDICTORS.values()]
+        + [(bench, BASELINE_FOR[aux], False)
+           for bench in BENCHMARKS for aux in AUX_PREDICTORS])
     rows = []
     for bench in BENCHMARKS:
         selection = setup.selection(bench)

@@ -43,6 +43,9 @@ class Fig6Row:
 def run(setup: Optional[ExperimentSetup] = None) -> List[Fig6Row]:
     """Produce all twelve Figure 6 cells."""
     setup = setup if setup is not None else default_setup()
+    setup.prefetch((bench, spec, False)
+                   for bench in BENCHMARKS
+                   for spec in PREDICTORS.values())
     rows = []
     for bench in BENCHMARKS:
         for pname, spec in PREDICTORS.items():

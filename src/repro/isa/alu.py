@@ -72,6 +72,54 @@ _ALU_OPS = {
 }
 
 
+def alu_fn(op: str):
+    """The raw callable behind :func:`alu_execute` for ``op``.
+
+    The simulators' decoded-dispatch tables resolve the operation once
+    at construction and then call the returned function directly, so the
+    per-cycle cost is a plain call instead of a dict probe.
+    """
+    try:
+        return _ALU_OPS[op]
+    except KeyError:
+        raise ValueError("unknown ALU op %r" % op) from None
+
+
+#: condition symbol -> test on an *unsigned* 32-bit pattern; equivalent
+#: to the signed comparisons in ``repro.sim.functional._eval_zero``
+#: (bit 31 set <=> negative), but with no sign conversion per call.
+ZERO_TESTS_U = {
+    "==0": lambda v: v == 0,
+    "!=0": lambda v: v != 0,
+    "<0": lambda v: v >= 0x80000000,
+    "<=0": lambda v: v == 0 or v >= 0x80000000,
+    ">0": lambda v: 0 < v < 0x80000000,
+    ">=0": lambda v: v < 0x80000000,
+}
+
+
+def _fix_lb(v: int) -> int:
+    v &= 0xFF
+    return (v - 0x100) & MASK32 if v & 0x80 else v
+
+
+def _fix_lh(v: int) -> int:
+    v &= 0xFFFF
+    return (v - 0x10000) & MASK32 if v & 0x8000 else v
+
+
+#: load mnemonic -> width-correction callable (same results as
+#: :func:`load_value`, pre-resolved so the hot loop skips the string
+#: comparisons).
+LOAD_FIX = {
+    "lb": _fix_lb,
+    "lbu": lambda v: v & 0xFF,
+    "lh": _fix_lh,
+    "lhu": lambda v: v & 0xFFFF,
+    "lw": lambda v: v & MASK32,
+}
+
+
 def alu_execute(op: str, a: int, b: int) -> int:
     """Execute an ALU operation on two 32-bit operands.
 

@@ -79,11 +79,25 @@ class RegisterFile:
         return list(self._regs)
 
     def load(self, values) -> None:
-        """Restore register values from :meth:`snapshot` output."""
+        """Restore register values from :meth:`snapshot` output.
+
+        Mutates the existing storage in place so that fast paths holding
+        a reference to :attr:`raw` stay coherent.
+        """
         if len(values) != NUM_REGS:
             raise ValueError("expected %d values" % NUM_REGS)
-        self._regs = [v & 0xFFFFFFFF for v in values]
+        self._regs[:] = [v & 0xFFFFFFFF for v in values]
         self._regs[0] = 0
+
+    @property
+    def raw(self) -> List[int]:
+        """The live backing list (simulator fast paths only).
+
+        Callers that write through this list must mask values to 32 bits
+        and never write index 0; the list identity is stable for the
+        lifetime of the register file.
+        """
+        return self._regs
 
     def __repr__(self) -> str:
         nz = ", ".join(

@@ -83,11 +83,11 @@ class Cache:
         stage's own cycle); a miss costs ``miss_penalty`` plus a possible
         dirty writeback.
         """
-        block = addr >> self._block_shift
-        index = block & self._set_mask
-        tag = block >> 0  # full block number as tag (index redundancy is fine)
-        way = self._sets[index]
-        self.stats.accesses += 1
+        # full block number doubles as the tag (index redundancy is fine)
+        tag = addr >> self._block_shift
+        way = self._sets[tag & self._set_mask]
+        stats = self.stats
+        stats.accesses += 1
 
         if tag in way:
             way.move_to_end(tag)
@@ -95,12 +95,12 @@ class Cache:
                 way[tag] = True
             return 0
 
-        self.stats.misses += 1
+        stats.misses += 1
         penalty = self.config.miss_penalty
         if len(way) >= self.config.assoc:
             _victim, dirty = way.popitem(last=False)
             if dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
                 penalty += self.config.writeback_penalty
         way[tag] = is_write
         return penalty

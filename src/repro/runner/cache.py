@@ -1,0 +1,149 @@
+"""Content-addressed on-disk cache of pipeline-run results.
+
+Each entry is one JSON file named by the hex digest of the run's full
+identity::
+
+    sha256( program digest | input digest | config digest )
+
+* **program digest** — the assembled text words, data segment and entry
+  point.  Editing a workload's ``.s`` source changes it, so stale
+  results can never be returned for modified programs.
+* **input digest** — the exact input sample values (not just
+  ``(n_samples, seed)``), so a change to the synthetic-input generator
+  also invalidates.
+* **config digest** — every :class:`~repro.runner.pool.RunSpec` field
+  plus :data:`CACHE_VERSION`.  Bump the version when simulator *timing*
+  semantics change; architectural changes are already covered by the
+  golden-output check at record time.
+
+Corrupted or truncated entries (killed process, disk full, concurrent
+writer) are deleted on read and treated as misses — the cache is an
+accelerator, never a source of errors.  Writes go through a temp file
+and ``os.replace`` so readers never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.runner.pool import SELECTION_BASELINE, RunSpec
+from repro.sim.pipeline import PipelineStats
+
+#: Bump when a change alters cycle-accurate timing without changing
+#: program bytes or inputs (e.g. a new stall rule in the pipeline).
+CACHE_VERSION = 1
+
+_digest_memo: Dict[tuple, str] = {}
+
+
+def _sha(*parts: str) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def program_digest(program) -> str:
+    """Digest of the assembled program (text, data, entry)."""
+    return _sha("program",
+                str(program.text_base),
+                str(program.entry),
+                ",".join("%x" % w for w in program.words),
+                ",".join("%x:%x" % (a, v)
+                         for a, v in sorted(program.data.items())))
+
+
+def input_digest(values) -> str:
+    """Digest of an input sample sequence."""
+    return _sha("input", ",".join(str(v) for v in values))
+
+
+def config_digest(spec: RunSpec) -> str:
+    """Digest of the run configuration (spec fields + cache version)."""
+    return _sha("config", "v%d" % CACHE_VERSION, SELECTION_BASELINE,
+                spec.predictor_spec, str(spec.with_asbr),
+                str(spec.bit_capacity), spec.bdt_update)
+
+
+def key_for_spec(spec: RunSpec) -> str:
+    """Full cache key of a spec, resolving its workload and input.
+
+    The (program, input) digests are memoised per benchmark and per
+    ``(n_samples, seed)`` — a sweep over many predictor configs hashes
+    each program and input once.
+    """
+    pk = ("prog", spec.benchmark)
+    if pk not in _digest_memo:
+        from repro.workloads import get_workload
+        _digest_memo[pk] = program_digest(get_workload(spec.benchmark)
+                                          .program)
+    ik = ("input", spec.n_samples, spec.seed)
+    if ik not in _digest_memo:
+        from repro.workloads import speech_like
+        _digest_memo[ik] = input_digest(speech_like(spec.n_samples,
+                                                    spec.seed))
+    return _sha(_digest_memo[pk], _digest_memo[ik], config_digest(spec))
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` entries holding PipelineStats."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.dropped = 0      # corrupted entries deleted on read
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> Optional[PipelineStats]:
+        """Stats for ``key``, or None; drops unreadable entries."""
+        path = self._path(key)
+        try:
+            with open(path) as f:
+                entry = json.load(f)
+            if entry["version"] != CACHE_VERSION:
+                raise ValueError("cache version mismatch")
+            stats = PipelineStats(**entry["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # corrupted/stale entry: delete and treat as a miss
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.dropped += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: PipelineStats,
+            describe: str = "") -> None:
+        """Atomically record ``stats`` under ``key``."""
+        os.makedirs(self.root, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "describe": describe,          # human breadcrumb only
+            "stats": dataclasses.asdict(stats),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f, indent=1, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,99 @@
+"""Run specifications and the worker pool.
+
+A :class:`RunSpec` is everything a worker process needs to reproduce one
+pipeline run from scratch: the workload *name* (programs are assembled
+in-process from the packaged ``.s`` sources), the synthetic input's
+``(n_samples, seed)`` pair, the auxiliary predictor spec and the ASBR
+parameters.  Specs are frozen/hashable so sweeps can dedupe them, and
+picklable so ``multiprocessing`` can ship them.
+
+:func:`execute_spec` is deliberately the *only* code path that turns a
+spec into statistics — the inline (``workers <= 1``) and pooled paths
+run the same function, which is what makes the workers=1-vs-N
+determinism test (``tests/test_runner.py``) meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.pipeline import PipelineStats
+
+#: selection baseline used by profile-driven branch selection; matches
+#: ExperimentSetup.selection (the paper's reference predictor).
+SELECTION_BASELINE = "bimodal-2048"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cycle-accurate pipeline run, reproducible from scratch."""
+
+    benchmark: str
+    n_samples: int
+    seed: int
+    predictor_spec: str
+    with_asbr: bool = False
+    bit_capacity: int = 16
+    bdt_update: str = "execute"
+
+
+def execute_spec(spec: RunSpec) -> PipelineStats:
+    """Run one spec end-to-end and return its verified stats.
+
+    Mirrors ``ExperimentSetup.run``: for ASBR configurations the
+    benchmark is first profiled, a ``bimodal-2048`` trace accuracy is
+    collected as the selection baseline, and the BIT branch set is
+    chosen by :func:`repro.profiling.select_branches`.  The run's
+    outputs are checked against the workload's golden model; a mismatch
+    raises ``AssertionError`` (and is therefore never cached).
+    """
+    from repro.asbr import ASBRUnit
+    from repro.predictors import evaluate_on_trace, make_predictor
+    from repro.profiling import BranchProfiler, select_branches
+    from repro.sim.functional import collect_branch_trace
+    from repro.workloads import get_workload, speech_like
+
+    wl = get_workload(spec.benchmark)
+    pcm = speech_like(spec.n_samples, spec.seed)
+    asbr = None
+    if spec.with_asbr:
+        stream = wl.input_stream(pcm)
+        memory = wl.build_memory(stream)
+        profile = BranchProfiler().profile(wl.program, memory)
+        trace = collect_branch_trace(wl.program, wl.build_memory(stream))
+        baseline = evaluate_on_trace(make_predictor(SELECTION_BASELINE),
+                                     trace)
+        sel = select_branches(profile, baseline,
+                              bit_capacity=spec.bit_capacity,
+                              bdt_update=spec.bdt_update)
+        asbr = ASBRUnit.from_branch_infos(sel.infos,
+                                          capacity=spec.bit_capacity,
+                                          bdt_update=spec.bdt_update)
+    result = wl.run_pipeline(pcm,
+                             predictor=make_predictor(spec.predictor_spec),
+                             asbr=asbr)
+    if result.outputs != wl.golden_output(pcm):
+        raise AssertionError(
+            "%s produced wrong output under %s (asbr=%s)"
+            % (spec.benchmark, spec.predictor_spec, spec.with_asbr))
+    return result.stats
+
+
+def map_specs(specs: Sequence[RunSpec],
+              workers: int = 0) -> List[PipelineStats]:
+    """Execute every spec, returning stats in input order.
+
+    ``workers <= 1`` runs inline in this process — no multiprocessing
+    import, no pickling, deterministic and debuggable.  Larger values
+    fan out over a process pool; results are identical because both
+    paths run :func:`execute_spec` and every spec is self-contained.
+    A worker failure (e.g. a golden-output mismatch) propagates.
+    """
+    specs = list(specs)
+    if workers <= 1 or len(specs) <= 1:
+        return [execute_spec(s) for s in specs]
+    import multiprocessing
+    procs = min(workers, len(specs))
+    with multiprocessing.Pool(processes=procs) as pool:
+        return pool.map(execute_spec, specs)

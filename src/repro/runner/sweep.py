@@ -1,0 +1,53 @@
+"""Sweep orchestration: dedupe, cache lookup, parallel fill.
+
+:func:`run_sweep` is what the experiment layer calls: give it the full
+list of configurations a figure needs and it returns their stats in the
+same order, having simulated only the distinct, uncached ones — in
+parallel when asked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache, key_for_spec
+from repro.runner.pool import RunSpec, map_specs
+from repro.sim.pipeline import PipelineStats
+
+
+def run_sweep(specs: Sequence[RunSpec],
+              workers: int = 0,
+              cache: Optional[ResultCache] = None) -> List[PipelineStats]:
+    """Stats for every spec, in input order.
+
+    Duplicate specs are simulated once.  With a cache, known results are
+    read back instead of simulated and fresh results are recorded; with
+    ``workers > 1`` the remaining distinct runs go through a process
+    pool.  The result list is a pure function of ``specs`` — neither the
+    worker count nor the cache state can change what is returned, only
+    how fast (enforced by ``tests/test_runner.py``).
+    """
+    specs = list(specs)
+    resolved: Dict[RunSpec, PipelineStats] = {}
+    todo: List[RunSpec] = []
+    keys: Dict[RunSpec, str] = {}
+
+    for spec in specs:
+        if spec in resolved or spec in keys:
+            continue            # duplicate of one already seen
+        if cache is not None:
+            keys[spec] = key_for_spec(spec)
+            hit = cache.get(keys[spec])
+            if hit is not None:
+                resolved[spec] = hit
+                continue
+        else:
+            keys[spec] = ""
+        todo.append(spec)
+
+    for spec, stats in zip(todo, map_specs(todo, workers=workers)):
+        resolved[spec] = stats
+        if cache is not None:
+            cache.put(keys[spec], stats, describe=repr(spec))
+
+    return [resolved[spec] for spec in specs]

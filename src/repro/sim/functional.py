@@ -9,6 +9,17 @@ The simulator also doubles as the profiling engine: ``run`` accepts an
 *observer* that is called on every retired instruction, which the branch
 profiler in :mod:`repro.profiling` uses to collect branch outcome traces
 and definition-to-branch distances.
+
+Fast path
+---------
+At construction the simulator compiles every static instruction into a
+small closure (an *execution plan*) with the opcode dispatch, ALU
+callable, operand register indices and control-flow targets all resolved
+ahead of time — the PC of each text slot is fixed, so even branch and
+jump targets are absolute constants.  ``run``/``step`` execute plans
+directly; :meth:`FunctionalSimulator.execute` remains the reference
+(re-dispatching) implementation and defines the architectural semantics
+the plans must reproduce (see ``tests/test_differential_random.py``).
 """
 
 from __future__ import annotations
@@ -17,7 +28,15 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.asm.program import Program, STACK_TOP
-from repro.isa.alu import alu_execute, load_value, to_signed
+from repro.isa.alu import (
+    LOAD_FIX,
+    MASK32,
+    ZERO_TESTS_U,
+    alu_execute,
+    alu_fn,
+    load_value,
+    to_signed,
+)
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Kind
 from repro.isa.registers import RegisterFile
@@ -75,18 +94,153 @@ class FunctionalSimulator:
         self.halted = False
         self.instructions_retired = 0
         self.ctl_writes: List[int] = []   # values written via ctlw
+        self._plans: List[Callable[[], int]] = [
+            self._compile(instr, program.pc_of(i))
+            for i, instr in enumerate(program.instrs)
+        ]
+
+    # ------------------------------------------------------------------
+    # plan compilation (construction-time decode)
+    # ------------------------------------------------------------------
+    def _compile(self, instr: Instruction, pc: int) -> Callable[[], int]:
+        """An argument-free closure executing ``instr`` at its fixed
+        ``pc``; returns the next PC.  Must behave exactly like
+        :meth:`execute` (the differential suite enforces this)."""
+        regs = self.regs.raw
+        spec = instr.spec
+        k = spec.kind
+        op = instr.op
+        pc4 = (pc + 4) & MASK32
+
+        if k is Kind.ALU_RRR:
+            rd = instr.rd
+            if rd == 0:     # write discarded; ALU ops cannot trap
+                return lambda: pc4
+            def plan(regs=regs, fn=alu_fn(spec.alu_op), rd=rd,
+                     rs=instr.rs, rt=instr.rt, pc4=pc4):
+                regs[rd] = fn(regs[rs], regs[rt])
+                return pc4
+            return plan
+        if k is Kind.SHIFT_I:
+            rd = instr.rd
+            if rd == 0:
+                return lambda: pc4
+            def plan(regs=regs, fn=alu_fn(spec.alu_op), rd=rd,
+                     rs=instr.rs, b=instr.shamt, pc4=pc4):
+                regs[rd] = fn(regs[rs], b)
+                return pc4
+            return plan
+        if k is Kind.ALU_RRI:
+            rt = instr.rt
+            if rt == 0:
+                return lambda: pc4
+            def plan(regs=regs, fn=alu_fn(spec.alu_op), rt=rt,
+                     rs=instr.rs, b=instr.imm, pc4=pc4):
+                regs[rt] = fn(regs[rs], b)
+                return pc4
+            return plan
+        if k is Kind.LUI:
+            rt = instr.rt
+            value = (instr.imm << 16) & MASK32
+            if rt == 0:
+                return lambda: pc4
+            def plan(regs=regs, rt=rt, value=value, pc4=pc4):
+                regs[rt] = value
+                return pc4
+            return plan
+        if k is Kind.LOAD:
+            rt = instr.rt
+            if rt == 0:
+                # the access (and any alignment trap) still happens
+                def plan(regs=regs, read=self.memory.read, rs=instr.rs,
+                         imm=instr.imm, size=_LOAD_SIZE[op], pc4=pc4):
+                    read((regs[rs] + imm) & MASK32, size)
+                    return pc4
+                return plan
+            def plan(regs=regs, read=self.memory.read, rt=rt, rs=instr.rs,
+                     imm=instr.imm, size=_LOAD_SIZE[op], fix=LOAD_FIX[op],
+                     pc4=pc4):
+                regs[rt] = fix(read((regs[rs] + imm) & MASK32, size))
+                return pc4
+            return plan
+        if k is Kind.STORE:
+            def plan(regs=regs, write=self.memory.write, rt=instr.rt,
+                     rs=instr.rs, imm=instr.imm, size=_STORE_SIZE[op],
+                     pc4=pc4):
+                write((regs[rs] + imm) & MASK32, regs[rt], size)
+                return pc4
+            return plan
+        if k is Kind.BRANCH_CMP:
+            target = instr.branch_target(pc)
+            if op == "beq":
+                def plan(regs=regs, rs=instr.rs, rt=instr.rt,
+                         target=target, pc4=pc4):
+                    return target if regs[rs] == regs[rt] else pc4
+            else:
+                def plan(regs=regs, rs=instr.rs, rt=instr.rt,
+                         target=target, pc4=pc4):
+                    return target if regs[rs] != regs[rt] else pc4
+            return plan
+        if k is Kind.BRANCH_Z:
+            def plan(regs=regs, rs=instr.rs,
+                     test=ZERO_TESTS_U[spec.condition.value],
+                     target=instr.branch_target(pc), pc4=pc4):
+                return target if test(regs[rs]) else pc4
+            return plan
+        if k is Kind.JUMP:
+            target = instr.jump_target(pc)
+            return lambda: target
+        if k is Kind.JAL:
+            def plan(regs=regs, target=instr.jump_target(pc), pc4=pc4):
+                regs[31] = pc4
+                return target
+            return plan
+        if k is Kind.JR:
+            def plan(regs=regs, rs=instr.rs):
+                return regs[rs]
+            return plan
+        if k is Kind.JALR:
+            # write before read: jalr rX, rX returns to PC+4
+            def plan(regs=regs, rd=instr.rd, rs=instr.rs, pc4=pc4):
+                if rd:
+                    regs[rd] = pc4
+                return regs[rs]
+            return plan
+        if k is Kind.HALT:
+            def plan(sim=self, pc4=pc4):
+                sim.halted = True
+                return pc4
+            return plan
+        if k is Kind.CTL:
+            def plan(append=self.ctl_writes.append, imm=instr.imm, pc4=pc4):
+                append(imm)
+                return pc4
+            return plan
+        raise SimulationError("unhandled kind %s" % k)  # pragma: no cover
+
+    def _plan_index(self, pc: int) -> int:
+        """Text index of ``pc``; raises the canonical out-of-text error."""
+        i = (pc - self.program.text_base) >> 2
+        if pc & 3 or not 0 <= i < len(self._plans):
+            self.program.instr_at(pc)   # raises ValueError
+        return i
 
     # ------------------------------------------------------------------
     def step(self) -> Instruction:
         """Execute one instruction; returns the instruction executed."""
         if self.halted:
             raise SimulationError("step() after halt")
-        instr = self.program.instr_at(self.pc)
-        self.execute(instr)
-        return instr
+        i = self._plan_index(self.pc)
+        self.pc = self._plans[i]()
+        self.instructions_retired += 1
+        return self.program.instrs[i]
 
     def execute(self, instr: Instruction) -> None:
-        """Execute ``instr`` at the current PC and advance the PC."""
+        """Execute ``instr`` at the current PC and advance the PC.
+
+        This is the reference (re-dispatching) semantics; ``run`` and
+        ``step`` use the pre-compiled plans, which must match it.
+        """
         pc = self.pc
         next_pc = (pc + 4) & 0xFFFFFFFF
         regs = self.regs
@@ -152,18 +306,29 @@ class FunctionalSimulator:
         :class:`SimulationError` if the instruction budget is exhausted
         (runaway program).
         """
-        start = self.instructions_retired
-        while not self.halted:
-            if self.instructions_retired - start >= max_instructions:
-                raise SimulationError(
-                    "instruction budget (%d) exhausted at pc=0x%x"
-                    % (max_instructions, self.pc))
-            pc = self.pc
-            instr = self.program.instr_at(pc)
-            self.execute(instr)
-            if observer is not None:
-                observer(pc, instr, self.pc)
-        return self.instructions_retired - start
+        plans = self._plans
+        instrs = self.program.instrs
+        base = self.program.text_base
+        n = len(plans)
+        retired = 0
+        try:
+            while not self.halted:
+                if retired >= max_instructions:
+                    raise SimulationError(
+                        "instruction budget (%d) exhausted at pc=0x%x"
+                        % (max_instructions, self.pc))
+                pc = self.pc
+                i = (pc - base) >> 2
+                if pc & 3 or not 0 <= i < n:
+                    self.program.instr_at(pc)   # raises ValueError
+                next_pc = plans[i]()
+                self.pc = next_pc
+                retired += 1
+                if observer is not None:
+                    observer(pc, instrs[i], next_pc)
+        finally:
+            self.instructions_retired += retired
+        return retired
 
     # ------------------------------------------------------------------
     def branch_outcome(self, instr: Instruction) -> bool:
@@ -210,13 +375,25 @@ def collect_branch_trace(program: Program,
     sim = FunctionalSimulator(program, memory)
     trace: List[BranchRecord] = []
     append = trace.append
-    while not sim.halted:
-        if sim.instructions_retired >= max_instructions:
-            raise SimulationError("instruction budget exhausted")
-        pc = sim.pc
-        instr = sim.program.instr_at(pc)
-        if instr.is_branch:
-            taken = sim.branch_outcome(instr)
-            append(BranchRecord(pc, taken, instr.branch_target(pc)))
-        sim.execute(instr)
+    plans = sim._plans
+    instrs = program.instrs
+    base = program.text_base
+    n = len(plans)
+    retired = 0
+    try:
+        while not sim.halted:
+            if retired >= max_instructions:
+                raise SimulationError("instruction budget exhausted")
+            pc = sim.pc
+            i = (pc - base) >> 2
+            if pc & 3 or not 0 <= i < n:
+                program.instr_at(pc)   # raises ValueError
+            instr = instrs[i]
+            if instr.is_branch:
+                taken = sim.branch_outcome(instr)
+                append(BranchRecord(pc, taken, instr.branch_target(pc)))
+            sim.pc = plans[i]()
+            retired += 1
+    finally:
+        sim.instructions_retired += retired
     return trace

@@ -26,6 +26,19 @@ configured forwarding path, and a fetch-stage fold can only observe them
 on the following cycle.  This reproduces exactly the paper's
 distance-vs-threshold feasibility rule.
 
+Fast path
+---------
+Every static instruction is decoded once at simulator construction into
+a :class:`_Decoded` record: the EX-stage handler is a pre-bound
+function, operand register indices, ALU callables, load widths and
+sign-fixups are pre-resolved, and — because each text slot's PC is fixed
+— branch/jump targets and the unconditional-fold target are absolute
+constants.  ``tick()`` therefore never re-branches on the opcode; the
+per-cycle work is a handful of attribute reads and one indirect call per
+occupied stage.  Cycle counts are *bit-identical* to the original
+re-dispatching implementation (``tests/test_stats_golden.py`` locks
+them; ``tests/test_differential_random.py`` locks architectural state).
+
 Architectural behaviour is defined by
 :class:`~repro.sim.functional.FunctionalSimulator`; equality of final
 register/memory state under every configuration is enforced by the
@@ -35,11 +48,11 @@ integration test-suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.asbr.folding import ASBRUnit
 from repro.asm.program import Program, STACK_TOP
-from repro.isa.alu import alu_execute, load_value, to_signed
+from repro.isa.alu import LOAD_FIX, MASK32, ZERO_TESTS_U, alu_fn
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Kind
 from repro.isa.registers import RegisterFile
@@ -47,7 +60,7 @@ from repro.memory.cache import Cache, CacheConfig
 from repro.memory.main_memory import MainMemory
 from repro.predictors.base import BranchPredictor
 from repro.predictors.simple import NotTakenPredictor
-from repro.sim.functional import SimulationError, _eval_zero
+from repro.sim.functional import SimulationError
 
 _LOAD_SIZE = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
 _STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4}
@@ -98,22 +111,174 @@ class PipelineStats:
         return 1.0 - self.branch_mispredicts / self.branches
 
 
+# ======================================================================
+# construction-time decode
+# ======================================================================
+class _Decoded:
+    """One statically-decoded instruction at a fixed text address."""
+
+    __slots__ = ("instr", "pc", "pc4", "ex", "dest", "srcs",
+                 "is_load", "is_store", "is_branch", "is_halt", "is_ctl",
+                 "is_jump", "rs", "rt", "imm", "shamt", "alu",
+                 "result_const", "size", "load_fix",
+                 "br_target", "cond", "eq_sense", "jump_target",
+                 "uncond_fold")
+
+
+def _ex_alu_rrr(sim, slot, d):
+    slot.result = d.alu(sim._operand(d.rs), sim._operand(d.rt))
+
+
+def _ex_shift_i(sim, slot, d):
+    slot.result = d.alu(sim._operand(d.rs), d.shamt)
+
+
+def _ex_alu_rri(sim, slot, d):
+    slot.result = d.alu(sim._operand(d.rs), d.imm)
+
+
+def _ex_const(sim, slot, d):            # LUI
+    slot.result = d.result_const
+
+
+def _ex_load(sim, slot, d):
+    slot.mem_addr = (sim._operand(d.rs) + d.imm) & MASK32
+
+
+def _ex_store(sim, slot, d):
+    slot.mem_addr = (sim._operand(d.rs) + d.imm) & MASK32
+    slot.store_val = sim._operand(d.rt)
+
+
+def _ex_branch_cmp(sim, slot, d):
+    taken = (sim._operand(d.rs) == sim._operand(d.rt)) == d.eq_sense
+    target = d.br_target
+    actual = target if taken else d.pc4
+    stats = sim.stats
+    stats.branches += 1
+    sim.predictor.update(slot.pc, taken, target)
+    if actual != slot.pred_next_pc:
+        stats.branch_mispredicts += 1
+        sim._redirect(actual)
+
+
+def _ex_branch_z(sim, slot, d):
+    taken = d.cond(sim._operand(d.rs))
+    target = d.br_target
+    actual = target if taken else d.pc4
+    stats = sim.stats
+    stats.branches += 1
+    sim.predictor.update(slot.pc, taken, target)
+    if actual != slot.pred_next_pc:
+        stats.branch_mispredicts += 1
+        sim._redirect(actual)
+
+
+def _ex_jal(sim, slot, d):
+    slot.result = d.pc4
+
+
+def _ex_jr(sim, slot, d):
+    sim._redirect(sim._operand(d.rs))
+    sim.stats.jr_redirects += 1
+
+
+def _ex_jalr(sim, slot, d):
+    slot.result = d.pc4
+    sim._redirect(sim._operand(d.rs))
+    sim.stats.jr_redirects += 1
+
+
+def _ex_none(sim, slot, d):             # JUMP/HALT/CTL: nothing to compute
+    pass
+
+
+def _decode(instr: Instruction, pc: int) -> _Decoded:
+    """Build the decoded record for ``instr`` at address ``pc``."""
+    d = _Decoded()
+    spec = instr.spec
+    k = spec.kind
+    d.instr = instr
+    d.pc = pc
+    d.pc4 = (pc + 4) & MASK32
+    d.dest = instr.dest_reg
+    d.srcs = tuple(instr.src_regs)
+    d.is_load = k is Kind.LOAD
+    d.is_store = k is Kind.STORE
+    d.is_branch = instr.is_branch
+    d.is_halt = k is Kind.HALT
+    d.is_ctl = k is Kind.CTL
+    d.is_jump = k is Kind.JUMP or k is Kind.JAL
+    d.rs = instr.rs
+    d.rt = instr.rt
+    d.imm = instr.imm
+    d.shamt = instr.shamt
+    d.alu = None
+    d.result_const = 0
+    d.size = 0
+    d.load_fix = None
+    d.br_target = 0
+    d.cond = None
+    d.eq_sense = True
+    d.jump_target = 0
+    d.uncond_fold = None
+
+    if k is Kind.ALU_RRR:
+        d.alu = alu_fn(spec.alu_op)
+        d.ex = _ex_alu_rrr
+    elif k is Kind.SHIFT_I:
+        d.alu = alu_fn(spec.alu_op)
+        d.ex = _ex_shift_i
+    elif k is Kind.ALU_RRI:
+        d.alu = alu_fn(spec.alu_op)
+        d.ex = _ex_alu_rri
+    elif k is Kind.LUI:
+        d.result_const = (instr.imm << 16) & MASK32
+        d.ex = _ex_const
+    elif k is Kind.LOAD:
+        d.size = _LOAD_SIZE[instr.op]
+        d.load_fix = LOAD_FIX[instr.op]
+        d.ex = _ex_load
+    elif k is Kind.STORE:
+        d.size = _STORE_SIZE[instr.op]
+        d.ex = _ex_store
+    elif k is Kind.BRANCH_CMP:
+        d.eq_sense = instr.op == "beq"
+        d.br_target = instr.branch_target(pc)
+        d.ex = _ex_branch_cmp
+    elif k is Kind.BRANCH_Z:
+        d.cond = ZERO_TESTS_U[spec.condition.value]
+        d.br_target = instr.branch_target(pc)
+        d.ex = _ex_branch_z
+    elif k is Kind.JUMP:
+        d.jump_target = instr.jump_target(pc)
+        d.ex = _ex_none
+    elif k is Kind.JAL:
+        d.jump_target = instr.jump_target(pc)
+        d.ex = _ex_jal
+    elif k is Kind.JR:
+        d.ex = _ex_jr
+    elif k is Kind.JALR:
+        d.ex = _ex_jalr
+    else:                               # HALT, CTL
+        d.ex = _ex_none
+    return d
+
+
 class _Slot:
     """One in-flight instruction (the content of a pipeline latch)."""
 
-    __slots__ = ("instr", "pc", "folded", "uncond_folded",
-                 "pred_next_pc", "is_cond_branch",
-                 "result", "mem_addr", "store_val", "mem_wait", "mem_done",
-                 "ex_done", "id_done", "acquired_reg")
+    __slots__ = ("d", "pc", "folded", "uncond_folded",
+                 "pred_next_pc", "result", "mem_addr", "store_val",
+                 "mem_wait", "mem_done", "ex_done", "id_done",
+                 "acquired_reg")
 
-    def __init__(self, instr: Instruction, pc: int,
-                 folded: bool = False, uncond_folded: bool = False) -> None:
-        self.instr = instr
+    def __init__(self, d: _Decoded, pc: int) -> None:
+        self.d = d
         self.pc = pc
-        self.folded = folded
-        self.uncond_folded = uncond_folded
+        self.folded = False            # fold paths set these after
+        self.uncond_folded = False     # construction (kwargs are slow)
         self.pred_next_pc = 0          # what fetch assumed comes next
-        self.is_cond_branch = instr.is_branch
         self.result = 0
         self.mem_addr = 0
         self.store_val = 0
@@ -122,6 +287,10 @@ class _Slot:
         self.ex_done = False
         self.id_done = False
         self.acquired_reg: Optional[int] = None
+
+    @property
+    def instr(self) -> Instruction:
+        return self.d.instr
 
 
 class PipelineSimulator:
@@ -181,34 +350,116 @@ class PipelineSimulator:
         self._fetch_halted = False            # halt decoded on current path
         self._pending_releases = []           # (reg, value) applied at EOT
 
+        # ---- fast-path state ---------------------------------------------
+        self._reglist = self.regs.raw
+        self._mem_read = self.memory.read
+        self._mem_write = self.memory.write
+        self._icache_access = self.icache.access
+        self._dcache_access = self.dcache.access
+        self._text_base = program.text_base
+        self._text_end = program.text_end
+        self._bdt_commit = asbr is not None and asbr.bdt_update == "commit"
+        self._rel_mem = asbr is not None and asbr.bdt_update == "mem"
+        self._rel_ex = asbr is not None and asbr.bdt_update == "execute"
+        self._dec: List[_Decoded] = [
+            _decode(instr, program.pc_of(i))
+            for i, instr in enumerate(program.instrs)
+        ]
+        # injected (BTI/BFI) instructions decoded on first use
+        self._foreign: Dict[int, _Decoded] = {}
+        self._precompute_uncond_folds()
+
+    def _precompute_uncond_folds(self) -> None:
+        """Resolve each statically-unconditional transfer's fold target.
+
+        ``d.uncond_fold`` is ``(target_record, target_pc, next_fetch_pc)``
+        when the transfer can be folded at fetch, else None.  Records are
+        per-simulator, so when unconditional folding is off nothing is
+        marked and the fetch path pays a single None check.
+        """
+        if not self.fold_unconditional:
+            return
+        base, end = self._text_base, self._text_end
+        dec = self._dec
+        for d in dec:
+            k = d.instr.spec.kind
+            if k is Kind.JUMP:
+                target = d.jump_target
+            elif (k is Kind.BRANCH_CMP and d.instr.op == "beq"
+                    and d.rs == 0 and d.rt == 0):
+                target = d.br_target
+            else:
+                continue
+            if target & 3 or not base <= target < end:
+                continue
+            td = dec[(target - base) >> 2]
+            if td.instr.is_control or td.is_halt:
+                continue
+            d.uncond_fold = (td, target, (target + 4) & MASK32)
+
+    def _foreign_decode(self, instr: Instruction, pc: int) -> _Decoded:
+        """Decoded record for an injected (non-program) instruction.
+
+        BIT entries pre-decode their own BTI/BFI objects, so identity is
+        stable and each object is always injected at the same PC."""
+        key = id(instr)
+        d = self._foreign.get(key)
+        if d is None:
+            d = _decode(instr, pc)
+            self._foreign[key] = d
+        return d
+
     # ==================================================================
     # public API
     # ==================================================================
     def run(self) -> PipelineStats:
         """Simulate until the program's ``halt`` commits."""
         max_cycles = self.config.max_cycles
+        stats = self.stats
+        tick = self.tick
         while not self.halted:
-            if self.stats.cycles >= max_cycles:
+            if stats.cycles >= max_cycles:
                 raise SimulationError(
                     "cycle budget (%d) exhausted; fetch_pc=0x%x"
                     % (max_cycles, self.fetch_pc))
-            self.tick()
-        return self.stats
+            tick()
+        return stats
 
     # ==================================================================
     # one clock cycle
     # ==================================================================
     def tick(self) -> None:
-        self.stats.cycles += 1
+        """Advance one clock: stage work upstream-last, then the latch
+        moves downstream-first (the end-of-cycle "advance" is inlined
+        here — the latch state is already in locals)."""
+        stats = self.stats
+        stats.cycles += 1
         self._suppress_fetch = False
+        asbr = self.asbr
+        pending = self._pending_releases   # list identity is stable
 
         # ---- WB: commit -------------------------------------------------
-        if self.s_wb is not None:
-            self._commit(self.s_wb)
+        wb = self.s_wb
+        if wb is not None:
+            d = wb.d
+            dest = d.dest
+            if dest is not None and dest != 0:
+                self._reglist[dest] = wb.result & MASK32
+                if wb.acquired_reg is not None and self._bdt_commit:
+                    # commit-point BDT update (no forwarding configured)
+                    pending.append((dest, wb.result))
+            if wb.folded:
+                stats.folds_committed += 1
+            if wb.uncond_folded:
+                stats.uncond_folds_committed += 1
+            stats.committed += 1
             self.s_wb = None
-            if self.halted:
+            if d.is_halt:
                 # nothing younger may have architectural effect
+                self.halted = True
                 return
+            if d.is_ctl and asbr is not None:
+                asbr.control_write(d.imm)
 
         # ---- MEM: first-cycle work --------------------------------------
         mem = self.s_mem
@@ -218,12 +469,32 @@ class PipelineSimulator:
         # ---- EX: first-cycle work (may squash and redirect) -------------
         ex = self.s_ex
         if ex is not None and not ex.ex_done:
-            self._ex_work(ex)
+            ex.ex_done = True
+            d = ex.d
+            d.ex(self, ex, d)
 
         # ---- ID: first-cycle work (jump redirect, BDT acquire) ----------
+        # re-read: an EX redirect squashes the slot that was in ID
         did = self.s_id
         if did is not None and not did.id_done:
-            self._id_work(did)
+            did.id_done = True
+            d = did.d
+            if asbr is not None:
+                dest = d.dest
+                if dest is not None and dest != 0:
+                    asbr.producer_decoded(dest)
+                    did.acquired_reg = dest
+            if d.is_halt:
+                # stop fetching down this path; an EX redirect re-enables
+                self._fetch_halted = True
+            elif d.is_jump:
+                # target known after decode: redirect next cycle's fetch
+                self._squash(self.s_if)
+                self.s_if = None
+                self.if_wait = 0
+                self.fetch_pc = d.jump_target
+                self._suppress_fetch = True
+                stats.jump_bubbles += 1
 
         # ---- IF: start a new fetch --------------------------------------
         if (self.s_if is None and not self._suppress_fetch
@@ -231,51 +502,73 @@ class PipelineSimulator:
             self._start_fetch()
 
         # ---- end of cycle: advance latches downstream-first -------------
-        self._advance()
+        # MEM -> WB
+        if mem is not None and mem.mem_done:
+            if mem.mem_wait > 0:
+                mem.mem_wait -= 1
+            else:
+                if (mem.acquired_reg is not None
+                        and (self._rel_mem
+                             or (self._rel_ex and mem.d.is_load))):
+                    pending.append((mem.acquired_reg, mem.result))
+                    mem.acquired_reg = None
+                self.s_wb = mem
+                self.s_mem = None
+
+        # EX -> MEM
+        if ex is not None and ex.ex_done and self.s_mem is None:
+            if (self._rel_ex and ex.acquired_reg is not None
+                    and not ex.d.is_load):
+                pending.append((ex.acquired_reg, ex.result))
+                ex.acquired_reg = None
+            self.s_mem = ex
+            self.s_ex = None
+
+        # ID -> EX (load-use interlock against the instruction that was
+        # in EX this cycle — ex, whether or not it just advanced; note
+        # did is still current: nothing below EX work touches s_id)
+        if did is not None and did.id_done and self.s_ex is None:
+            if ex is not None and ex.d.is_load:
+                ex_dest = ex.d.dest
+                if (ex_dest is not None and ex_dest != 0
+                        and ex_dest in did.d.srcs):
+                    stats.load_use_stalls += 1
+                else:
+                    self.s_ex = did
+                    self.s_id = None
+            else:
+                self.s_ex = did
+                self.s_id = None
+
+        # IF -> ID
+        fslot = self.s_if
+        if fslot is not None:
+            if self.if_wait > 0:
+                self.if_wait -= 1
+            elif self.s_id is None:
+                self.s_id = fslot
+                self.s_if = None
 
         # ---- apply deferred BDT releases (visible from next cycle) ------
-        if self._pending_releases:
-            asbr = self.asbr
-            for reg, value in self._pending_releases:
+        if pending:
+            for reg, value in pending:
                 asbr.producer_value(reg, value)
-            self._pending_releases.clear()
+            pending.clear()
 
     # ==================================================================
     # stage work
     # ==================================================================
-    def _commit(self, slot: _Slot) -> None:
-        instr = slot.instr
-        kind = instr.spec.kind
-        dest = instr.dest_reg
-        if dest is not None:
-            self.regs.write(dest, slot.result)
-            if (self.asbr is not None and slot.acquired_reg is not None):
-                # commit-point BDT update (no forwarding paths configured)
-                if self.asbr.bdt_update == "commit":
-                    self._pending_releases.append((dest, slot.result))
-        if kind is Kind.HALT:
-            self.halted = True
-        elif kind is Kind.CTL and self.asbr is not None:
-            self.asbr.control_write(instr.imm)
-        if slot.folded:
-            self.stats.folds_committed += 1
-        if slot.uncond_folded:
-            self.stats.uncond_folds_committed += 1
-        self.stats.committed += 1
-
     def _mem_work(self, slot: _Slot) -> None:
-        instr = slot.instr
+        d = slot.d
         slot.mem_done = True
-        if instr.is_load:
-            raw = self.memory.read(slot.mem_addr, _LOAD_SIZE[instr.op])
-            slot.result = load_value(instr.op, raw)
-            extra = self.dcache.access(slot.mem_addr, is_write=False)
+        if d.is_load:
+            slot.result = d.load_fix(self._mem_read(slot.mem_addr, d.size))
+            extra = self._dcache_access(slot.mem_addr, False)
             slot.mem_wait = extra
             self.stats.dcache_miss_stalls += extra
-        elif instr.is_store:
-            self.memory.write(slot.mem_addr, slot.store_val,
-                              _STORE_SIZE[instr.op])
-            extra = self.dcache.access(slot.mem_addr, is_write=True)
+        elif d.is_store:
+            self._mem_write(slot.mem_addr, slot.store_val, d.size)
+            extra = self._dcache_access(slot.mem_addr, True)
             slot.mem_wait = extra
             self.stats.dcache_miss_stalls += extra
 
@@ -291,63 +584,9 @@ class PipelineSimulator:
         if reg == 0:
             return 0
         fwd = self.s_mem
-        if fwd is not None and fwd.instr.dest_reg == reg:
+        if fwd is not None and fwd.d.dest == reg:
             return fwd.result
-        return self.regs[reg]
-
-    def _ex_work(self, slot: _Slot) -> None:
-        instr = slot.instr
-        kind = instr.spec.kind
-        slot.ex_done = True
-        pc = slot.pc
-
-        if kind is Kind.ALU_RRR:
-            slot.result = alu_execute(instr.spec.alu_op,
-                                      self._operand(instr.rs),
-                                      self._operand(instr.rt))
-        elif kind is Kind.SHIFT_I:
-            slot.result = alu_execute(instr.spec.alu_op,
-                                      self._operand(instr.rs), instr.shamt)
-        elif kind is Kind.ALU_RRI:
-            slot.result = alu_execute(instr.spec.alu_op,
-                                      self._operand(instr.rs), instr.imm)
-        elif kind is Kind.LUI:
-            slot.result = (instr.imm << 16) & 0xFFFFFFFF
-        elif kind is Kind.LOAD:
-            slot.mem_addr = (self._operand(instr.rs) + instr.imm) & 0xFFFFFFFF
-        elif kind is Kind.STORE:
-            slot.mem_addr = (self._operand(instr.rs) + instr.imm) & 0xFFFFFFFF
-            slot.store_val = self._operand(instr.rt)
-        elif kind is Kind.BRANCH_CMP or kind is Kind.BRANCH_Z:
-            self._resolve_branch(slot)
-            return
-        elif kind is Kind.JAL:
-            slot.result = (pc + 4) & 0xFFFFFFFF
-        elif kind is Kind.JR:
-            self._redirect(self._operand(instr.rs))
-            self.stats.jr_redirects += 1
-        elif kind is Kind.JALR:
-            slot.result = (pc + 4) & 0xFFFFFFFF
-            self._redirect(self._operand(instr.rs))
-            self.stats.jr_redirects += 1
-        # JUMP/HALT/CTL: nothing to compute
-
-    def _resolve_branch(self, slot: _Slot) -> None:
-        instr = slot.instr
-        pc = slot.pc
-        if instr.spec.kind is Kind.BRANCH_CMP:
-            eq = self._operand(instr.rs) == self._operand(instr.rt)
-            taken = eq if instr.op == "beq" else not eq
-        else:
-            taken = _eval_zero(instr.spec.condition.value,
-                               to_signed(self._operand(instr.rs)))
-        target = instr.branch_target(pc)
-        actual_next = target if taken else (pc + 4) & 0xFFFFFFFF
-        self.stats.branches += 1
-        self.predictor.update(pc, taken, target)
-        if actual_next != slot.pred_next_pc:
-            self.stats.branch_mispredicts += 1
-            self._redirect(actual_next)
+        return self._reglist[reg]
 
     def _redirect(self, new_pc: int) -> None:
         """EX-stage control redirect: squash the two younger stages."""
@@ -368,145 +607,58 @@ class PipelineSimulator:
             self.asbr.producer_squashed(slot.acquired_reg)
             slot.acquired_reg = None
 
-    def _id_work(self, slot: _Slot) -> None:
-        instr = slot.instr
-        slot.id_done = True
-        dest = instr.dest_reg
-        if self.asbr is not None and dest is not None and dest != 0:
-            self.asbr.producer_decoded(dest)
-            slot.acquired_reg = dest
-        kind = instr.spec.kind
-        if kind is Kind.HALT:
-            # stop fetching down this path; an EX redirect re-enables it
-            self._fetch_halted = True
-        elif kind is Kind.JUMP or kind is Kind.JAL:
-            # target known after decode: redirect next cycle's fetch
-            self._squash(self.s_if)
-            self.s_if = None
-            self.if_wait = 0
-            self.fetch_pc = instr.jump_target(slot.pc)
-            self._suppress_fetch = True
-            self.stats.jump_bubbles += 1
-
     # ==================================================================
     # fetch
     # ==================================================================
     def _in_text(self, pc: int) -> bool:
-        return (self.program.text_base <= pc < self.program.text_end
+        return (self._text_base <= pc < self._text_end
                 and pc % 4 == 0)
-
-    @staticmethod
-    def _static_uncond_target(instr: Instruction,
-                              pc: int) -> Optional[int]:
-        """Target of a statically-unconditional transfer, else None."""
-        kind = instr.spec.kind
-        if kind is Kind.JUMP:
-            return instr.jump_target(pc)
-        if kind is Kind.BRANCH_CMP and instr.op == "beq" \
-                and instr.rs == 0 and instr.rt == 0:
-            return instr.branch_target(pc)
-        return None
 
     def _start_fetch(self) -> None:
         pc = self.fetch_pc
-        if not self._in_text(pc):
+        if pc & 3 or not self._text_base <= pc < self._text_end:
             return  # ran off the text segment (wrong path) — fetch nothing
-        instr = self.program.instrs[(pc - self.program.text_base) >> 2]
-        extra = self.icache.access(pc)
-        self.stats.icache_miss_stalls += extra
+        d = self._dec[(pc - self._text_base) >> 2]
+        stats = self.stats
+        extra = self._icache_access(pc)
         self.if_wait = extra
+        if extra:
+            stats.icache_miss_stalls += extra
 
-        if self.fold_unconditional:
-            target = self._static_uncond_target(instr, pc)
-            if target is not None and self._in_text(target):
-                tinstr = self.program.instrs[
-                    (target - self.program.text_base) >> 2]
-                if not tinstr.is_control \
-                        and tinstr.spec.kind is not Kind.HALT:
-                    self.s_if = _Slot(tinstr, target, uncond_folded=True)
-                    self.stats.fetched += 1
-                    self.fetch_pc = (target + 4) & 0xFFFFFFFF
-                    return
+        uf = d.uncond_fold          # non-None only when folding is enabled
+        if uf is not None:
+            td, tpc, next_pc = uf
+            slot = _Slot(td, tpc)
+            slot.uncond_folded = True
+            self.s_if = slot
+            stats.fetched += 1
+            self.fetch_pc = next_pc
+            return
 
-        if instr.is_branch:
+        if d.is_branch:
             if self.asbr is not None:
                 fold = self.asbr.try_fold(pc)
                 if fold is not None:
-                    slot = _Slot(fold.instr, fold.instr_pc, folded=True)
+                    fd = self._foreign_decode(fold.instr, fold.instr_pc)
+                    slot = _Slot(fd, fold.instr_pc)
+                    slot.folded = True
                     self.s_if = slot
-                    self.stats.fetched += 1
+                    stats.fetched += 1
                     self.fetch_pc = fold.next_pc
                     return
             pred = self.predictor.predict(pc)
-            self.stats.predictor_lookups += 1
-            slot = _Slot(instr, pc)
+            stats.predictor_lookups += 1
+            slot = _Slot(d, pc)
             if pred.taken and pred.target is not None:
                 slot.pred_next_pc = pred.target
             else:
-                slot.pred_next_pc = (pc + 4) & 0xFFFFFFFF
+                slot.pred_next_pc = d.pc4
             self.s_if = slot
-            self.stats.fetched += 1
+            stats.fetched += 1
             self.fetch_pc = slot.pred_next_pc
             return
 
-        self.s_if = _Slot(instr, pc)
-        self.stats.fetched += 1
-        self.fetch_pc = (pc + 4) & 0xFFFFFFFF
+        self.s_if = _Slot(d, pc)
+        stats.fetched += 1
+        self.fetch_pc = d.pc4
 
-    # ==================================================================
-    # latch advance (end of cycle), downstream first
-    # ==================================================================
-    def _advance(self) -> None:
-        update = self.asbr.bdt_update if self.asbr is not None else None
-
-        # MEM -> WB
-        mem = self.s_mem
-        if mem is not None and mem.mem_done:
-            if mem.mem_wait > 0:
-                mem.mem_wait -= 1
-            else:
-                if (update is not None and mem.acquired_reg is not None
-                        and (update == "mem"
-                             or (update == "execute" and mem.instr.is_load))):
-                    self._pending_releases.append(
-                        (mem.acquired_reg, mem.result))
-                    mem.acquired_reg = None
-                self.s_wb = mem
-                self.s_mem = None
-
-        # EX -> MEM
-        ex = self.s_ex
-        ex_is_load = False
-        ex_dest = None
-        if ex is not None and ex.ex_done and self.s_mem is None:
-            if (update == "execute" and ex.acquired_reg is not None
-                    and not ex.instr.is_load):
-                self._pending_releases.append((ex.acquired_reg, ex.result))
-                ex.acquired_reg = None
-            self.s_mem = ex
-            self.s_ex = None
-        # the interlock below keys off whichever instruction occupied EX
-        # during this cycle (ex), whether or not it just advanced
-        if ex is not None:
-            ex_is_load = ex.instr.is_load
-            ex_dest = ex.instr.dest_reg
-
-        # ID -> EX (load-use interlock against the instruction that was
-        # in EX this cycle)
-        did = self.s_id
-        if did is not None and did.id_done and self.s_ex is None:
-            if (ex_is_load and ex_dest is not None and ex_dest != 0
-                    and ex_dest in did.instr.src_regs):
-                self.stats.load_use_stalls += 1
-            else:
-                self.s_ex = did
-                self.s_id = None
-
-        # IF -> ID
-        fslot = self.s_if
-        if fslot is not None:
-            if self.if_wait > 0:
-                self.if_wait -= 1
-            elif self.s_id is None:
-                self.s_id = fslot
-                self.s_if = None

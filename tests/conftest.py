@@ -2,6 +2,19 @@
 
 import pytest
 
+
+def pytest_collection_modifyitems(config, items):
+    """Everything not explicitly ``slow`` is tier-1.
+
+    ``pytest`` (no options) runs tier-1 only — the default ``-m "not
+    slow"`` in pyproject.toml keeps the command fast; ``pytest -m slow``
+    opts into the nightly sweeps and ``pytest -m "tier1 or slow"`` runs
+    everything.
+    """
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+
 from repro.asm import assemble
 from repro.workloads.inputs import speech_like, step_pattern
 

@@ -1,0 +1,225 @@
+"""Tests for the parallel experiment runner and its on-disk cache.
+
+Covers the contract stated in :mod:`repro.runner`:
+
+* cache hit / miss / invalidation by each digest component;
+* corrupted or version-stale entries are dropped and recomputed;
+* worker count never changes results (workers=1 vs workers=4);
+* duplicate specs inside a sweep are simulated once;
+* ExperimentSetup reads/writes the disk cache and bypasses it for
+  non-canonical inputs.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentSetup
+from repro.runner import (
+    CACHE_VERSION,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    key_for_spec,
+    map_specs,
+    run_sweep,
+)
+from repro.sim.pipeline import PipelineStats
+
+N, SEED = 64, 11
+
+
+def spec_of(predictor="not-taken", bench="adpcm_enc", asbr=False, **kw):
+    return RunSpec(bench, N, SEED, predictor, with_asbr=asbr, **kw)
+
+
+def as_dicts(stats_list):
+    return [dataclasses.asdict(s) for s in stats_list]
+
+
+# ----------------------------------------------------------------------
+# execute_spec
+# ----------------------------------------------------------------------
+def test_execute_spec_returns_verified_stats():
+    stats = execute_spec(spec_of())
+    assert isinstance(stats, PipelineStats)
+    assert stats.cycles > stats.committed > 0
+
+
+def test_execute_spec_asbr_folds():
+    plain = execute_spec(spec_of("bimodal-512-512"))
+    folded = execute_spec(spec_of("bimodal-512-512", asbr=True))
+    assert folded.folds_committed > 0
+    assert folded.cycles < plain.cycles
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def test_key_changes_with_each_digest_component():
+    base = key_for_spec(spec_of())
+    assert key_for_spec(spec_of()) == base                    # stable
+    assert key_for_spec(spec_of("bimodal-2048")) != base      # config
+    assert key_for_spec(spec_of(bench="adpcm_dec")) != base   # program
+    assert key_for_spec(RunSpec("adpcm_enc", N, SEED + 1,
+                                "not-taken")) != base         # input
+    assert key_for_spec(spec_of(asbr=True)) != base
+    assert key_for_spec(spec_of(asbr=True, bdt_update="commit")) \
+        != key_for_spec(spec_of(asbr=True))
+
+
+# ----------------------------------------------------------------------
+# cache hit / miss / recovery
+# ----------------------------------------------------------------------
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = key_for_spec(spec_of())
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    stats = execute_spec(spec_of())
+    cache.put(key, stats)
+    again = cache.get(key)
+    assert cache.hits == 1
+    assert dataclasses.asdict(again) == dataclasses.asdict(stats)
+
+
+def test_cache_drops_corrupted_entry(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = key_for_spec(spec_of())
+    cache.put(key, execute_spec(spec_of()))
+    path = os.path.join(str(tmp_path), key + ".json")
+    with open(path, "w") as f:
+        f.write("{ truncated garbage")
+    assert cache.get(key) is None
+    assert cache.dropped == 1
+    assert not os.path.exists(path)      # recomputed entries re-land
+    # and a sweep recovers transparently
+    results = run_sweep([spec_of()], cache=cache)
+    assert results[0].cycles > 0
+    assert cache.get(key) is not None
+
+
+def test_cache_drops_version_mismatch(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = key_for_spec(spec_of())
+    cache.put(key, execute_spec(spec_of()))
+    path = os.path.join(str(tmp_path), key + ".json")
+    with open(path) as f:
+        entry = json.load(f)
+    entry["version"] = CACHE_VERSION + 1
+    with open(path, "w") as f:
+        json.dump(entry, f)
+    assert cache.get(key) is None
+    assert cache.dropped == 1
+
+
+def test_cache_drops_wrong_stats_fields(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = key_for_spec(spec_of())
+    with open(os.path.join(str(tmp_path), key + ".json"), "w") as f:
+        json.dump({"version": CACHE_VERSION,
+                   "stats": {"no_such_field": 1}}, f)
+    assert cache.get(key) is None
+    assert cache.dropped == 1
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+SWEEP = [
+    spec_of("not-taken"),
+    spec_of("bimodal-512-512"),
+    spec_of("bimodal-512-512", asbr=True),
+    spec_of("not-taken"),                       # duplicate of [0]
+]
+
+
+def test_sweep_dedupes_and_orders(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    results = run_sweep(SWEEP, cache=cache)
+    assert len(results) == len(SWEEP)
+    assert results[0] is results[3]             # computed once
+    assert cache.misses == 3                    # distinct specs only
+    assert len(os.listdir(str(tmp_path))) == 3
+
+
+def test_sweep_warm_rerun_hits_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cold = run_sweep(SWEEP, cache=cache)
+    warm_cache = ResultCache(str(tmp_path))
+    warm = run_sweep(SWEEP, cache=warm_cache)
+    assert as_dicts(cold) == as_dicts(warm)
+    assert warm_cache.hits == 3
+    assert warm_cache.misses == 0
+
+
+def test_workers_do_not_change_results():
+    inline = map_specs(SWEEP[:3], workers=1)
+    pooled = map_specs(SWEEP[:3], workers=4)
+    assert as_dicts(inline) == as_dicts(pooled)
+
+
+def test_sweep_without_cache():
+    results = run_sweep(SWEEP, workers=0, cache=None)
+    assert results[0] is results[3]
+    assert as_dicts(results[:1]) == as_dicts([execute_spec(SWEEP[0])])
+
+
+# ----------------------------------------------------------------------
+# ExperimentSetup integration
+# ----------------------------------------------------------------------
+def test_setup_uses_disk_cache(tmp_path):
+    first = ExperimentSetup(n_samples=N, seed=SEED,
+                            cache_dir=str(tmp_path))
+    s1 = first.run("adpcm_enc", "not-taken")
+    assert first.result_cache().misses == 1
+    assert len(os.listdir(str(tmp_path))) == 1
+
+    second = ExperimentSetup(n_samples=N, seed=SEED,
+                             cache_dir=str(tmp_path))
+    s2 = second.run("adpcm_enc", "not-taken")
+    assert second.result_cache().hits == 1
+    assert dataclasses.asdict(s1) == dataclasses.asdict(s2)
+
+
+def test_setup_matches_runner_stats(tmp_path):
+    """Inline ExperimentSetup.run == worker-path execute_spec."""
+    setup = ExperimentSetup(n_samples=N, seed=SEED)
+    for spec in SWEEP[:3]:
+        inline = setup.run(spec.benchmark, spec.predictor_spec,
+                           with_asbr=spec.with_asbr)
+        assert dataclasses.asdict(inline) == \
+            dataclasses.asdict(execute_spec(spec))
+
+
+def test_setup_prefetch_fills_memo(tmp_path):
+    setup = ExperimentSetup(n_samples=N, seed=SEED,
+                            cache_dir=str(tmp_path))
+    setup.prefetch([("adpcm_enc", "not-taken", False),
+                    ("adpcm_enc", "bimodal-512-512", True)])
+    assert len(setup._runs) == 2
+    # the later .run() calls are pure memo lookups
+    assert setup.run("adpcm_enc", "not-taken") \
+        is setup._runs[("adpcm_enc", "not-taken", False, 16, "execute")]
+
+
+def test_setup_noncanonical_input_bypasses_cache(tmp_path):
+    setup = ExperimentSetup(n_samples=N, seed=SEED,
+                            cache_dir=str(tmp_path))
+    setup._pcm = [0] * N                 # not speech_like(N, SEED)
+    setup.prefetch([("adpcm_enc", "not-taken", False)])
+    assert setup._runs == {}             # prefetch refused
+    setup.run("adpcm_enc", "not-taken")  # inline compute still works
+    assert os.listdir(str(tmp_path)) == []   # and never touched disk
+
+
+def test_golden_mismatch_is_never_cached(tmp_path, monkeypatch):
+    from repro.workloads.loader import Workload
+    monkeypatch.setattr(Workload, "golden_output",
+                        lambda self, pcm: ["wrong"])
+    cache = ResultCache(str(tmp_path))
+    with pytest.raises(AssertionError):
+        run_sweep([spec_of()], cache=cache)
+    assert os.listdir(str(tmp_path)) == []
