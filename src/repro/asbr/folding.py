@@ -29,6 +29,13 @@ from repro.isa.instruction import Instruction
 UPDATE_POINTS = ("commit", "mem", "execute")
 THRESHOLD_BY_UPDATE = {"commit": 4, "mem": 3, "execute": 2}
 
+#: Why a fetch-stage fold attempt failed (telemetry event payloads).
+MISS_NO_BIT_ENTRY = "no_bit_entry"   # branch PC not in the active BIT bank
+MISS_BDT_BUSY = "bdt_busy"           # BDT validity counter non-zero: an
+                                     # in-flight producer may redefine the
+                                     # predicate register (paper Section 4)
+FOLD_MISS_REASONS = (MISS_NO_BIT_ENTRY, MISS_BDT_BUSY)
+
 
 @dataclass(frozen=True)
 class FoldDecision:
@@ -129,6 +136,16 @@ class ASBRUnit:
         self.stats.folded_not_taken += 1
         return FoldDecision(branch_pc=pc, taken=False, instr=entry.bfi,
                             instr_pc=pc + 4, next_pc=pc + 8)
+
+    def miss_reason(self, pc: int) -> str:
+        """Why :meth:`try_fold` returned None for ``pc`` (telemetry).
+
+        Pure — safe to call after a failed attempt without perturbing
+        the fold statistics.
+        """
+        if self.bit.lookup(pc) is None:
+            return MISS_NO_BIT_ENTRY
+        return MISS_BDT_BUSY
 
     # ------------------------------------------------------------------
     # early-condition-evaluation protocol (forwarded from the pipeline)

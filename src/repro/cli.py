@@ -6,18 +6,26 @@ Usage (also installed as the ``repro-asbr`` console script)::
     python -m repro.cli run program.s
     python -m repro.cli sim program.s --predictor bimodal-512-512
     python -m repro.cli sim program.s --asbr --bdt-update execute
+    python -m repro.cli sim program.s --trace-out t.jsonl --branch-report
     python -m repro.cli profile program.s
-    python -m repro.cli workload adpcm_enc --samples 1000 --asbr
+    python -m repro.cli workload adpcm_enc --samples 1000 --asbr --json
+    python -m repro.cli trace pipeview t.jsonl --skip 100 --limit 40
+    python -m repro.cli trace report t.jsonl
     python -m repro.cli experiments fig11 --samples 600
     python -m repro.cli experiments all --workers 4
 
 ``sim --asbr`` performs the paper's whole methodology on the program:
 profile it, select fold candidates, load the BIT, and re-simulate.
+``--trace-out`` / ``--branch-report`` / ``--json`` attach the telemetry
+layer (:mod:`repro.telemetry`) to the run; ``trace`` renders a
+previously captured JSONL event stream.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import sys
 from typing import Optional
@@ -54,6 +62,63 @@ def _print_stats(stats, asbr: Optional[ASBRUnit] = None) -> None:
                  asbr.stats.folded_not_taken,
                  asbr.stats.invalid_fallbacks))
         print("ASBR state          %12d bits" % asbr.state_bits)
+
+
+def _make_cli_tracer(args):
+    """Tracer for ``--trace-out`` / ``--branch-report`` / ``--json``,
+    or None when no telemetry flag was given (zero-overhead run)."""
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = getattr(args, "branch_report", False) \
+        or getattr(args, "json", False)
+    if trace_out is None and not want_metrics:
+        return None
+    from repro.telemetry import make_tracer
+    return make_tracer(jsonl_path=trace_out, with_metrics=want_metrics)
+
+
+def _stats_dict(stats, asbr: Optional[ASBRUnit] = None,
+                tracer=None) -> dict:
+    """JSON-ready view of a run: stats, derived rates, ASBR counters
+    and (when traced) the telemetry tables."""
+    out = dataclasses.asdict(stats)
+    out["cpi"] = stats.cpi
+    out["branch_accuracy"] = stats.branch_accuracy
+    if asbr is not None:
+        out["asbr"] = {
+            "folded_taken": asbr.stats.folded_taken,
+            "folded_not_taken": asbr.stats.folded_not_taken,
+            "invalid_fallbacks": asbr.stats.invalid_fallbacks,
+            "state_bits": asbr.state_bits,
+        }
+    if tracer is not None and tracer.metrics is not None:
+        out["telemetry"] = tracer.metrics.to_dict()
+    return out
+
+
+def _report_run(args, stats, asbr, tracer, prog=None,
+                extra: Optional[dict] = None) -> None:
+    """Shared tail of ``sim`` / ``workload``: close the tracer, then
+    print stats (text or ``--json``) and the per-branch report."""
+    if tracer is not None:
+        tracer.close()
+    if getattr(args, "json", False):
+        out = _stats_dict(stats, asbr, tracer)
+        if extra:
+            out.update(extra)
+        print(json.dumps(out, indent=1, sort_keys=True))
+    else:
+        _print_stats(stats, asbr)
+    if getattr(args, "branch_report", False) and not getattr(
+            args, "json", False):
+        from repro.telemetry import render_branch_report
+        print()
+        print(render_branch_report(tracer.metrics, prog))
+    if getattr(args, "trace_out", None):
+        from repro.telemetry import JsonlTraceSink
+        sink = tracer.find_sink(JsonlTraceSink)
+        note = " (truncated at byte bound)" if sink.truncated else ""
+        print("trace: %d events -> %s%s"
+              % (sink.written, args.trace_out, note), file=sys.stderr)
 
 
 def cmd_asm(args) -> int:
@@ -100,10 +165,11 @@ def _build_asbr(prog, args) -> Optional[ASBRUnit]:
 def cmd_sim(args) -> int:
     prog = _load_program(args.file)
     asbr = _build_asbr(prog, args)
+    tracer = _make_cli_tracer(args)
     sim = PipelineSimulator(prog, predictor=make_predictor(args.predictor),
-                            asbr=asbr)
+                            asbr=asbr, trace=tracer)
     stats = sim.run()
-    _print_stats(stats, asbr)
+    _report_run(args, stats, asbr, tracer, prog)
     return 0
 
 
@@ -146,12 +212,39 @@ def cmd_workload(args) -> int:
         asbr = ASBRUnit.from_branch_infos(selection.infos,
                                           capacity=args.bit_size,
                                           bdt_update=args.bdt_update)
+    tracer = _make_cli_tracer(args)
     result = wl.run_pipeline(pcm, predictor=make_predictor(args.predictor),
-                             asbr=asbr)
+                             asbr=asbr, trace=tracer)
     ok = result.outputs == wl.golden_output(pcm)
-    _print_stats(result.stats, asbr)
-    print("outputs match golden model: %s" % ok)
+    _report_run(args, result.stats, asbr, tracer, wl.program,
+                extra={"workload": wl.name, "outputs_match_golden": ok})
+    if not args.json:
+        print("outputs match golden model: %s" % ok)
     return 0 if ok else 1
+
+
+def cmd_trace(args) -> int:
+    """Render a captured JSONL event stream (``--trace-out`` output)."""
+    from repro.telemetry import (MetricsRegistry, read_jsonl,
+                                 render_branch_report, render_counters,
+                                 render_pipeview)
+    from repro.telemetry.events import TRUNCATED
+    events = read_jsonl(args.file)
+    truncated = bool(events) and events[-1].kind == TRUNCATED
+    if args.mode == "pipeview":
+        print(render_pipeview(events, limit=args.limit, skip=args.skip,
+                              max_cycles=args.max_cycles))
+    else:
+        registry = MetricsRegistry()
+        for e in events:
+            registry.emit(e)
+        print(render_counters(registry))
+        print()
+        print(render_branch_report(registry))
+    if truncated:
+        print("note: trace was truncated at its byte bound; renders "
+              "cover the recorded prefix only", file=sys.stderr)
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -189,6 +282,15 @@ def _add_sim_options(p) -> None:
     p.add_argument("--bdt-update", default="execute",
                    choices=("commit", "mem", "execute"),
                    help="early-condition forwarding path")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="stream telemetry events to a bounded JSONL "
+                        "trace (render with 'trace pipeview/report')")
+    p.add_argument("--branch-report", action="store_true",
+                   help="print the per-branch-PC telemetry table "
+                        "after the run")
+    p.add_argument("--json", action="store_true",
+                   help="emit stats (and telemetry tables when "
+                        "enabled) as JSON on stdout")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=20010618)
     _add_sim_options(p)
     p.set_defaults(fn=cmd_workload)
+
+    p = sub.add_parser("trace", help="render a captured JSONL trace")
+    p.add_argument("mode", choices=("pipeview", "report"),
+                   help="pipeview: ASCII pipeline timeline; report: "
+                        "counters + per-branch table")
+    p.add_argument("file", help="JSONL trace from sim --trace-out")
+    p.add_argument("--limit", type=int, default=64,
+                   help="pipeview: instructions to show (default 64)")
+    p.add_argument("--skip", type=int, default=0,
+                   help="pipeview: instructions to skip first")
+    p.add_argument("--max-cycles", type=int, default=200,
+                   help="pipeview: clip the cycle axis (default 200)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("experiments", help="regenerate paper tables")
     p.add_argument("which", choices=("fig6", "fig7", "fig9", "fig10",

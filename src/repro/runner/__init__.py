@@ -18,22 +18,35 @@ configurations.  This package turns those requests into:
   re-run of a figure with unchanged code and inputs costs one file read
   per configuration;
 * :func:`~repro.runner.sweep.run_sweep` — the orchestration glue:
-  dedupe, consult the cache, compute misses in parallel, refill.
+  dedupe, consult the cache, compute misses in parallel, refill;
+* :func:`~repro.runner.aggregate.aggregate_metrics` — merge the
+  per-run telemetry tables of a metric sweep
+  (``run_sweep(..., collect_metrics=True)``) into one
+  :class:`~repro.telemetry.MetricsRegistry` per benchmark.
 
 ``repro.experiments.common.ExperimentSetup`` submits its runs through
 here; ``repro.cli experiments --workers N`` exposes it to users.
 """
 
+from repro.runner.aggregate import aggregate_metrics, sweep_metrics
 from repro.runner.cache import CACHE_VERSION, ResultCache, key_for_spec
-from repro.runner.pool import RunSpec, execute_spec, map_specs
+from repro.runner.pool import (
+    RunSpec,
+    execute_spec,
+    execute_spec_metrics,
+    map_specs,
+)
 from repro.runner.sweep import run_sweep
 
 __all__ = [
     "CACHE_VERSION",
     "ResultCache",
     "RunSpec",
+    "aggregate_metrics",
     "execute_spec",
+    "execute_spec_metrics",
     "key_for_spec",
     "map_specs",
     "run_sweep",
+    "sweep_metrics",
 ]

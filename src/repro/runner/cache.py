@@ -35,8 +35,10 @@ from repro.runner.pool import SELECTION_BASELINE, RunSpec
 from repro.sim.pipeline import PipelineStats
 
 #: Bump when a change alters cycle-accurate timing without changing
-#: program bytes or inputs (e.g. a new stall rule in the pipeline).
-CACHE_VERSION = 1
+#: program bytes or inputs (e.g. a new stall rule in the pipeline), or
+#: when the entry schema changes.  v2 added the optional ``metrics``
+#: block (serialised telemetry tables riding alongside the stats).
+CACHE_VERSION = 2
 
 _digest_memo: Dict[tuple, str] = {}
 
@@ -103,8 +105,14 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + ".json")
 
-    def get(self, key: str) -> Optional[PipelineStats]:
-        """Stats for ``key``, or None; drops unreadable entries."""
+    def get(self, key: str, with_metrics: bool = False):
+        """Stats for ``key``, or None; drops unreadable entries.
+
+        With ``with_metrics`` the return value is a ``(stats,
+        metrics_dict)`` pair, and an otherwise-valid entry recorded
+        *without* metrics is reported as a miss — but kept on disk,
+        since it still serves metric-less lookups.
+        """
         path = self._path(key)
         try:
             with open(path) as f:
@@ -124,18 +132,28 @@ class ResultCache:
             self.dropped += 1
             self.misses += 1
             return None
+        if with_metrics:
+            metrics = entry.get("metrics")
+            if not isinstance(metrics, dict):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return stats, metrics
         self.hits += 1
         return stats
 
-    def put(self, key: str, stats: PipelineStats,
-            describe: str = "") -> None:
-        """Atomically record ``stats`` under ``key``."""
+    def put(self, key: str, stats: PipelineStats, describe: str = "",
+            metrics: Optional[dict] = None) -> None:
+        """Atomically record ``stats`` (and optional serialised
+        telemetry ``metrics``) under ``key``."""
         os.makedirs(self.root, exist_ok=True)
         entry = {
             "version": CACHE_VERSION,
             "describe": describe,          # human breadcrumb only
             "stats": dataclasses.asdict(stats),
         }
+        if metrics is not None:
+            entry["metrics"] = metrics
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:

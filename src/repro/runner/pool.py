@@ -7,16 +7,18 @@ in-process from the packaged ``.s`` sources), the synthetic input's
 parameters.  Specs are frozen/hashable so sweeps can dedupe them, and
 picklable so ``multiprocessing`` can ship them.
 
-:func:`execute_spec` is deliberately the *only* code path that turns a
-spec into statistics — the inline (``workers <= 1``) and pooled paths
-run the same function, which is what makes the workers=1-vs-N
-determinism test (``tests/test_runner.py``) meaningful.
+:func:`_execute` is deliberately the *only* code path that turns a
+spec into statistics — :func:`execute_spec` and its telemetry-carrying
+twin :func:`execute_spec_metrics` are thin wrappers over it, and the
+inline (``workers <= 1``) and pooled paths run the same function, which
+is what makes the workers=1-vs-N determinism test
+(``tests/test_runner.py``) meaningful.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.sim.pipeline import PipelineStats
 
@@ -38,8 +40,8 @@ class RunSpec:
     bdt_update: str = "execute"
 
 
-def execute_spec(spec: RunSpec) -> PipelineStats:
-    """Run one spec end-to-end and return its verified stats.
+def _execute(spec: RunSpec, trace=None) -> PipelineStats:
+    """Shared body of :func:`execute_spec` / :func:`execute_spec_metrics`.
 
     Mirrors ``ExperimentSetup.run``: for ASBR configurations the
     benchmark is first profiled, a ``bimodal-2048`` trace accuracy is
@@ -61,9 +63,9 @@ def execute_spec(spec: RunSpec) -> PipelineStats:
         stream = wl.input_stream(pcm)
         memory = wl.build_memory(stream)
         profile = BranchProfiler().profile(wl.program, memory)
-        trace = collect_branch_trace(wl.program, wl.build_memory(stream))
+        trace_b = collect_branch_trace(wl.program, wl.build_memory(stream))
         baseline = evaluate_on_trace(make_predictor(SELECTION_BASELINE),
-                                     trace)
+                                     trace_b)
         sel = select_branches(profile, baseline,
                               bit_capacity=spec.bit_capacity,
                               bdt_update=spec.bdt_update)
@@ -72,7 +74,7 @@ def execute_spec(spec: RunSpec) -> PipelineStats:
                                           bdt_update=spec.bdt_update)
     result = wl.run_pipeline(pcm,
                              predictor=make_predictor(spec.predictor_spec),
-                             asbr=asbr)
+                             asbr=asbr, trace=trace)
     if result.outputs != wl.golden_output(pcm):
         raise AssertionError(
             "%s produced wrong output under %s (asbr=%s)"
@@ -80,20 +82,44 @@ def execute_spec(spec: RunSpec) -> PipelineStats:
     return result.stats
 
 
-def map_specs(specs: Sequence[RunSpec],
-              workers: int = 0) -> List[PipelineStats]:
-    """Execute every spec, returning stats in input order.
+def execute_spec(spec: RunSpec) -> PipelineStats:
+    """Run one spec end-to-end and return its verified stats."""
+    return _execute(spec)
 
-    ``workers <= 1`` runs inline in this process — no multiprocessing
-    import, no pickling, deterministic and debuggable.  Larger values
-    fan out over a process pool; results are identical because both
-    paths run :func:`execute_spec` and every spec is self-contained.
-    A worker failure (e.g. a golden-output mismatch) propagates.
+
+def execute_spec_metrics(spec: RunSpec) -> Tuple[PipelineStats, dict]:
+    """Like :func:`execute_spec`, but the run is traced through a
+    :class:`~repro.telemetry.MetricsRegistry` and its serialised
+    per-branch tables ride along with the stats.
+
+    The traced pipeline produces bit-identical timing (enforced by
+    ``tests/test_telemetry.py``), so callers may freely mix cached
+    metric-less results with traced reruns.
+    """
+    from repro.telemetry import MetricsRegistry, Tracer
+
+    registry = MetricsRegistry()
+    stats = _execute(spec, trace=Tracer(registry))
+    return stats, registry.to_dict()
+
+
+def map_specs(specs: Sequence[RunSpec], workers: int = 0,
+              collect_metrics: bool = False) -> List:
+    """Execute every spec, returning results in input order.
+
+    Each result is a ``PipelineStats``, or a ``(stats, metrics_dict)``
+    pair when ``collect_metrics`` is set.  ``workers <= 1`` runs inline
+    in this process — no multiprocessing import, no pickling,
+    deterministic and debuggable.  Larger values fan out over a process
+    pool; results are identical because both paths run the same function
+    and every spec is self-contained.  A worker failure (e.g. a
+    golden-output mismatch) propagates.
     """
     specs = list(specs)
+    fn = execute_spec_metrics if collect_metrics else execute_spec
     if workers <= 1 or len(specs) <= 1:
-        return [execute_spec(s) for s in specs]
+        return [fn(s) for s in specs]
     import multiprocessing
     procs = min(workers, len(specs))
     with multiprocessing.Pool(processes=procs) as pool:
-        return pool.map(execute_spec, specs)
+        return pool.map(fn, specs)

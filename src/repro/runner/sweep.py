@@ -12,12 +12,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.runner.cache import ResultCache, key_for_spec
 from repro.runner.pool import RunSpec, map_specs
-from repro.sim.pipeline import PipelineStats
 
 
 def run_sweep(specs: Sequence[RunSpec],
               workers: int = 0,
-              cache: Optional[ResultCache] = None) -> List[PipelineStats]:
+              cache: Optional[ResultCache] = None,
+              collect_metrics: bool = False) -> List:
     """Stats for every spec, in input order.
 
     Duplicate specs are simulated once.  With a cache, known results are
@@ -26,9 +26,16 @@ def run_sweep(specs: Sequence[RunSpec],
     pool.  The result list is a pure function of ``specs`` — neither the
     worker count nor the cache state can change what is returned, only
     how fast (enforced by ``tests/test_runner.py``).
+
+    With ``collect_metrics`` each element is a ``(stats, metrics_dict)``
+    pair: runs are traced through a telemetry
+    :class:`~repro.telemetry.MetricsRegistry` (bit-identical timing) and
+    the serialised tables are cached alongside the stats, so a repeated
+    metric sweep costs one file read per configuration.  Cache entries
+    recorded without metrics are upgraded in place by the refill.
     """
     specs = list(specs)
-    resolved: Dict[RunSpec, PipelineStats] = {}
+    resolved: Dict[RunSpec, object] = {}
     todo: List[RunSpec] = []
     keys: Dict[RunSpec, str] = {}
 
@@ -37,7 +44,7 @@ def run_sweep(specs: Sequence[RunSpec],
             continue            # duplicate of one already seen
         if cache is not None:
             keys[spec] = key_for_spec(spec)
-            hit = cache.get(keys[spec])
+            hit = cache.get(keys[spec], with_metrics=collect_metrics)
             if hit is not None:
                 resolved[spec] = hit
                 continue
@@ -45,9 +52,16 @@ def run_sweep(specs: Sequence[RunSpec],
             keys[spec] = ""
         todo.append(spec)
 
-    for spec, stats in zip(todo, map_specs(todo, workers=workers)):
-        resolved[spec] = stats
+    results = map_specs(todo, workers=workers,
+                        collect_metrics=collect_metrics)
+    for spec, result in zip(todo, results):
+        resolved[spec] = result
         if cache is not None:
-            cache.put(keys[spec], stats, describe=repr(spec))
+            if collect_metrics:
+                stats, metrics = result
+            else:
+                stats, metrics = result, None
+            cache.put(keys[spec], stats, describe=repr(spec),
+                      metrics=metrics)
 
     return [resolved[spec] for spec in specs]

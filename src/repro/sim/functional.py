@@ -298,14 +298,22 @@ class FunctionalSimulator:
     # ------------------------------------------------------------------
     def run(self, max_instructions: int = 200_000_000,
             observer: Optional[Callable[[int, Instruction, int], None]]
-            = None) -> int:
+            = None, trace=None) -> int:
         """Run to ``halt``; returns the number of instructions retired.
 
         ``observer(pc, instr, next_pc)`` is invoked after each retired
-        instruction when supplied (used by the profiler).  Raises
+        instruction when supplied (used by the profiler).  ``trace``
+        (a :class:`repro.telemetry.Tracer`) is the light telemetry
+        hook: it rides the same observer slot, emitting one ``retire``
+        event per instruction, and composes with an explicit observer.
+        Both default to None and then cost nothing — the loop's
+        existing None check is the whole disabled path.  Raises
         :class:`SimulationError` if the instruction budget is exhausted
         (runaway program).
         """
+        if trace is not None:
+            from repro.telemetry.tracer import retire_observer
+            observer = retire_observer(trace, observer)
         plans = self._plans
         instrs = self.program.instrs
         base = self.program.text_base

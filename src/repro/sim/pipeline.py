@@ -39,6 +39,14 @@ occupied stage.  Cycle counts are *bit-identical* to the original
 re-dispatching implementation (``tests/test_stats_golden.py`` locks
 them; ``tests/test_differential_random.py`` locks architectural state).
 
+Telemetry
+---------
+Passing ``trace=Tracer(...)`` binds the instrumented twins of the hot
+methods (``repro.telemetry.traced``) onto the instance at construction,
+emitting typed per-cycle events (fetch/issue/commit, branch resolution,
+fold attempts, BDT updates, squashes).  The hook check happens once,
+here — with no tracer attached the fast path above is unchanged.
+
 Architectural behaviour is defined by
 :class:`~repro.sim.functional.FunctionalSimulator`; equality of final
 register/memory state under every configuration is enforced by the
@@ -271,7 +279,12 @@ class _Slot:
     __slots__ = ("d", "pc", "folded", "uncond_folded",
                  "pred_next_pc", "result", "mem_addr", "store_val",
                  "mem_wait", "mem_done", "ex_done", "id_done",
-                 "acquired_reg")
+                 "acquired_reg",
+                 # telemetry-only fields: written exclusively by the
+                 # traced fast path (repro.telemetry.traced), so they
+                 # are deliberately NOT initialised here — the untraced
+                 # hot path never pays for them
+                 "seq", "fold_pc", "fold_taken")
 
     def __init__(self, d: _Decoded, pc: int) -> None:
         self.d = d
@@ -301,14 +314,21 @@ class PipelineSimulator:
                  predictor: Optional[BranchPredictor] = None,
                  asbr: Optional[ASBRUnit] = None,
                  config: Optional[PipelineConfig] = None,
-                 fold_unconditional: bool = False) -> None:
+                 fold_unconditional: bool = False,
+                 trace=None) -> None:
         """``fold_unconditional`` enables CRISP-style folding of
         statically-unconditional control transfers (``j`` and
         ``beq r0, r0``) at fetch — the classic scheme of Ditzel &
         McLellan the paper cites as related work [10].  Like an ASBR
         fold, the transfer is replaced in its fetch slot by its target
         instruction whenever that instruction is itself foldable
-        (non-control)."""
+        (non-control).
+
+        ``trace`` attaches a :class:`repro.telemetry.Tracer`: the
+        instrumented twins of the hot methods are bound onto this
+        instance (one check, here, at construction), so tracing has
+        strictly zero cost when disabled.  Traced runs produce
+        bit-identical statistics and architectural state."""
         self.program = program
         self.config = config if config is not None else PipelineConfig()
         if memory is None:
@@ -368,6 +388,12 @@ class PipelineSimulator:
         # injected (BTI/BFI) instructions decoded on first use
         self._foreign: Dict[int, _Decoded] = {}
         self._precompute_uncond_folds()
+
+        # ---- telemetry (the one and only disabled-path hook check) ------
+        self.trace = None
+        if trace is not None:
+            from repro.telemetry.traced import attach
+            attach(self, trace)
 
     def _precompute_uncond_folds(self) -> None:
         """Resolve each statically-unconditional transfer's fold target.

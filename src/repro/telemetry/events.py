@@ -1,0 +1,117 @@
+"""Typed trace events emitted by the instrumented simulators.
+
+One :class:`TraceEvent` describes one micro-architectural occurrence at
+one clock cycle.  The event *kinds* map directly onto the paper's
+mechanisms (see DESIGN.md "Telemetry"):
+
+=============  =====================================================
+kind           meaning / payload (``data`` keys)
+=============  =====================================================
+``fetch``      an instruction entered the IF stage.  For replacement
+               (BTI/BFI) instructions ``data`` holds ``fold``
+               ("asbr" or "uncond") and ``branch_pc``.
+``decode``     ID-stage work ran (jump redirects, BDT acquire).
+``issue``      EX-stage work ran; ``data["dest"]`` is the destination
+               register when the instruction writes one.
+``commit``     the instruction reached write-back.  Folded
+               replacements carry ``fold_pc``/``fold_taken``;
+               CRISP-style folds carry ``uncond_fold``.
+``branch``     a conditional branch resolved in EX: ``taken``,
+               ``target`` (actual next PC), ``pred`` (the fetch-stage
+               assumption), ``misp`` and ``srcs`` (condition regs).
+``fold_hit``   the ASBR unit folded the branch at ``pc`` out of the
+               fetch stream: ``taken``, ``instr_pc``, ``next_pc``.
+``fold_miss``  a branch hit fetch with the ASBR unit present but was
+               not folded; ``data["reason"]`` is one of
+               :data:`~repro.asbr.folding.MISS_NO_BIT_ENTRY` /
+               :data:`~repro.asbr.folding.MISS_BDT_BUSY`.
+``bdt_update`` a producer value reached the early condition
+               evaluation logic: ``reg``, ``value``.
+``squash``     a wrong-path instruction was killed in IF or ID.
+``redirect``   fetch was redirected; ``pc`` is the new target.
+``retire``     functional-simulator retirement (the light hook).
+``truncated``  sentinel appended by a size-bounded JSONL sink;
+               ``data["dropped"]`` counts the lost events.
+=============  =====================================================
+
+``seq`` is the dynamic fetch sequence number (the value of
+``stats.fetched`` when the instruction entered the pipeline), linking
+the lifecycle events of one in-flight instruction; events not tied to
+an in-flight instruction use ``seq == -1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.asbr.folding import FOLD_MISS_REASONS  # noqa: F401  (re-export)
+from repro.asbr.folding import MISS_BDT_BUSY, MISS_NO_BIT_ENTRY  # noqa: F401
+
+FETCH = "fetch"
+DECODE = "decode"
+ISSUE = "issue"
+COMMIT = "commit"
+BRANCH = "branch"
+FOLD_HIT = "fold_hit"
+FOLD_MISS = "fold_miss"
+BDT_UPDATE = "bdt_update"
+SQUASH = "squash"
+REDIRECT = "redirect"
+RETIRE = "retire"
+TRUNCATED = "truncated"
+
+EVENT_KINDS = (FETCH, DECODE, ISSUE, COMMIT, BRANCH, FOLD_HIT, FOLD_MISS,
+               BDT_UPDATE, SQUASH, REDIRECT, RETIRE, TRUNCATED)
+
+#: Shared payload for events that carry none — emit sites pass it so the
+#: hot tracing path never allocates an empty dict per event.
+NO_DATA: Dict[str, Any] = {}
+
+
+class TraceEvent:
+    """One occurrence at one cycle (see the module table for kinds)."""
+
+    __slots__ = ("cycle", "kind", "pc", "seq", "data")
+
+    def __init__(self, cycle: int, kind: str, pc: int = 0,
+                 seq: int = -1, data: Dict[str, Any] = NO_DATA) -> None:
+        self.cycle = cycle
+        self.kind = kind
+        self.pc = pc
+        self.seq = seq
+        self.data = data
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Compact single-line JSON (the JSONL trace format)."""
+        obj: Dict[str, Any] = {"c": self.cycle, "k": self.kind}
+        if self.pc:
+            obj["p"] = self.pc
+        if self.seq >= 0:
+            obj["s"] = self.seq
+        if self.data:
+            obj["d"] = self.data
+        return json.dumps(obj, separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        obj = json.loads(line)
+        return cls(obj["c"], obj["k"], obj.get("p", 0), obj.get("s", -1),
+                   obj.get("d", NO_DATA))
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (self.cycle == other.cycle and self.kind == other.kind
+                and self.pc == other.pc and self.seq == other.seq
+                and self.data == other.data)
+
+    def __hash__(self) -> int:            # pragma: no cover - rarely used
+        return hash((self.cycle, self.kind, self.pc, self.seq))
+
+    def __repr__(self) -> str:
+        extra = " %r" % (self.data,) if self.data else ""
+        return ("TraceEvent(c=%d %s pc=0x%x seq=%d%s)"
+                % (self.cycle, self.kind, self.pc, self.seq, extra))

@@ -1,0 +1,73 @@
+"""Per-branch report rendering (the human view of a MetricsRegistry)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _table(headers: List[str], rows: List[List[str]],
+           title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join("%%-%ds" % w for w in widths)
+    lines = [title] if title else []
+    lines.append(fmt % tuple(headers))
+    lines.append(fmt % tuple("-" * w for w in widths))
+    for row in rows:
+        lines.append((fmt % tuple(row)).rstrip())
+    return "\n".join(lines)
+
+
+def render_branch_report(registry: MetricsRegistry,
+                         program=None, title: str = "") -> str:
+    """Tabulate every branch PC the registry has seen.
+
+    ``program`` (a :class:`repro.asm.program.Program`) adds the source
+    label column.  Executions count unfolded EX resolutions; ``foldT``/
+    ``foldNT`` are committed folds by direction; the miss columns split
+    failed fetch-stage fold attempts by reason; ``dist`` is the most
+    common observed producer-to-branch distance in dynamic instructions.
+    """
+    headers = ["pc", "label", "exec", "taken%", "misp", "acc%",
+               "foldT", "foldNT", "miss:nobit", "miss:busy", "dist"]
+    rows = []
+    tot = {"exec": 0, "misp": 0, "foldT": 0, "foldNT": 0,
+           "nobit": 0, "busy": 0}
+    for pc, b in registry.sorted_branches():
+        label = (program.label_at(pc) or "-") if program is not None \
+            else "-"
+        dist = b.typical_distance()
+        rows.append([
+            "0x%x" % pc, label, str(b.executions),
+            "%.0f" % (100 * b.taken_rate) if b.executions else "-",
+            str(b.mispredicts),
+            "%.1f" % (100 * b.accuracy) if b.executions else "-",
+            str(b.fold_taken), str(b.fold_not_taken),
+            str(b.miss_no_bit), str(b.miss_bdt_busy),
+            str(dist) if dist is not None else "-",
+        ])
+        tot["exec"] += b.executions
+        tot["misp"] += b.mispredicts
+        tot["foldT"] += b.fold_taken
+        tot["foldNT"] += b.fold_not_taken
+        tot["nobit"] += b.miss_no_bit
+        tot["busy"] += b.miss_bdt_busy
+    rows.append(["total", "", str(tot["exec"]), "", str(tot["misp"]), "",
+                 str(tot["foldT"]), str(tot["foldNT"]),
+                 str(tot["nobit"]), str(tot["busy"]), ""])
+    if not title:
+        title = ("per-branch telemetry (%d branch PCs, %d executions, "
+                 "%d folds committed)"
+                 % (len(registry.branches), tot["exec"],
+                    tot["foldT"] + tot["foldNT"]))
+    return _table(headers, rows, title)
+
+
+def render_counters(registry: MetricsRegistry) -> str:
+    """One-line event-count summary."""
+    return "  ".join("%s=%d" % (k, v)
+                     for k, v in sorted(registry.counters.items()))

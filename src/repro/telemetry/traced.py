@@ -1,0 +1,312 @@
+"""Instrumented pipeline fast path: the event hook layer.
+
+Zero-overhead design
+--------------------
+``PipelineSimulator.tick`` runs ~0.5M times per simulated second, so a
+per-site ``if trace is not None`` check inside it would cost several
+percent even when tracing is off.  Instead the hook check happens
+*once, at construction*: ``PipelineSimulator(..., trace=tracer)`` calls
+:func:`attach`, which rebinds ``tick``/``_start_fetch``/``_squash``/
+``_redirect`` on that one instance to the traced twins below.  With no
+tracer the base methods are untouched — the disabled path is the PR 1
+fast path, byte for byte.
+
+The twins are line-for-line copies of the base methods with event
+emissions inserted (marked ``# [trace]``).  Their timing and statistics
+must stay bit-identical to the base implementation —
+``tests/test_telemetry.py::TestTracedEquivalence`` locks traced-vs-base
+``PipelineStats`` equality across predictors, ASBR and unconditional
+folding, on top of the golden-stats lock.
+
+Branch events are reconstructed *after* the EX handler runs: the
+handler mutates no architectural state the condition reads (registers
+and the forwarding slot are unchanged within the cycle), so re-evaluating
+the condition gives exactly the direction the handler used, and the
+mispredict flag falls out of the stats delta.
+"""
+
+from __future__ import annotations
+
+from types import MethodType
+from typing import Optional
+
+from repro.sim.pipeline import _Slot
+from repro.telemetry.events import (
+    BDT_UPDATE,
+    BRANCH,
+    COMMIT,
+    DECODE,
+    FETCH,
+    FOLD_HIT,
+    FOLD_MISS,
+    ISSUE,
+    NO_DATA,
+    REDIRECT,
+    SQUASH,
+    TraceEvent,
+)
+
+
+def attach(sim, tracer) -> None:
+    """Bind the traced twins onto ``sim`` (one instance, not the class)."""
+    sim.trace = tracer
+    sim._emit = tracer.emit
+    sim.tick = MethodType(_tick_traced, sim)
+    sim._start_fetch = MethodType(_start_fetch_traced, sim)
+    sim._squash = MethodType(_squash_traced, sim)
+    sim._redirect = MethodType(_redirect_traced, sim)
+
+
+# ======================================================================
+# traced twins (copies of repro.sim.pipeline with [trace] insertions)
+# ======================================================================
+def _tick_traced(self) -> None:
+    """One clock cycle, emitting lifecycle events (see base ``tick``)."""
+    stats = self.stats
+    stats.cycles += 1
+    self._suppress_fetch = False
+    asbr = self.asbr
+    pending = self._pending_releases
+    emit = self._emit                                      # [trace]
+    cycle = stats.cycles                                   # [trace]
+
+    # ---- WB: commit -------------------------------------------------
+    wb = self.s_wb
+    if wb is not None:
+        d = wb.d
+        dest = d.dest
+        if dest is not None and dest != 0:
+            self._reglist[dest] = wb.result & 0xFFFFFFFF
+            if wb.acquired_reg is not None and self._bdt_commit:
+                pending.append((dest, wb.result))
+        if wb.folded:
+            stats.folds_committed += 1
+        if wb.uncond_folded:
+            stats.uncond_folds_committed += 1
+        stats.committed += 1
+        if wb.folded:                                      # [trace]
+            emit(TraceEvent(cycle, COMMIT, wb.pc, wb.seq,
+                            {"fold_pc": wb.fold_pc,
+                             "fold_taken": wb.fold_taken}))
+        elif wb.uncond_folded:                             # [trace]
+            emit(TraceEvent(cycle, COMMIT, wb.pc, wb.seq,
+                            {"uncond_fold": True}))
+        else:                                              # [trace]
+            emit(TraceEvent(cycle, COMMIT, wb.pc, wb.seq))
+        self.s_wb = None
+        if d.is_halt:
+            self.halted = True
+            return
+        if d.is_ctl and asbr is not None:
+            asbr.control_write(d.imm)
+
+    # ---- MEM: first-cycle work --------------------------------------
+    mem = self.s_mem
+    if mem is not None and not mem.mem_done:
+        self._mem_work(mem)
+
+    # ---- EX: first-cycle work (may squash and redirect) -------------
+    ex = self.s_ex
+    if ex is not None and not ex.ex_done:
+        ex.ex_done = True
+        d = ex.d
+        dest = d.dest                                      # [trace]
+        emit(TraceEvent(cycle, ISSUE, ex.pc, ex.seq,       # [trace]
+                        {"dest": dest} if dest else NO_DATA))
+        if d.is_branch:                                    # [trace]
+            pre_misp = stats.branch_mispredicts
+            d.ex(self, ex, d)
+            if d.cond is not None:
+                taken = d.cond(self._operand(d.rs))
+            else:
+                taken = ((self._operand(d.rs) == self._operand(d.rt))
+                         == d.eq_sense)
+            emit(TraceEvent(cycle, BRANCH, ex.pc, ex.seq, {
+                "taken": taken,
+                "target": d.br_target if taken else d.pc4,
+                "pred": ex.pred_next_pc,
+                "misp": stats.branch_mispredicts > pre_misp,
+                "srcs": list(d.srcs),
+            }))
+        else:
+            d.ex(self, ex, d)
+
+    # ---- ID: first-cycle work (jump redirect, BDT acquire) ----------
+    did = self.s_id
+    if did is not None and not did.id_done:
+        did.id_done = True
+        d = did.d
+        emit(TraceEvent(cycle, DECODE, did.pc, did.seq))   # [trace]
+        if asbr is not None:
+            dest = d.dest
+            if dest is not None and dest != 0:
+                asbr.producer_decoded(dest)
+                did.acquired_reg = dest
+        if d.is_halt:
+            self._fetch_halted = True
+        elif d.is_jump:
+            self._squash(self.s_if)
+            self.s_if = None
+            self.if_wait = 0
+            self.fetch_pc = d.jump_target
+            self._suppress_fetch = True
+            stats.jump_bubbles += 1
+            emit(TraceEvent(cycle, REDIRECT, d.jump_target,  # [trace]
+                            data={"why": "jump"}))
+
+    # ---- IF: start a new fetch --------------------------------------
+    if (self.s_if is None and not self._suppress_fetch
+            and not self._fetch_halted):
+        self._start_fetch()
+
+    # ---- end of cycle: advance latches downstream-first -------------
+    # MEM -> WB
+    if mem is not None and mem.mem_done:
+        if mem.mem_wait > 0:
+            mem.mem_wait -= 1
+        else:
+            if (mem.acquired_reg is not None
+                    and (self._rel_mem
+                         or (self._rel_ex and mem.d.is_load))):
+                pending.append((mem.acquired_reg, mem.result))
+                mem.acquired_reg = None
+            self.s_wb = mem
+            self.s_mem = None
+
+    # EX -> MEM
+    if ex is not None and ex.ex_done and self.s_mem is None:
+        if (self._rel_ex and ex.acquired_reg is not None
+                and not ex.d.is_load):
+            pending.append((ex.acquired_reg, ex.result))
+            ex.acquired_reg = None
+        self.s_mem = ex
+        self.s_ex = None
+
+    # ID -> EX (load-use interlock; see base tick)
+    if did is not None and did.id_done and self.s_ex is None:
+        if ex is not None and ex.d.is_load:
+            ex_dest = ex.d.dest
+            if (ex_dest is not None and ex_dest != 0
+                    and ex_dest in did.d.srcs):
+                stats.load_use_stalls += 1
+            else:
+                self.s_ex = did
+                self.s_id = None
+        else:
+            self.s_ex = did
+            self.s_id = None
+
+    # IF -> ID
+    fslot = self.s_if
+    if fslot is not None:
+        if self.if_wait > 0:
+            self.if_wait -= 1
+        elif self.s_id is None:
+            self.s_id = fslot
+            self.s_if = None
+
+    # ---- apply deferred BDT releases (visible from next cycle) ------
+    if pending:
+        for reg, value in pending:
+            asbr.producer_value(reg, value)
+            emit(TraceEvent(cycle, BDT_UPDATE,              # [trace]
+                            data={"reg": reg, "value": value}))
+        pending.clear()
+
+
+def _start_fetch_traced(self) -> None:
+    """Base ``_start_fetch`` plus fetch / fold-attempt events."""
+    pc = self.fetch_pc
+    if pc & 3 or not self._text_base <= pc < self._text_end:
+        return
+    d = self._dec[(pc - self._text_base) >> 2]
+    stats = self.stats
+    emit = self._emit                                      # [trace]
+    cycle = stats.cycles                                   # [trace]
+    extra = self._icache_access(pc)
+    self.if_wait = extra
+    if extra:
+        stats.icache_miss_stalls += extra
+
+    uf = d.uncond_fold
+    if uf is not None:
+        td, tpc, next_pc = uf
+        slot = _Slot(td, tpc)
+        slot.uncond_folded = True
+        self.s_if = slot
+        stats.fetched += 1
+        slot.seq = stats.fetched - 1                       # [trace]
+        emit(TraceEvent(cycle, FETCH, tpc, slot.seq,       # [trace]
+                        {"fold": "uncond", "branch_pc": pc}))
+        self.fetch_pc = next_pc
+        return
+
+    if d.is_branch:
+        if self.asbr is not None:
+            fold = self.asbr.try_fold(pc)
+            if fold is not None:
+                fd = self._foreign_decode(fold.instr, fold.instr_pc)
+                slot = _Slot(fd, fold.instr_pc)
+                slot.folded = True
+                slot.fold_pc = pc                          # [trace]
+                slot.fold_taken = fold.taken               # [trace]
+                self.s_if = slot
+                stats.fetched += 1
+                slot.seq = stats.fetched - 1               # [trace]
+                emit(TraceEvent(cycle, FOLD_HIT, pc, slot.seq,  # [trace]
+                                {"taken": fold.taken,
+                                 "instr_pc": fold.instr_pc,
+                                 "next_pc": fold.next_pc}))
+                emit(TraceEvent(cycle, FETCH, fold.instr_pc,    # [trace]
+                                slot.seq,
+                                {"fold": "asbr", "branch_pc": pc}))
+                self.fetch_pc = fold.next_pc
+                return
+            emit(TraceEvent(cycle, FOLD_MISS, pc,          # [trace]
+                            data={"reason": self.asbr.miss_reason(pc)}))
+        pred = self.predictor.predict(pc)
+        stats.predictor_lookups += 1
+        slot = _Slot(d, pc)
+        if pred.taken and pred.target is not None:
+            slot.pred_next_pc = pred.target
+        else:
+            slot.pred_next_pc = d.pc4
+        self.s_if = slot
+        stats.fetched += 1
+        slot.seq = stats.fetched - 1                       # [trace]
+        emit(TraceEvent(cycle, FETCH, pc, slot.seq))       # [trace]
+        self.fetch_pc = slot.pred_next_pc
+        return
+
+    slot = _Slot(d, pc)
+    self.s_if = slot
+    stats.fetched += 1
+    slot.seq = stats.fetched - 1                           # [trace]
+    emit(TraceEvent(cycle, FETCH, pc, slot.seq))           # [trace]
+    self.fetch_pc = d.pc4
+
+
+def _redirect_traced(self, new_pc: int) -> None:
+    """Base ``_redirect`` plus a redirect event."""
+    self._squash(self.s_id)
+    self.s_id = None
+    self._squash(self.s_if)
+    self.s_if = None
+    self.if_wait = 0
+    self.fetch_pc = new_pc
+    self._suppress_fetch = True
+    self._fetch_halted = False
+    self._emit(TraceEvent(self.stats.cycles, REDIRECT, new_pc,  # [trace]
+                          data={"why": "ex"}))
+
+
+def _squash_traced(self, slot: Optional[_Slot]) -> None:
+    """Base ``_squash`` plus a squash event."""
+    if slot is None:
+        return
+    self.stats.squashed += 1
+    self._emit(TraceEvent(self.stats.cycles, SQUASH,       # [trace]
+                          slot.pc, slot.seq))
+    if self.asbr is not None and slot.acquired_reg is not None:
+        self.asbr.producer_squashed(slot.acquired_reg)
+        slot.acquired_reg = None

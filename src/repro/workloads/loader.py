@@ -145,14 +145,16 @@ class Workload:
                               instructions=n)
 
     def run_pipeline(self, pcm: Sequence[int], predictor=None, asbr=None,
-                     config: Optional[PipelineConfig] = None
-                     ) -> WorkloadResult:
+                     config: Optional[PipelineConfig] = None,
+                     trace=None) -> WorkloadResult:
+        """``trace`` (a :class:`repro.telemetry.Tracer`) enables the
+        pipeline's telemetry hooks for this run; None costs nothing."""
         stream = self.prepare_input(pcm)
         count = self._count(pcm, stream)
         sim = PipelineSimulator(self.program,
                                 self.build_memory(stream, count),
                                 predictor=predictor, asbr=asbr,
-                                config=config)
+                                config=config, trace=trace)
         stats = sim.run()
         return WorkloadResult(self.read_output(sim.memory, count),
                               stats=stats, instructions=stats.committed)

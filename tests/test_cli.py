@@ -1,5 +1,6 @@
 """Tests for the command-line toolchain."""
 
+import json
 import os
 
 import pytest
@@ -106,3 +107,66 @@ class TestCommands:
         assert main(["experiments", "fig9", "--samples", "120"]) == 0
         out = capsys.readouterr().out
         assert "Branches selected for adpcm_enc" in out
+
+
+class TestTelemetryCLI:
+    """--trace-out / --branch-report / --json and the trace command."""
+
+    def test_sim_json(self, tiny_program, capsys):
+        assert main(["sim", tiny_program, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cycles"] > 0
+        assert data["cpi"] == pytest.approx(data["cycles"]
+                                            / data["committed"])
+        # --json turns the metrics registry on: per-branch tables ride
+        # along, and the loop branch appears in them
+        branches = data["telemetry"]["branches"]
+        assert sum(b["executions"] for b in branches.values()) \
+            == data["branches"]
+
+    def test_sim_json_without_telemetry_flags_has_no_tables(
+            self, tiny_program, capsys):
+        assert main(["sim", tiny_program]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out      # plain text, no tables
+
+    def test_sim_branch_report(self, tiny_program, capsys):
+        assert main(["sim", tiny_program, "--asbr",
+                     "--branch-report"]) == 0
+        out = capsys.readouterr().out
+        assert "per-branch telemetry" in out
+        assert "foldT" in out
+
+    def test_sim_trace_out_then_render(self, tiny_program, tmp_path,
+                                       capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["sim", tiny_program, "--trace-out", trace]) == 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err and trace in captured.err
+
+        assert main(["trace", "pipeview", trace, "--limit", "12"]) == 0
+        view = capsys.readouterr().out
+        assert "pipeline timeline" in view
+        assert "FDXMW" in view.replace(".", "")   # a full 5-stage row
+
+        assert main(["trace", "report", trace]) == 0
+        report = capsys.readouterr().out
+        assert "commit=" in report
+        assert "per-branch telemetry" in report
+
+    def test_workload_json(self, capsys):
+        assert main(["workload", "adpcm_enc", "--samples", "60",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "adpcm_enc"
+        assert data["outputs_match_golden"] is True
+        assert data["telemetry"]["counters"]["commit"] \
+            == data["committed"]
+
+    def test_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["trace", "pipeview", "t.jsonl", "--skip", "5",
+             "--max-cycles", "80"])
+        assert args.mode == "pipeview" and args.skip == 5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "summary", "t.jsonl"])

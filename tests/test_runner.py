@@ -21,7 +21,9 @@ from repro.runner import (
     CACHE_VERSION,
     ResultCache,
     RunSpec,
+    aggregate_metrics,
     execute_spec,
+    execute_spec_metrics,
     key_for_spec,
     map_specs,
     run_sweep,
@@ -165,6 +167,54 @@ def test_sweep_without_cache():
     results = run_sweep(SWEEP, workers=0, cache=None)
     assert results[0] is results[3]
     assert as_dicts(results[:1]) == as_dicts([execute_spec(SWEEP[0])])
+
+
+# ----------------------------------------------------------------------
+# metric sweeps (telemetry riding the cache)
+# ----------------------------------------------------------------------
+def test_execute_spec_metrics_matches_plain():
+    spec = spec_of("bimodal-512-512", asbr=True)
+    plain = execute_spec(spec)
+    stats, metrics = execute_spec_metrics(spec)
+    assert dataclasses.asdict(stats) == dataclasses.asdict(plain)
+    from repro.telemetry import MetricsRegistry
+    reg = MetricsRegistry.from_dict(metrics)
+    assert reg.total_branch_executions == stats.branches
+    assert reg.total_fold_hits == stats.folds_committed
+
+
+def test_metric_sweep_caches_and_upgrades(tmp_path):
+    spec = spec_of()
+    cache = ResultCache(str(tmp_path))
+    # a metric-less entry serves plain lookups but misses for metrics
+    run_sweep([spec], cache=cache)
+    key = key_for_spec(spec)
+    assert cache.get(key) is not None
+    assert cache.get(key, with_metrics=True) is None
+    assert os.path.exists(os.path.join(str(tmp_path), key + ".json"))
+
+    # the metric sweep recomputes once, upgrading the entry in place
+    (stats, metrics), = run_sweep([spec], cache=cache,
+                                  collect_metrics=True)
+    warm = ResultCache(str(tmp_path))
+    (w_stats, w_metrics), = run_sweep([spec], cache=warm,
+                                      collect_metrics=True)
+    assert warm.hits == 1 and warm.misses == 0
+    assert dataclasses.asdict(w_stats) == dataclasses.asdict(stats)
+    assert w_metrics == metrics
+    # and the upgraded entry still serves metric-less lookups
+    assert warm.get(key) is not None
+
+
+def test_aggregate_metrics_merges_per_benchmark():
+    specs = [spec_of(), RunSpec("adpcm_enc", N, SEED + 1, "not-taken")]
+    results = run_sweep(specs, collect_metrics=True)
+    merged = aggregate_metrics(specs, [m for _, m in results])
+    assert set(merged) == {"adpcm_enc"}
+    total = sum(stats.branches for stats, _ in results)
+    assert merged["adpcm_enc"].total_branch_executions == total
+    with pytest.raises(ValueError):
+        aggregate_metrics(specs, [None])
 
 
 # ----------------------------------------------------------------------

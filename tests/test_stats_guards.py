@@ -1,0 +1,52 @@
+"""Zero-division guards on derived statistics.
+
+A run that commits nothing (e.g. an immediate halt, or stats objects
+built incrementally by tooling) must yield well-defined rates, not
+``ZeroDivisionError`` — the CLI ``--json`` path and the telemetry
+report renderers both divide by these counts.
+"""
+
+from repro.asbr.folding import FoldStats
+from repro.sim.pipeline import PipelineSimulator, PipelineStats
+from repro.telemetry.metrics import BranchPCStats
+
+
+class TestPipelineStatsGuards:
+    def test_cpi_zero_committed(self):
+        assert PipelineStats().cpi == 0.0
+        assert PipelineStats(cycles=100).cpi == 0.0
+
+    def test_branch_accuracy_zero_branches(self):
+        assert PipelineStats().branch_accuracy == 0.0
+
+    def test_nonzero_paths_still_divide(self):
+        s = PipelineStats(cycles=30, committed=10, branches=4,
+                          branch_mispredicts=1)
+        assert s.cpi == 3.0
+        assert s.branch_accuracy == 0.75
+
+    def test_empty_program_run(self):
+        from repro.asm import assemble
+        stats = PipelineSimulator(assemble(".text\nmain: halt\n")).run()
+        assert stats.branches == 0
+        assert stats.branch_accuracy == 0.0
+        assert stats.cpi > 0.0
+
+
+class TestFoldStatsGuards:
+    def test_fold_rate_zero_attempts(self):
+        assert FoldStats().fold_rate == 0.0
+
+    def test_fold_rate_counts(self):
+        s = FoldStats(folded_taken=2, folded_not_taken=1,
+                      invalid_fallbacks=1)
+        assert s.attempts == 4
+        assert s.fold_rate == 0.75
+
+
+class TestBranchPCStatsGuards:
+    def test_rates_with_no_executions(self):
+        b = BranchPCStats()
+        assert b.taken_rate == 0.0
+        assert b.accuracy == 0.0
+        assert b.typical_distance() is None

@@ -1,0 +1,300 @@
+"""Tests for the telemetry layer (events, sinks, metrics, renderers).
+
+The load-bearing guarantees:
+
+* attaching a tracer must not change simulated timing at all — the
+  traced fast path is locked stat-for-stat against the plain one across
+  predictor/ASBR/folding configurations;
+* the event stream must be *internally consistent* (lifecycle ordering)
+  and *externally consistent* (event counts reconcile exactly with
+  ``PipelineStats``, fold hits with ``folds_committed``, BDT-busy
+  misses with ``ASBRStats.invalid_fallbacks``);
+* traces survive a JSONL round trip bit-for-bit, and bounded sinks
+  truncate loudly, never silently.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.asbr import ASBRUnit, extract_branch_info
+from repro.asm import assemble
+from repro.predictors import BimodalPredictor, make_predictor
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.telemetry import (
+    MISS_BDT_BUSY,
+    MISS_NO_BIT_ENTRY,
+    JsonlTraceSink,
+    MetricsRegistry,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    lifecycle_cycles,
+    make_tracer,
+    merge_registries,
+    read_jsonl,
+    render_branch_report,
+    render_counters,
+    render_pipeview,
+    retire_observer,
+)
+from repro.telemetry import events as ev
+
+from tests.conftest import COUNT_LOOP, FOLD_DEMO
+
+
+def _fold_demo_asbr(program, bdt_update="execute"):
+    info = extract_branch_info(program, program.labels["br1"])
+    return ASBRUnit.from_branch_infos([info], bdt_update=bdt_update)
+
+
+def _run_pair(source, predictor_spec=None, asbr=False,
+              bdt_update="execute", fold_unconditional=False):
+    """(plain stats, traced stats, registry, ring) for one config."""
+    def build(trace):
+        prog = assemble(source)
+        kwargs = {}
+        if predictor_spec is not None:
+            kwargs["predictor"] = make_predictor(predictor_spec)
+        if asbr:
+            kwargs["asbr"] = _fold_demo_asbr(prog, bdt_update)
+        return PipelineSimulator(prog, trace=trace,
+                                 fold_unconditional=fold_unconditional,
+                                 **kwargs)
+
+    plain = build(None).run()
+    registry, ring = MetricsRegistry(), RingBufferSink()
+    traced = build(Tracer(registry, ring)).run()
+    return plain, traced, registry, ring
+
+
+CONFIGS = [
+    ("count-default", COUNT_LOOP, None, False, "execute", False),
+    ("count-bimodal", COUNT_LOOP, "bimodal-512-512", False, "execute",
+     False),
+    ("fold-gshare", FOLD_DEMO, "gshare-512-8", False, "execute", False),
+    ("fold-asbr-execute", FOLD_DEMO, "bimodal-512-512", True, "execute",
+     False),
+    ("fold-asbr-commit", FOLD_DEMO, "bimodal-512-512", True, "commit",
+     False),
+    ("fold-uncond", FOLD_DEMO, None, False, "execute", True),
+]
+
+
+class TestTracedEquivalence:
+    """The tracer is an observer, never a participant."""
+
+    @pytest.mark.parametrize(
+        "source,predictor,asbr,bdt_update,uncond",
+        [c[1:] for c in CONFIGS], ids=[c[0] for c in CONFIGS])
+    def test_stats_identical(self, source, predictor, asbr, bdt_update,
+                             uncond):
+        plain, traced, _, _ = _run_pair(
+            source, predictor, asbr, bdt_update, uncond)
+        assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+
+    def test_architectural_state_identical(self):
+        p1 = PipelineSimulator(assemble(FOLD_DEMO))
+        p1.run()
+        p2 = PipelineSimulator(assemble(FOLD_DEMO),
+                               trace=make_tracer(with_ring=True))
+        p2.run()
+        assert [p1.regs[i] for i in range(32)] \
+            == [p2.regs[i] for i in range(32)]
+
+
+class TestOrdering:
+    """Lifecycle invariants of the event stream."""
+
+    @pytest.fixture()
+    def demo_events(self):
+        _, _, _, ring = _run_pair(FOLD_DEMO, "bimodal-512-512")
+        return ring.events
+
+    def test_stage_cycles_monotonic(self, demo_events):
+        rows = lifecycle_cycles(demo_events)
+        assert rows, "no instructions traced"
+        for seq, fetch, decode, issue, commit, squash in rows:
+            assert fetch is not None
+            if squash is not None:
+                # squashed instructions never issue or commit
+                assert issue is None and commit is None
+                assert fetch <= squash
+                continue
+            assert commit is not None, "seq %d lost" % seq
+            assert fetch < decode < issue < commit
+
+    def test_seq_is_fetch_order(self, demo_events):
+        rows = lifecycle_cycles(demo_events)
+        seqs = [r[0] for r in rows]
+        assert seqs == list(range(len(rows)))   # dense, no gaps
+        fetches = [r[1] for r in rows]
+        assert fetches == sorted(fetches)       # fetched in seq order
+
+    def test_events_cycle_ordered(self, demo_events):
+        cycles = [e.cycle for e in demo_events]
+        assert cycles == sorted(cycles)
+
+
+class TestReconciliation:
+    """Event counts must reconcile exactly with PipelineStats."""
+
+    def test_counts_match_stats(self):
+        plain, traced, reg, _ = _run_pair(FOLD_DEMO, "bimodal-512-512")
+        assert reg.count(ev.FETCH) == traced.fetched
+        assert reg.count(ev.COMMIT) == traced.committed
+        assert reg.count(ev.SQUASH) == traced.squashed
+        assert reg.count(ev.BRANCH) == traced.branches
+        assert reg.total_branch_executions == traced.branches
+        mispredicts = sum(b.mispredicts for b in reg.branches.values())
+        assert mispredicts == traced.branch_mispredicts
+
+    def test_fold_hits_match_folds_committed(self):
+        prog = assemble(FOLD_DEMO)
+        asbr = _fold_demo_asbr(prog)
+        reg = MetricsRegistry()
+        stats = PipelineSimulator(prog, predictor=BimodalPredictor(512, 512),
+                                  asbr=asbr, trace=Tracer(reg)).run()
+        assert stats.folds_committed > 0
+        assert reg.total_fold_hits == stats.folds_committed
+        busy = sum(b.miss_bdt_busy for b in reg.branches.values())
+        assert busy == asbr.stats.invalid_fallbacks
+        # every fold attempt either hits or misses with a known reason
+        attempts = reg.count(ev.FOLD_HIT) + reg.count(ev.FOLD_MISS)
+        assert attempts == sum(
+            b.fold_fetched + b.miss_no_bit + b.miss_bdt_busy
+            for b in reg.branches.values())
+
+    def test_adpcm_enc_branch_report_reconciles(self):
+        """Acceptance: the per-branch table for a real workload sums
+        exactly to the headline stats."""
+        from repro.runner import RunSpec, execute_spec_metrics
+        stats, metrics = execute_spec_metrics(
+            RunSpec("adpcm_enc", 200, 1, "bimodal-2048", with_asbr=True))
+        reg = MetricsRegistry.from_dict(metrics)
+        assert reg.total_branch_executions == stats.branches
+        assert reg.total_fold_hits == stats.folds_committed > 0
+        assert reg.count(ev.COMMIT) == stats.committed
+        report = render_branch_report(reg)
+        assert "per-branch telemetry" in report
+
+    def test_producer_distance_observed(self):
+        _, _, reg, _ = _run_pair(FOLD_DEMO, "bimodal-512-512")
+        br1 = assemble(FOLD_DEMO).labels["br1"]
+        b = reg.branches[br1]
+        # andi r9 ... sits 6 dynamic instructions ahead of beqz r9
+        assert b.typical_distance() == 6
+
+
+class TestFunctionalTrace:
+    def test_retire_events(self):
+        prog = assemble(COUNT_LOOP)
+        reg, ring = MetricsRegistry(), RingBufferSink()
+        sim = FunctionalSimulator(prog)
+        n = sim.run(trace=Tracer(reg, ring))
+        assert reg.count(ev.RETIRE) == n == ring.emitted
+        assert ring.events[0].pc == prog.entry
+        # seq mirrors retire order in the clockless model
+        assert [e.seq for e in ring.events] == list(range(n))
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _, _, _, ring = _run_pair(FOLD_DEMO, "bimodal-512-512")
+        with JsonlTraceSink(path) as sink:
+            for e in ring.events:
+                sink.emit(e)
+        back = read_jsonl(path)
+        assert back == ring.events          # TraceEvent defines __eq__
+        assert not sink.truncated
+
+    def test_jsonl_truncates_loudly(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlTraceSink(path, max_bytes=200)
+        for i in range(100):
+            sink.emit(TraceEvent(i, ev.FETCH, 0x400000 + 4 * i, i))
+        sink.close()
+        assert sink.truncated and sink.dropped > 0
+        events = read_jsonl(path)
+        assert events[-1].kind == ev.TRUNCATED
+        assert events[-1].data["dropped"] == sink.dropped
+        assert len(events) - 1 == sink.written
+        with pytest.raises(ValueError):
+            sink.emit(TraceEvent(0, ev.FETCH))
+
+    def test_ring_buffer_bounds(self):
+        ring = RingBufferSink(capacity=4)
+        for i in range(10):
+            ring.emit(TraceEvent(i, ev.FETCH, seq=i))
+        assert len(ring) == 4
+        assert ring.emitted == 10 and ring.evicted == 6
+        assert [e.cycle for e in ring] == [6, 7, 8, 9]
+
+    def test_event_json_compact(self):
+        e = TraceEvent(7, ev.FOLD_MISS, 0x400010, 3,
+                       {"reason": MISS_NO_BIT_ENTRY})
+        assert TraceEvent.from_json(e.to_json()) == e
+        bare = TraceEvent(7, ev.BDT_UPDATE)
+        assert '"p"' not in bare.to_json()   # zero fields omitted
+        assert TraceEvent.from_json(bare.to_json()) == bare
+
+
+class TestMetricsSerde:
+    def test_round_trip_and_merge(self):
+        _, _, reg, _ = _run_pair(FOLD_DEMO, "bimodal-512-512", asbr=True)
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+        both = merge_registries([reg, back])
+        assert both.total_branch_executions \
+            == 2 * reg.total_branch_executions
+        assert both.total_fold_hits == 2 * reg.total_fold_hits
+        pc, b = reg.sorted_branches()[0]
+        merged_b = both.branches[pc]
+        assert merged_b.executions == 2 * b.executions
+        for d, n in b.distances.items():
+            assert merged_b.distances[d] == 2 * n
+
+    def test_reasons_are_the_public_constants(self):
+        assert MISS_NO_BIT_ENTRY == "no_bit_entry"
+        assert MISS_BDT_BUSY == "bdt_busy"
+
+
+GOLDEN_PIPEVIEW = """\
+pipeline timeline: cycles 13..22 ('|' every 10)
+ seq pc         ..+....|..
+   4 0x00400010 FDXMW.....  taken MISPREDICT
+   5 0x00400014 .Fx.......  squashed
+   6 0x00400008 ...FDXMW..
+   7 0x0040000c ....FDXMW.
+   8 0x00400010 .....FDXMW  taken MISPREDICT
+   9 0x00400014 ......Fx..  squashed"""
+
+
+class TestRenderers:
+    def test_golden_pipeview(self):
+        """Locked render: one loop iteration of COUNT_LOOP under the
+        default predictor, mispredict + squash and all."""
+        ring = RingBufferSink()
+        PipelineSimulator(assemble(COUNT_LOOP),
+                          trace=Tracer(ring)).run()
+        assert render_pipeview(ring.events, limit=6, skip=4) \
+            == GOLDEN_PIPEVIEW
+
+    def test_pipeview_empty(self):
+        assert "no instruction events" in render_pipeview([])
+
+    def test_branch_report_labels(self):
+        prog = assemble(FOLD_DEMO)
+        reg = MetricsRegistry()
+        PipelineSimulator(prog, predictor=BimodalPredictor(512, 512),
+                          trace=Tracer(reg)).run()
+        report = render_branch_report(reg, prog)
+        assert "br1" in report
+        assert "total" in report
+
+    def test_counters_render(self):
+        _, _, reg, _ = _run_pair(COUNT_LOOP)
+        text = render_counters(reg)
+        assert "commit=" in text and "fetch=" in text
