@@ -13,9 +13,17 @@ Usage (also installed as the ``repro-asbr`` console script)::
     python -m repro.cli trace report t.jsonl
     python -m repro.cli experiments fig11 --samples 600
     python -m repro.cli experiments all --workers 4
+    python -m repro.cli dse run --space paper --journal results/dse.jsonl
+    python -m repro.cli dse frontier --journal results/dse.jsonl --csv
+    python -m repro.cli dse report --journal results/dse.jsonl
+    python -m repro.cli cache gc --cache-dir results/.runcache --max-bytes 64M
 
 ``sim --asbr`` performs the paper's whole methodology on the program:
 profile it, select fold candidates, load the BIT, and re-simulate.
+``dse`` explores the whole configuration space instead of one point
+(:mod:`repro.dse`): ``run`` evaluates a space through the journal +
+cache + pool, ``frontier``/``report`` re-render a journal without any
+simulation.  ``cache gc`` size-caps the on-disk result cache.
 ``--trace-out`` / ``--branch-report`` / ``--json`` attach the telemetry
 layer (:mod:`repro.telemetry`) to the run; ``trace`` renders a
 previously captured JSONL event stream.
@@ -248,8 +256,8 @@ def cmd_trace(args) -> int:
 
 
 def cmd_experiments(args) -> int:
-    from repro.experiments import (ablations, energy, fig6, fig7, fig9,
-                                   fig10, fig11)
+    from repro.experiments import (ablations, dse_frontier, energy,
+                                   fig6, fig7, fig9, fig10, fig11)
     from repro.experiments.common import ExperimentSetup
     cache_dir = None if args.no_cache else args.cache_dir
     setup = ExperimentSetup(n_samples=args.samples, workers=args.workers,
@@ -258,6 +266,7 @@ def cmd_experiments(args) -> int:
         "fig6": fig6.main, "fig7": fig7.main, "fig9": fig9.main,
         "fig10": fig10.main, "fig11": fig11.main,
         "ablations": ablations.main, "energy": energy.main,
+        "dse_frontier": dse_frontier.main,
     }
     names = list(drivers) if args.which == "all" else [args.which]
     for name in names:
@@ -268,6 +277,114 @@ def cmd_experiments(args) -> int:
         print("run cache (%s): %d hits, %d misses, %d corrupt dropped"
               % (cache.root, cache.hits, cache.misses, cache.dropped),
               file=sys.stderr)
+    return 0
+
+
+def _dse_objectives(args):
+    from repro.dse import DEFAULT_OBJECTIVES, validate_objectives
+    if not getattr(args, "objectives", None):
+        return DEFAULT_OBJECTIVES
+    return validate_objectives(
+        n.strip() for n in args.objectives.split(",") if n.strip())
+
+
+def _dse_emit(args, results, objectives) -> None:
+    """Shared tail of the ``dse`` subcommands: table/plot or export."""
+    from repro.dse import (export_csv, export_json, frontier_of,
+                           render_frontier_plot, render_results_table)
+    if args.json:
+        print(export_json(results, objectives))
+        return
+    if args.csv:
+        print(export_csv(results, objectives), end="")
+        return
+    front = frontier_of(results, objectives)
+    print(render_results_table(
+        results, objectives,
+        title="%d evaluated configurations, %d on the frontier"
+              % (len(results), len(front))))
+    print()
+    print(render_frontier_plot(results, x=args.plot_x, y=args.plot_y,
+                               objectives=objectives))
+
+
+def cmd_dse_run(args) -> int:
+    from repro.dse import Evaluator, Journal, get_space, make_search
+    from repro.runner import ResultCache
+
+    space = get_space(args.space)
+    journal_path = args.journal or os.path.join(
+        "results", "dse", "%s-n%d-s%d.jsonl"
+        % (args.benchmark, args.samples, args.seed))
+    if os.path.exists(journal_path) and not args.resume:
+        print("journal %s already exists; pass --resume to continue it "
+              "or remove it to start over" % journal_path,
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    objectives = _dse_objectives(args)
+    search = make_search(args.search, n_points=args.n_points,
+                         seed=args.seed)
+    with Journal(journal_path).open({
+            "space": space.digest(), "benchmark": args.benchmark,
+            "n_samples": args.samples, "seed": args.seed}) as journal:
+        evaluator = Evaluator(args.benchmark, args.samples, args.seed,
+                              workers=args.workers, cache=cache,
+                              journal=journal)
+        results = search.run(evaluator, space)
+    print("dse: %d points evaluated on %s (%d simulated, %d from "
+          "journal) -> %s"
+          % (len(results), args.benchmark, evaluator.simulated,
+             evaluator.journal_hits, journal_path), file=sys.stderr)
+    _dse_emit(args, results, objectives)
+    if args.expect_no_new and evaluator.simulated:
+        print("--expect-no-new: %d evaluations were NOT served by the "
+              "journal" % evaluator.simulated, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _load_journal_results(args):
+    """Full-input EvalResults from a journal (no simulation)."""
+    from repro.dse import Journal
+    from repro.dse.engine import result_from_record
+    journal = Journal(args.journal).load()
+    if not journal.records and journal.meta is None:
+        raise SystemExit("no journal at %s" % args.journal)
+    n_full = journal.meta.get("n_samples") if journal.meta else None
+    results = [result_from_record(rec) for rec in journal.evals(n_full)]
+    return journal, results
+
+
+def cmd_dse_frontier(args) -> int:
+    from repro.dse import frontier_of
+    objectives = _dse_objectives(args)
+    _journal, results = _load_journal_results(args)
+    front = frontier_of(results, objectives)
+    _dse_emit(args, front, objectives)
+    return 0
+
+
+def cmd_dse_report(args) -> int:
+    objectives = _dse_objectives(args)
+    journal, results = _load_journal_results(args)
+    meta = journal.meta or {}
+    print("journal %s: %d evaluations (benchmark=%s, n_samples=%s, "
+          "seed=%s, %d corrupt lines dropped)"
+          % (args.journal, len(journal), meta.get("benchmark", "?"),
+             meta.get("n_samples", "?"), meta.get("seed", "?"),
+             journal.dropped))
+    print()
+    _dse_emit(args, results, objectives)
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    from repro.runner import ResultCache, parse_size
+    cap = parse_size(args.max_bytes) if args.max_bytes is not None \
+        else None
+    result = ResultCache(args.cache_dir).gc(cap)
+    print(result.render())
     return 0
 
 
@@ -347,7 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate paper tables")
     p.add_argument("which", choices=("fig6", "fig7", "fig9", "fig10",
                                      "fig11", "ablations", "energy",
-                                     "all"))
+                                     "dse_frontier", "all"))
     p.add_argument("--samples", type=int, default=600)
     p.add_argument("--workers", type=int,
                    default=int(os.environ.get("REPRO_WORKERS", "0")),
@@ -361,6 +478,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("dse", help="design-space exploration "
+                                   "(repro.dse)")
+    dse_sub = p.add_subparsers(dest="dse_command", required=True)
+
+    def _add_dse_output_options(sp) -> None:
+        sp.add_argument("--objectives",
+                        help="comma-separated objective list (default "
+                             "speedup,table_bits,energy)")
+        sp.add_argument("--json", action="store_true",
+                        help="emit points + frontier as JSON")
+        sp.add_argument("--csv", action="store_true",
+                        help="emit points + frontier as CSV")
+        sp.add_argument("--plot-x", default="table_bits",
+                        help="x objective of the ASCII frontier plot")
+        sp.add_argument("--plot-y", default="speedup",
+                        help="y objective of the ASCII frontier plot")
+
+    sp = dse_sub.add_parser("run", help="evaluate a configuration "
+                                        "space (resumable)")
+    sp.add_argument("--space", default="paper",
+                    help="preset name (paper, default) or a JSON "
+                         "space file")
+    sp.add_argument("--benchmark", default="adpcm_enc",
+                    help="workload to characterise (default adpcm_enc)")
+    sp.add_argument("--samples", type=int, default=600,
+                    help="full input length (default 600)")
+    sp.add_argument("--seed", type=int, default=20010618,
+                    help="one seed for inputs AND random search — a "
+                         "rerun with the same seed is bit-identical")
+    sp.add_argument("--search", default="grid",
+                    choices=("grid", "random", "halving"),
+                    help="search driver (default grid)")
+    sp.add_argument("--n-points", type=int, default=8,
+                    help="random search: points to draw")
+    sp.add_argument("--workers", type=int,
+                    default=int(os.environ.get("REPRO_WORKERS", "0")),
+                    help="parallel simulations (0/1 = inline)")
+    sp.add_argument("--journal",
+                    help="JSONL journal path (default results/dse/"
+                         "<benchmark>-n<samples>-s<seed>.jsonl)")
+    sp.add_argument("--resume", action="store_true",
+                    help="continue an existing journal, skipping every "
+                         "recorded evaluation")
+    sp.add_argument("--expect-no-new", action="store_true",
+                    help="fail if any evaluation was not served by the "
+                         "journal (CI resume check)")
+    sp.add_argument("--cache-dir",
+                    default=os.environ.get("REPRO_CACHE_DIR",
+                                           "results/.runcache"),
+                    help="on-disk run-result cache location")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="disable the on-disk run-result cache")
+    _add_dse_output_options(sp)
+    sp.set_defaults(fn=cmd_dse_run)
+
+    sp = dse_sub.add_parser("frontier", help="Pareto frontier of a "
+                                             "recorded journal")
+    sp.add_argument("--journal", required=True)
+    _add_dse_output_options(sp)
+    sp.set_defaults(fn=cmd_dse_frontier)
+
+    sp = dse_sub.add_parser("report", help="full table + plot of a "
+                                           "recorded journal")
+    sp.add_argument("--journal", required=True)
+    _add_dse_output_options(sp)
+    sp.set_defaults(fn=cmd_dse_report)
+
+    p = sub.add_parser("cache", help="manage the on-disk result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    sp = cache_sub.add_parser("gc", help="LRU-by-mtime garbage "
+                                         "collection")
+    sp.add_argument("--cache-dir",
+                    default=os.environ.get("REPRO_CACHE_DIR",
+                                           "results/.runcache"))
+    sp.add_argument("--max-bytes",
+                    help="size cap, e.g. 4096, 64M, 2G (omit to only "
+                         "measure)")
+    sp.set_defaults(fn=cmd_cache_gc)
     return parser
 
 

@@ -1,0 +1,182 @@
+"""Append-only JSONL journal of evaluated design points.
+
+One line per record.  The first line is a ``meta`` record pinning the
+exploration's identity — space digest, benchmark, input ``(n_samples,
+seed)`` — and every further line is an ``eval`` record: the design
+point, the input size it was evaluated at (successive halving runs
+points at several sizes), and its extracted objectives.
+
+Crash safety is the whole point: every record is written, flushed and
+fsynced before the evaluation is considered done, and a truncated final
+line (killed process, full disk) is silently dropped on load.  A
+resumed exploration therefore re-evaluates at most the one point whose
+record was cut off — everything journaled is skipped without touching
+the simulator, even across processes.  The runner's content-addressed
+cache (:mod:`repro.runner.cache`) sits underneath for the raw run
+results; the journal adds the *derived* objectives and the search
+position, which the cache alone cannot restore.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional
+
+from repro.dse.objectives import ObjectiveVector
+from repro.dse.space import DesignPoint
+
+JOURNAL_VERSION = 1
+
+
+class JournalMismatch(Exception):
+    """The on-disk journal was produced by a different exploration."""
+
+
+def eval_key(point: DesignPoint, benchmark: str, n_samples: int,
+             seed: int) -> str:
+    """Identity of one evaluation (point × workload × input)."""
+    return "%s @%s n=%d s=%d" % (point.key(), benchmark, n_samples, seed)
+
+
+class Journal:
+    """Append-only journal with resume-by-key lookups."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.meta: Optional[dict] = None
+        self.records: Dict[str, dict] = {}   # eval_key -> eval record
+        self.dropped = 0                     # corrupt/truncated lines
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self) -> "Journal":
+        """Read whatever is on disk; tolerate a truncated tail."""
+        self.meta = None
+        self.records = {}
+        self.dropped = 0
+        try:
+            with open(self.path) as f:
+                raw = f.read()
+        except FileNotFoundError:
+            return self
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        elif lines:
+            # no trailing newline: the writer died mid-record
+            self.dropped += 1
+            lines.pop()
+        for line in lines:
+            try:
+                rec = json.loads(line)
+                kind = rec["kind"]
+            except (ValueError, KeyError, TypeError):
+                self.dropped += 1
+                continue
+            if kind == "meta" and self.meta is None:
+                self.meta = rec
+            elif kind == "eval":
+                self.records[rec["key"]] = rec
+            else:
+                self.dropped += 1
+        return self
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def open(self, meta: dict) -> "Journal":
+        """Load any existing journal, verify it matches ``meta``, and
+        open for appending (writing the meta line if new).
+
+        ``meta`` should carry the exploration identity (``space``
+        digest, ``benchmark``, ``n_samples``, ``seed``); a mismatch on
+        any shared key raises :class:`JournalMismatch` rather than
+        silently mixing two explorations in one frontier.
+        """
+        self.load()
+        if self.meta is not None:
+            for k, v in meta.items():
+                old = self.meta.get(k)
+                if old != v:
+                    raise JournalMismatch(
+                        "journal %s was recorded with %s=%r, "
+                        "this run wants %r — use a fresh journal"
+                        % (self.path, k, old, v))
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._repair_tail()
+        self._fh = open(self.path, "a")
+        if self.meta is None:
+            self.meta = dict(meta, kind="meta", version=JOURNAL_VERSION)
+            self._write(self.meta)
+        return self
+
+    def _repair_tail(self) -> None:
+        """Chop a half-written final record off the file, so appended
+        records never concatenate onto a crashed writer's tail."""
+        try:
+            with open(self.path, "rb+") as f:
+                data = f.read()
+                if data and not data.endswith(b"\n"):
+                    f.truncate(data.rfind(b"\n") + 1)
+        except FileNotFoundError:
+            pass
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal not open for writing")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_eval(self, point: DesignPoint, benchmark: str,
+                    n_samples: int, seed: int,
+                    objectives: ObjectiveVector) -> dict:
+        """Durably record one completed evaluation."""
+        key = eval_key(point, benchmark, n_samples, seed)
+        rec = {
+            "kind": "eval",
+            "key": key,
+            "point": point.to_dict(),
+            "benchmark": benchmark,
+            "n_samples": n_samples,
+            "seed": seed,
+            "objectives": objectives.to_dict(),
+        }
+        self._write(rec)
+        self.records[key] = rec
+        return rec
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has(self, key: str) -> bool:
+        return key in self.records
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.records.get(key)
+
+    def evals(self, n_samples: Optional[int] = None) -> Iterator[dict]:
+        """Recorded evaluations, optionally only those at one input
+        size (the frontier is computed over full-size runs only)."""
+        for rec in self.records.values():
+            if n_samples is None or rec["n_samples"] == n_samples:
+                yield rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

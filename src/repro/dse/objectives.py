@@ -1,0 +1,143 @@
+"""Objective extraction: one evaluated run → a comparable vector.
+
+Every evaluated design point is reduced to an :class:`ObjectiveVector`:
+
+* ``cycles`` / ``cpi`` — straight off :class:`~repro.sim.pipeline.
+  PipelineStats`;
+* ``speedup`` — baseline cycles / point cycles, against the paper's
+  reference core (``bimodal-2048``, no ASBR) on the same workload and
+  input;
+* ``fold_coverage`` — committed folds / (committed folds + unfolded
+  branch executions), from the run's telemetry tables
+  (:class:`~repro.telemetry.MetricsRegistry`) — the fraction of dynamic
+  conditional branches ASBR removed from the pipeline;
+* ``table_bits`` — hardware cost of the prediction structures this
+  point instantiates: predictor SRAM + BIT + BDT (paper Section 7's
+  area argument);
+* ``energy`` — the activity-based model of :mod:`repro.power`,
+  reconstructed from stats (:func:`~repro.power.
+  estimate_energy_from_stats`) so cached results need no re-simulation.
+
+``SENSES`` declares which direction is better for each objective, so
+the Pareto code (:mod:`repro.dse.pareto`) never hard-codes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.asbr.bit import BITS_PER_ENTRY
+from repro.asbr.bdt import BranchDirectionTable
+from repro.dse.space import DesignPoint
+from repro.power import estimate_energy_from_stats
+from repro.predictors import make_predictor
+from repro.sim.pipeline import PipelineStats
+
+#: objective name -> "min" | "max" (direction of improvement)
+SENSES: Dict[str, str] = {
+    "cycles": "min",
+    "cpi": "min",
+    "speedup": "max",
+    "fold_coverage": "max",
+    "table_bits": "min",
+    "energy": "min",
+}
+
+#: the frontier the paper's story is about: performance vs the two
+#: costs a designer pays for it.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("speedup", "table_bits", "energy")
+
+
+@dataclass(frozen=True)
+class ObjectiveVector:
+    """All extracted objectives for one evaluated point."""
+
+    cycles: int
+    cpi: float
+    speedup: float
+    fold_coverage: float
+    table_bits: int
+    energy: float
+
+    def values(self, names) -> tuple:
+        """The requested objectives, in order (for dominance checks)."""
+        return tuple(getattr(self, n) for n in names)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ObjectiveVector":
+        return cls(**{f.name: d[f.name] for f in fields(cls)})
+
+
+def validate_objectives(names) -> Tuple[str, ...]:
+    """Check every name against :data:`SENSES`; return as a tuple."""
+    names = tuple(names)
+    for n in names:
+        if n not in SENSES:
+            raise ValueError("unknown objective %r (have: %s)"
+                             % (n, ", ".join(sorted(SENSES))))
+    if not names:
+        raise ValueError("need at least one objective")
+    return names
+
+
+# ----------------------------------------------------------------------
+# per-component extractors
+# ----------------------------------------------------------------------
+_pred_bits_memo: Dict[str, int] = {}
+
+
+def table_cost_bits(point: DesignPoint) -> int:
+    """Prediction-structure SRAM this point instantiates, in bits."""
+    spec = point.predictor_spec
+    if spec not in _pred_bits_memo:
+        _pred_bits_memo[spec] = make_predictor(spec).state_bits
+    bits = _pred_bits_memo[spec]
+    if point.with_asbr:
+        bits += point.bit_capacity * BITS_PER_ENTRY
+        bits += BranchDirectionTable().state_bits
+    return bits
+
+
+def fold_coverage(metrics: Optional[dict]) -> float:
+    """Dynamic-branch coverage from serialised telemetry tables."""
+    if not metrics:
+        return 0.0
+    from repro.telemetry import MetricsRegistry
+    registry = MetricsRegistry.from_dict(metrics)
+    folds = sum(b.fold_hits for b in registry.branches.values())
+    execs = sum(b.executions for b in registry.branches.values())
+    total = folds + execs
+    return folds / total if total else 0.0
+
+
+def point_energy(point: DesignPoint, stats: PipelineStats) -> float:
+    """Activity-based relative energy of this run (stats-only model)."""
+    bit_bits = point.bit_capacity * BITS_PER_ENTRY if point.with_asbr \
+        else 0
+    bdt_bits = BranchDirectionTable().state_bits if point.with_asbr \
+        else 0
+    report = estimate_energy_from_stats(
+        stats, predictor_state_bits=table_cost_bits(
+            DesignPoint(point.predictor_spec, with_asbr=False)),
+        bit_state_bits=bit_bits, bdt_state_bits=bdt_bits)
+    return report.total
+
+
+def extract_objectives(point: DesignPoint, stats: PipelineStats,
+                       metrics: Optional[dict],
+                       baseline_stats: PipelineStats) -> ObjectiveVector:
+    """Reduce one evaluated run to its objective vector."""
+    speedup = baseline_stats.cycles / stats.cycles if stats.cycles \
+        else 0.0
+    return ObjectiveVector(
+        cycles=stats.cycles,
+        cpi=stats.cpi,
+        speedup=speedup,
+        fold_coverage=fold_coverage(metrics),
+        table_bits=table_cost_bits(point),
+        energy=point_energy(point, stats),
+    )

@@ -1,0 +1,71 @@
+"""Exact multi-objective Pareto-frontier computation.
+
+Plain pairwise dominance over mixed min/max objectives.  A point is on
+the frontier iff no other point *strictly* dominates it — at least as
+good everywhere and better somewhere.  Ties are kept: two points with
+identical objective vectors never dominate each other, so both survive
+(a designer wants to see every configuration that achieves a frontier
+trade-off, not an arbitrary representative).
+
+O(n²) pairwise checks — exact, order-independent, and fast at design-
+space sizes (thousands of points); the evaluation of a point costs
+seconds of simulation, so the frontier computation is never the
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dse.objectives import SENSES
+
+
+def _oriented(vector: Sequence[float], senses: Sequence[str]) -> tuple:
+    """Flip max objectives so dominance is uniformly 'smaller is
+    better'."""
+    return tuple(-v if s == "max" else v
+                 for v, s in zip(vector, senses))
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              senses: Sequence[str]) -> bool:
+    """True iff ``a`` strictly dominates ``b`` under ``senses``."""
+    if len(a) != len(b) or len(a) != len(senses):
+        raise ValueError("vector/sense length mismatch")
+    oa, ob = _oriented(a, senses), _oriented(b, senses)
+    return all(x <= y for x, y in zip(oa, ob)) and oa != ob
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]],
+                   senses: Sequence[str]) -> List[int]:
+    """Indices of the non-dominated vectors, in input order."""
+    for v in vectors:
+        if len(v) != len(senses):
+            raise ValueError("vector/sense length mismatch")
+    oriented = [_oriented(v, senses) for v in vectors]
+    out = []
+    for i, vi in enumerate(oriented):
+        dominated = False
+        for j, vj in enumerate(oriented):
+            if j == i:
+                continue
+            if all(x <= y for x, y in zip(vj, vi)) and vj != vi:
+                dominated = True
+                break
+        if not dominated:
+            out.append(i)
+    return out
+
+
+def pareto_front(items, objectives: Sequence[str],
+                 key=lambda item: item) -> list:
+    """The non-dominated subset of ``items``.
+
+    ``objectives`` are names from :data:`repro.dse.objectives.SENSES`;
+    ``key`` maps an item to something with a ``values(names)`` method
+    (an :class:`~repro.dse.objectives.ObjectiveVector`).
+    """
+    senses = [SENSES[n] for n in objectives]
+    vectors = [key(item).values(objectives) for item in items]
+    keep = set(pareto_indices(vectors, senses))
+    return [item for i, item in enumerate(items) if i in keep]

@@ -1,0 +1,162 @@
+"""Frontier rendering and export: table, ASCII scatter, JSON, CSV.
+
+The human view follows the house rendering style (the telemetry
+reports' aligned tables and the timeline's plain-ASCII axes): a ranked
+table of every evaluated point with frontier members starred, and a
+2-D scatter of one objective pair where ``#`` marks a Pareto-optimal
+configuration and ``·`` a dominated one.  Machine views (``--json`` /
+``--csv``) carry the full objective vectors for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import List, Sequence
+
+from repro.dse.engine import EvalResult
+from repro.dse.objectives import DEFAULT_OBJECTIVES, SENSES
+from repro.dse.pareto import pareto_front
+
+_OBJ_FMT = {
+    "cycles": "{:,}".format,
+    "cpi": "%.3f".__mod__,
+    "speedup": "%.3f".__mod__,
+    "fold_coverage": lambda v: "%.1f%%" % (100 * v),
+    "table_bits": "{:,}".format,
+    "energy": "%.0f".__mod__,
+}
+
+
+def frontier_of(results: Sequence[EvalResult],
+                objectives: Sequence[str] = DEFAULT_OBJECTIVES
+                ) -> List[EvalResult]:
+    """The non-dominated subset under the chosen objectives."""
+    return pareto_front(list(results), objectives,
+                        key=lambda r: r.objectives)
+
+
+def render_results_table(results: Sequence[EvalResult],
+                         objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                         title: str = "") -> str:
+    """All points, frontier-first, frontier members starred."""
+    front = set(id(r) for r in frontier_of(results, objectives))
+    primary = objectives[0]
+    ordered = sorted(
+        results,
+        key=lambda r: ((id(r) not in front),
+                       -getattr(r.objectives, primary)
+                       if SENSES[primary] == "max"
+                       else getattr(r.objectives, primary)))
+    headers = ["", "configuration"] + list(objectives)
+    rows = []
+    for r in ordered:
+        cells = ["*" if id(r) in front else "", r.point.label()]
+        for name in objectives:
+            cells.append(_OBJ_FMT[name](getattr(r.objectives, name)))
+        rows.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    fmt = "  ".join("%%-%ds" % w for w in widths)
+    lines = [title] if title else []
+    lines.append(fmt % tuple(headers))
+    lines.append(fmt % tuple("-" * w for w in widths))
+    for row in rows:
+        lines.append((fmt % tuple(row)).rstrip())
+    lines.append("* = Pareto-optimal under (%s)" % ", ".join(objectives))
+    return "\n".join(lines)
+
+
+def render_frontier_plot(results: Sequence[EvalResult],
+                         x: str = "table_bits", y: str = "speedup",
+                         objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                         width: int = 56, height: int = 16) -> str:
+    """ASCII scatter of one objective pair.
+
+    ``#`` = on the (full multi-objective) frontier, ``·`` = dominated.
+    Points sharing a cell collapse; frontier marks win the cell.
+    """
+    if not results:
+        return "(no evaluated points)"
+    front = set(id(r) for r in frontier_of(results, objectives))
+    xs = [getattr(r.objectives, x) for r in results]
+    ys = [getattr(r.objectives, y) for r in results]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for r, vx, vy in zip(results, xs, ys):
+        col = int((vx - x0) / xspan * (width - 1))
+        row = (height - 1) - int((vy - y0) / yspan * (height - 1))
+        mark = "#" if id(r) in front else "·"
+        if grid[row][col] != "#":
+            grid[row][col] = mark
+    ylab0 = _OBJ_FMT[y](y0)
+    ylab1 = _OBJ_FMT[y](y1)
+    margin = max(len(ylab0), len(ylab1))
+    lines = ["%s vs %s   (# = frontier, · = dominated)" % (y, x)]
+    for i, cells in enumerate(grid):
+        if i == 0:
+            label = ylab1
+        elif i == height - 1:
+            label = ylab0
+        else:
+            label = ""
+        lines.append("%*s |%s" % (margin, label, "".join(cells).rstrip()))
+    lines.append("%*s +%s" % (margin, "", "-" * width))
+    xlab0, xlab1 = _OBJ_FMT[x](x0), _OBJ_FMT[x](x1)
+    pad = width - len(xlab0) - len(xlab1)
+    lines.append("%*s  %s%s%s" % (margin, "", xlab0,
+                                  " " * max(pad, 1), xlab1))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# machine export
+# ----------------------------------------------------------------------
+def _row_dict(r: EvalResult, on_frontier: bool) -> dict:
+    return {
+        "point": r.point.to_dict(),
+        "label": r.point.label(),
+        "benchmark": r.benchmark,
+        "n_samples": r.n_samples,
+        "seed": r.seed,
+        "objectives": r.objectives.to_dict(),
+        "on_frontier": on_frontier,
+    }
+
+
+def export_json(results: Sequence[EvalResult],
+                objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> str:
+    front = set(id(r) for r in frontier_of(results, objectives))
+    return json.dumps({
+        "objectives": list(objectives),
+        "points": [_row_dict(r, id(r) in front) for r in results],
+    }, indent=1, sort_keys=True)
+
+
+def export_csv(results: Sequence[EvalResult],
+               objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> str:
+    import csv
+
+    front = set(id(r) for r in frontier_of(results, objectives))
+    buf = io.StringIO()
+    fields = ["label", "benchmark", "n_samples", "seed", "predictor",
+              "with_asbr", "bit_capacity", "bdt_update",
+              "min_fold_fraction", "min_count",
+              "cycles", "cpi", "speedup", "fold_coverage",
+              "table_bits", "energy", "on_frontier"]
+    w = csv.writer(buf, lineterminator="\n")
+    w.writerow(fields)
+    for r in results:
+        p, o = r.point, r.objectives
+        w.writerow([p.label(), r.benchmark, r.n_samples, r.seed,
+                    p.predictor_spec, int(p.with_asbr), p.bit_capacity,
+                    p.bdt_update, p.min_fold_fraction, p.min_count,
+                    o.cycles, "%.6f" % o.cpi, "%.6f" % o.speedup,
+                    "%.6f" % o.fold_coverage, o.table_bits,
+                    "%.3f" % o.energy, int(id(r) in front)])
+    return buf.getvalue()

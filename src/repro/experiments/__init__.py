@@ -10,6 +10,8 @@
   with not-taken / bi-512 / bi-256 auxiliary predictors).
 * :mod:`repro.experiments.ablations` — threshold, BIT-size, scheduling
   and predictor-area studies backing the paper's design-choice claims.
+* :mod:`repro.experiments.dse_frontier` — the paper space as a computed
+  speedup/cost/energy Pareto frontier (:mod:`repro.dse`).
 
 Paper-reported numbers live in :mod:`repro.experiments.paper_data`;
 every driver prints measured-vs-paper so the shape comparison is
@@ -24,6 +26,7 @@ from repro.experiments.common import (
 )
 from repro.experiments import (
     ablations,
+    dse_frontier,
     energy,
     fig6,
     fig7,
@@ -43,6 +46,7 @@ __all__ = [
     "fig10",
     "fig11",
     "ablations",
+    "dse_frontier",
     "energy",
     "paper_data",
 ]

@@ -21,6 +21,7 @@ from repro.power.model import (
     EnergyParams,
     EnergyReport,
     estimate_energy,
+    estimate_energy_from_stats,
     compare_energy,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "EnergyParams",
     "EnergyReport",
     "estimate_energy",
+    "estimate_energy_from_stats",
     "compare_energy",
 ]

@@ -109,6 +109,73 @@ def estimate_energy(sim: PipelineSimulator,
     return report
 
 
+def estimate_energy_from_stats(stats: PipelineStats,
+                               predictor_state_bits: int,
+                               bit_state_bits: int = 0,
+                               bdt_state_bits: int = 0,
+                               icache_config=None,
+                               dcache_config=None,
+                               params: Optional[EnergyParams] = None
+                               ) -> EnergyReport:
+    """Energy report reconstructed from :class:`PipelineStats` alone.
+
+    :func:`estimate_energy` needs the live simulator objects; cached
+    sweep results (:mod:`repro.runner`) only keep the stats, so the
+    design-space explorer uses this estimator instead.  Same
+    coefficients, with the counts the stats do not carry approximated:
+
+    * cache *misses* are recovered from the recorded miss-stall cycles
+      divided by the configured miss penalty;
+    * I-cache accesses ≈ fetched instructions + committed folds (a fold
+      fetches its replacement instruction);
+    * D-cache accesses ≈ 0.3 × committed (the memory-reference fraction
+      typical of these kernels).  Program and input are fixed across a
+      design space, so this term is constant per benchmark and cannot
+      reorder configurations.
+
+    Structure sizes come in as bits because the structures themselves
+    are not rebuilt: the predictor's from its spec, the BIT's from its
+    capacity, the BDT's from the register count.
+    """
+    from repro.memory.cache import Cache, CacheConfig
+
+    params = params if params is not None else EnergyParams()
+    icc = icache_config if icache_config is not None else CacheConfig()
+    dcc = dcache_config if dcache_config is not None else CacheConfig()
+    ic_bits = Cache(icc).state_bits
+    dc_bits = Cache(dcc).state_bits
+    report = EnergyReport()
+    comp = report.components
+
+    comp["pipeline"] = params.pipeline_slot * (
+        stats.committed * params.stage_count
+        + stats.squashed * params.stage_count * 0.5)
+
+    ic_misses = stats.icache_miss_stalls // max(icc.miss_penalty, 1)
+    dc_misses = stats.dcache_miss_stalls // max(dcc.miss_penalty, 1)
+    ic_accesses = stats.fetched + stats.folds_committed
+    dc_accesses = int(0.3 * stats.committed)
+    comp["icache"] = (ic_accesses * _access_energy(ic_bits, params)
+                      + ic_misses * params.cache_miss_energy)
+    comp["dcache"] = (dc_accesses * _access_energy(dc_bits, params)
+                      + dc_misses * params.cache_miss_energy)
+
+    comp["predictor"] = _access_energy(predictor_state_bits, params) \
+        * (stats.predictor_lookups + stats.branches)
+
+    asbr_bits = bit_state_bits + bdt_state_bits
+    if asbr_bits:
+        bit_lookups = stats.predictor_lookups + stats.folds_committed
+        comp["asbr"] = (
+            _access_energy(bit_state_bits, params) * bit_lookups
+            + _access_energy(bdt_state_bits, params) * stats.committed
+            + params.fold_energy * stats.folds_committed)
+
+    state = ic_bits + dc_bits + predictor_state_bits + asbr_bits
+    comp["leakage"] = params.leakage_coeff * state * stats.cycles
+    return report
+
+
 def compare_energy(baseline: EnergyReport,
                    customized: EnergyReport) -> float:
     """Relative energy saving of ``customized`` vs ``baseline``."""

@@ -29,7 +29,13 @@ here; ``repro.cli experiments --workers N`` exposes it to users.
 """
 
 from repro.runner.aggregate import aggregate_metrics, sweep_metrics
-from repro.runner.cache import CACHE_VERSION, ResultCache, key_for_spec
+from repro.runner.cache import (
+    CACHE_VERSION,
+    GCResult,
+    ResultCache,
+    key_for_spec,
+    parse_size,
+)
 from repro.runner.pool import (
     RunSpec,
     execute_spec,
@@ -40,8 +46,10 @@ from repro.runner.sweep import run_sweep
 
 __all__ = [
     "CACHE_VERSION",
+    "GCResult",
     "ResultCache",
     "RunSpec",
+    "parse_size",
     "aggregate_metrics",
     "execute_spec",
     "execute_spec_metrics",

@@ -20,6 +20,13 @@ Corrupted or truncated entries (killed process, disk full, concurrent
 writer) are deleted on read and treated as misses — the cache is an
 accelerator, never a source of errors.  Writes go through a temp file
 and ``os.replace`` so readers never observe a half-written entry.
+
+The cache can be size-capped: ``ResultCache(root, max_bytes=...)``
+garbage-collects least-recently-used entries (by mtime — read hits
+touch their entry) whenever a write pushes the directory over the cap.
+``repro cache gc`` exposes the same collector for unattended caches; a
+design-space sweep (:mod:`repro.dse`) can write thousands of entries,
+so unbounded growth is no longer hypothetical.
 """
 
 from __future__ import annotations
@@ -37,10 +44,30 @@ from repro.sim.pipeline import PipelineStats
 #: Bump when a change alters cycle-accurate timing without changing
 #: program bytes or inputs (e.g. a new stall rule in the pipeline), or
 #: when the entry schema changes.  v2 added the optional ``metrics``
-#: block (serialised telemetry tables riding alongside the stats).
-CACHE_VERSION = 2
+#: block (serialised telemetry tables riding alongside the stats); v3
+#: added the selection-policy knobs to the config digest.
+CACHE_VERSION = 3
 
 _digest_memo: Dict[tuple, str] = {}
+
+_SIZE_SUFFIX = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_size(text: str) -> int:
+    """``"64M"``/``"2g"``/``"4096"`` → bytes (for ``--max-bytes``)."""
+    s = str(text).strip().lower()
+    mult = 1
+    if s and s[-1] in _SIZE_SUFFIX:
+        mult = _SIZE_SUFFIX[s[-1]]
+        s = s[:-1]
+    try:
+        value = int(s)
+    except ValueError:
+        raise ValueError("unparseable size %r (want e.g. 4096, 64M, 2G)"
+                         % (text,))
+    if value < 0:
+        raise ValueError("size must be >= 0")
+    return value * mult
 
 
 def _sha(*parts: str) -> str:
@@ -70,7 +97,8 @@ def config_digest(spec: RunSpec) -> str:
     """Digest of the run configuration (spec fields + cache version)."""
     return _sha("config", "v%d" % CACHE_VERSION, SELECTION_BASELINE,
                 spec.predictor_spec, str(spec.with_asbr),
-                str(spec.bit_capacity), spec.bdt_update)
+                str(spec.bit_capacity), spec.bdt_update,
+                repr(spec.min_fold_fraction), str(spec.min_count))
 
 
 def key_for_spec(spec: RunSpec) -> str:
@@ -93,17 +121,95 @@ def key_for_spec(spec: RunSpec) -> str:
     return _sha(_digest_memo[pk], _digest_memo[ik], config_digest(spec))
 
 
-class ResultCache:
-    """Directory of ``<key>.json`` entries holding PipelineStats."""
+@dataclasses.dataclass
+class GCResult:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
 
-    def __init__(self, root: str) -> None:
+    scanned: int = 0            # entries present before collection
+    total_bytes: int = 0        # directory size before collection
+    removed: int = 0
+    freed_bytes: int = 0
+
+    @property
+    def remaining_bytes(self) -> int:
+        return self.total_bytes - self.freed_bytes
+
+    def render(self) -> str:
+        return ("cache gc: %d entries (%d bytes) scanned, "
+                "%d removed, %d bytes freed, %d bytes remain"
+                % (self.scanned, self.total_bytes, self.removed,
+                   self.freed_bytes, self.remaining_bytes))
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` entries holding PipelineStats.
+
+    With ``max_bytes`` set, every write that grows the directory past
+    the cap triggers an LRU-by-mtime collection (oldest entries deleted
+    until the cap is respected again).  Reads touch the entry's mtime,
+    so "least recently used" means used, not written.
+    """
+
+    def __init__(self, root: str,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.root = root
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.dropped = 0      # corrupted entries deleted on read
+        self.evicted = 0      # entries removed by gc over this handle
+        self._approx_bytes: Optional[int] = None   # lazy running total
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + ".json")
+
+    # ------------------------------------------------------------------
+    # size accounting and garbage collection
+    # ------------------------------------------------------------------
+    def _scan(self):
+        """``(mtime, size, path)`` for every entry, oldest first."""
+        entries = []
+        try:
+            with os.scandir(self.root) as it:
+                for de in it:
+                    if not de.name.endswith(".json"):
+                        continue
+                    try:
+                        st = de.stat()
+                    except OSError:
+                        continue          # raced with another collector
+                    entries.append((st.st_mtime, st.st_size, de.path))
+        except OSError:
+            return []                     # no directory yet
+        entries.sort()
+        return entries
+
+    def gc(self, max_bytes: Optional[int] = None) -> GCResult:
+        """Delete least-recently-used entries until the cache fits
+        ``max_bytes`` (defaulting to the handle's cap; no cap → the
+        pass only measures).  Safe against concurrent collectors —
+        already-deleted files are skipped, never errors."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        entries = self._scan()
+        result = GCResult(scanned=len(entries),
+                          total_bytes=sum(e[1] for e in entries))
+        if cap is not None:
+            excess = result.total_bytes - cap
+            for _mtime, size, path in entries:
+                if excess <= 0:
+                    break
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                excess -= size
+                result.removed += 1
+                result.freed_bytes += size
+        self.evicted += result.removed
+        self._approx_bytes = result.remaining_bytes
+        return result
 
     def get(self, key: str, with_metrics: bool = False):
         """Stats for ``key``, or None; drops unreadable entries.
@@ -138,9 +244,19 @@ class ResultCache:
                 self.misses += 1
                 return None
             self.hits += 1
+            self._touch(path)
             return stats, metrics
         self.hits += 1
+        self._touch(path)
         return stats
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh an entry's mtime so LRU gc spares recent reads."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     def put(self, key: str, stats: PipelineStats, describe: str = "",
             metrics: Optional[dict] = None) -> None:
@@ -165,3 +281,23 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._account_put(key)
+
+    def _account_put(self, key: str) -> None:
+        """Track directory growth; collect once it crosses the cap.
+
+        The running total is seeded by one scan and then maintained
+        incrementally, so a long sweep pays O(entries) once, not per
+        write; gc re-synchronises the estimate with the filesystem.
+        """
+        try:
+            size = os.path.getsize(self._path(key))
+        except OSError:
+            size = 0
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(e[1] for e in self._scan())
+        else:
+            self._approx_bytes += size
+        if self._approx_bytes > self.max_bytes:
+            self.gc()

@@ -29,7 +29,14 @@ SELECTION_BASELINE = "bimodal-2048"
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One cycle-accurate pipeline run, reproducible from scratch."""
+    """One cycle-accurate pipeline run, reproducible from scratch.
+
+    ``min_fold_fraction`` / ``min_count`` are the profile-driven
+    selection policy's knobs (:func:`repro.profiling.select_branches`);
+    they only matter for ``with_asbr`` runs but are part of every spec's
+    identity so the design-space explorer (:mod:`repro.dse`) can sweep
+    them through the same cache and pool as every other parameter.
+    """
 
     benchmark: str
     n_samples: int
@@ -38,6 +45,8 @@ class RunSpec:
     with_asbr: bool = False
     bit_capacity: int = 16
     bdt_update: str = "execute"
+    min_fold_fraction: float = 0.5
+    min_count: int = 16
 
 
 def _execute(spec: RunSpec, trace=None) -> PipelineStats:
@@ -68,7 +77,9 @@ def _execute(spec: RunSpec, trace=None) -> PipelineStats:
                                      trace_b)
         sel = select_branches(profile, baseline,
                               bit_capacity=spec.bit_capacity,
-                              bdt_update=spec.bdt_update)
+                              bdt_update=spec.bdt_update,
+                              min_fold_fraction=spec.min_fold_fraction,
+                              min_count=spec.min_count)
         asbr = ASBRUnit.from_branch_infos(sel.infos,
                                           capacity=spec.bit_capacity,
                                           bdt_update=spec.bdt_update)

@@ -51,6 +51,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiments", "fig99"])
 
+    def test_dse_run_defaults(self):
+        args = build_parser().parse_args(["dse", "run"])
+        assert args.space == "paper"
+        assert args.benchmark == "adpcm_enc"
+        assert (args.samples, args.seed) == (600, 20010618)
+        assert args.search == "grid" and not args.resume
+        assert not args.expect_no_new and not args.no_cache
+        assert args.plot_x == "table_bits" and args.plot_y == "speedup"
+
+    def test_dse_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse"])
+
+    def test_dse_search_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "run", "--search",
+                                       "anneal"])
+
+    def test_dse_frontier_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "frontier"])
+        args = build_parser().parse_args(
+            ["dse", "frontier", "--journal", "j.jsonl", "--csv"])
+        assert args.journal == "j.jsonl" and args.csv
+
+    def test_cache_gc_parses(self):
+        args = build_parser().parse_args(
+            ["cache", "gc", "--cache-dir", "d", "--max-bytes", "64M"])
+        assert args.cache_dir == "d" and args.max_bytes == "64M"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
 
 class TestCommands:
     def test_asm_hex(self, tiny_program, capsys):

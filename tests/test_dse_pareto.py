@@ -1,0 +1,93 @@
+"""Pareto-frontier correctness (repro.dse.pareto).
+
+The ISSUE-level contract: dominated points are never in the frontier,
+ties are kept, and both 2-D and 3-D mixed-sense objective vectors work.
+"""
+
+import itertools
+
+import pytest
+
+from repro.dse.pareto import dominates, pareto_indices
+
+
+MIN2 = ("min", "min")
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1), (2, 2), MIN2)
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert dominates((1, 2), (2, 2), MIN2)
+
+    def test_identical_vectors_do_not_dominate(self):
+        assert not dominates((2, 2), (2, 2), MIN2)
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3), (3, 1), MIN2)
+        assert not dominates((3, 1), (1, 3), MIN2)
+
+    def test_max_sense_flips(self):
+        assert dominates((5, 1), (4, 1), ("max", "min"))
+        assert not dominates((4, 1), (5, 1), ("max", "min"))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2), MIN2)
+
+
+class TestFrontier2D:
+    def test_dominated_points_never_in_frontier(self):
+        vecs = [(1, 4), (2, 3), (4, 1), (3, 3), (5, 5)]
+        keep = pareto_indices(vecs, MIN2)
+        assert keep == [0, 1, 2]
+        # exhaustive cross-check: everything kept is undominated,
+        # everything dropped is dominated by someone
+        for i, v in enumerate(vecs):
+            dominated = any(dominates(w, v, MIN2) for w in vecs)
+            assert (i in keep) == (not dominated)
+
+    def test_ties_kept(self):
+        vecs = [(1, 2), (1, 2), (2, 1), (3, 3)]
+        assert pareto_indices(vecs, MIN2) == [0, 1, 2]
+
+    def test_all_identical_all_kept(self):
+        vecs = [(2, 2)] * 4
+        assert pareto_indices(vecs, MIN2) == [0, 1, 2, 3]
+
+    def test_single_point(self):
+        assert pareto_indices([(7, 7)], MIN2) == [0]
+
+    def test_empty(self):
+        assert pareto_indices([], MIN2) == []
+
+    def test_mixed_senses(self):
+        # (speedup max, cost min): (2,10) beats (1,10); (1,5) survives
+        # on cost
+        vecs = [(2.0, 10), (1.0, 10), (1.0, 5)]
+        assert pareto_indices(vecs, ("max", "min")) == [0, 2]
+
+
+class TestFrontier3D:
+    SENSES = ("max", "min", "min")
+
+    def test_three_objectives(self):
+        vecs = [
+            (1.2, 100, 50.0),   # fast but pricey
+            (1.2, 100, 60.0),   # dominated by the one above
+            (1.0, 10, 55.0),    # cheap
+            (0.9, 10, 55.0),    # dominated by the one above
+            (1.0, 200, 40.0),   # lowest energy
+        ]
+        assert pareto_indices(vecs, self.SENSES) == [0, 2, 4]
+
+    def test_exhaustive_small_grid(self):
+        """Brute-force definition check over a 3-D lattice."""
+        vecs = list(itertools.product((0, 1), repeat=3))
+        keep = set(pareto_indices(vecs, self.SENSES))
+        for i, v in enumerate(vecs):
+            dominated = any(dominates(w, v, self.SENSES) for w in vecs)
+            assert (i in keep) == (not dominated)
+        # (1,0,0) is the unique optimum under (max,min,min)
+        assert [vecs[i] for i in sorted(keep)] == [(1, 0, 0)]

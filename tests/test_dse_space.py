@@ -1,0 +1,120 @@
+"""Unit tests for the typed design space (repro.dse.space)."""
+
+import json
+
+import pytest
+
+from repro.dse.space import (
+    ConfigSpace,
+    DesignPoint,
+    default_space,
+    get_space,
+    paper_space,
+)
+
+
+class TestDesignPoint:
+    def test_defaults_are_the_paper_config(self):
+        p = DesignPoint()
+        assert p.predictor_spec == "bimodal-512-512"
+        assert p.with_asbr and p.bit_capacity == 16
+        assert p.bdt_update == "execute" and p.threshold == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(bdt_update="id")
+        with pytest.raises(ValueError):
+            DesignPoint(bit_capacity=0)
+        with pytest.raises(ValueError):
+            DesignPoint(min_fold_fraction=1.5)
+        with pytest.raises(ValueError):
+            DesignPoint(min_count=-1)
+
+    def test_non_asbr_points_are_canonical(self):
+        """ASBR knobs collapse when the unit is absent: one config,
+        one hash, one journal key, one cache entry."""
+        a = DesignPoint("bimodal-2048", with_asbr=False, bit_capacity=4,
+                        bdt_update="commit", min_fold_fraction=0.9)
+        b = DesignPoint("bimodal-2048", with_asbr=False)
+        assert a == b and hash(a) == hash(b) and a.key() == b.key()
+
+    def test_key_distinguishes_every_asbr_knob(self):
+        base = DesignPoint()
+        variants = [DesignPoint(bit_capacity=8),
+                    DesignPoint(bdt_update="mem"),
+                    DesignPoint(min_fold_fraction=0.3),
+                    DesignPoint(min_count=4),
+                    DesignPoint(predictor_spec="not-taken")]
+        keys = {p.key() for p in variants} | {base.key()}
+        assert len(keys) == len(variants) + 1
+
+    def test_to_spec_carries_everything(self):
+        p = DesignPoint(bit_capacity=8, bdt_update="mem",
+                        min_fold_fraction=0.3, min_count=4)
+        spec = p.to_spec("adpcm_enc", 64, 11)
+        assert spec.benchmark == "adpcm_enc"
+        assert (spec.n_samples, spec.seed) == (64, 11)
+        assert spec.with_asbr and spec.bit_capacity == 8
+        assert spec.bdt_update == "mem"
+        assert spec.min_fold_fraction == 0.3 and spec.min_count == 4
+
+    def test_dict_roundtrip(self):
+        p = DesignPoint(bit_capacity=4, bdt_update="commit")
+        assert DesignPoint.from_dict(p.to_dict()) == p
+
+
+class TestConfigSpace:
+    def test_grid_dedupes_non_asbr_points(self):
+        space = ConfigSpace(predictors=("not-taken",),
+                            asbr=(False, True),
+                            bit_capacities=(4, 8),
+                            bdt_updates=("mem", "execute"))
+        pts = space.points()
+        # 1 non-ASBR point + 2x2 ASBR grid, no duplicates
+        assert len(pts) == len(set(pts)) == 5
+        assert sum(not p.with_asbr for p in pts) == 1
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(predictors=())
+
+    def test_bad_update_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(bdt_updates=("id",))
+
+    def test_sample_is_seed_reproducible(self):
+        space = default_space()
+        a = space.sample(5, seed=42)
+        b = space.sample(5, seed=42)
+        c = space.sample(5, seed=43)
+        assert a == b
+        assert len(a) == 5 and len(set(a)) == 5
+        assert a != c                     # astronomically unlikely tie
+
+    def test_sample_larger_than_space_returns_all(self):
+        space = paper_space()
+        assert space.sample(10_000, seed=1) == space.points()
+
+    def test_digest_pins_the_space(self):
+        assert paper_space().digest() == paper_space().digest()
+        assert paper_space().digest() != default_space().digest()
+
+    def test_dict_roundtrip(self):
+        space = default_space()
+        again = ConfigSpace.from_dict(space.to_dict())
+        assert again == space and again.digest() == space.digest()
+
+
+class TestGetSpace:
+    def test_presets(self):
+        assert get_space("paper") == paper_space()
+        assert get_space("default") == default_space()
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "space.json"
+        path.write_text(json.dumps(paper_space().to_dict()))
+        assert get_space(str(path)) == paper_space()
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown space"):
+            get_space("nope")

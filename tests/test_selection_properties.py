@@ -1,0 +1,170 @@
+"""Property tests for benefit-ranked BIT selection (hypothesis).
+
+The DSE engine trusts two monotonicity contracts when it prunes the
+space: tightening any selection knob (fold-fraction floor, BDT update
+strictness, execution-count floor) can only shrink the selected set,
+and capping BIT capacity returns exactly the top-N of the uncapped
+benefit ranking.  These properties are exercised against one fixed
+multi-branch program whose predicate-definition distances span the
+fold thresholds (1, 2, 3, 5), so every BDT update point draws a
+different candidate line.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.predictors import NotTakenPredictor, evaluate_on_trace
+from repro.profiling import BranchProfiler, select_branches
+from repro.sim.functional import collect_branch_trace
+
+SRC = """
+.data
+arr: .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8
+.text
+main:
+    la   r4, arr
+    li   r5, 12
+    li   r6, 0
+loop:
+    lw   r2, 0(r4)
+    andi r9, r2, 1
+    andi r10, r2, 2
+    addi r4, r4, 4
+    addu r6, r6, r2
+br_d5:
+    bnez r9, t1           # predicate defined 5 back: folds anywhere
+t1:
+    addu r6, r6, r0
+br_d6:
+    bnez r10, t2          # even further back
+t2:
+    addu r6, r6, r0
+    andi r11, r2, 4
+br_d1:
+    bnez r11, t3          # distance 1: folds nowhere
+t3:
+    addu r6, r6, r0
+    andi r12, r2, 3
+    addu r6, r6, r0
+br_d2:
+    bnez r12, t4          # distance 2: folds at execute only
+t4:
+    addu r6, r6, r0
+    andi r13, r2, 8
+    addu r6, r6, r0
+    addu r6, r6, r0
+br_d3:
+    bnez r13, t5          # distance 3: folds at execute and mem
+t5:
+    addu r6, r6, r0
+    addi r5, r5, -1
+    bnez r5, loop
+    halt
+"""
+
+GENEROUS = 64          # capacity that never truncates this program
+
+
+@functools.lru_cache(maxsize=1)
+def profiled():
+    prog = assemble(SRC)
+    profile = BranchProfiler().profile(prog)
+    trace = collect_branch_trace(prog)
+    accuracy = evaluate_on_trace(NotTakenPredictor(), trace)
+    return prog, profile, accuracy
+
+
+def select(**kw):
+    _prog, profile, accuracy = profiled()
+    kw.setdefault("min_count", 4)
+    return select_branches(profile, accuracy, **kw)
+
+
+def test_fixture_spans_the_thresholds():
+    """Sanity: the update points really draw different lines here."""
+    by_update = {u: select(bdt_update=u, bit_capacity=GENEROUS).pcs
+                 for u in ("execute", "mem", "commit")}
+    assert by_update["commit"] < by_update["mem"] < by_update["execute"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(f1=st.floats(0.0, 1.0), f2=st.floats(0.0, 1.0),
+       capacity=st.integers(1, 8))
+def test_raising_fold_floor_never_grows_selection(f1, f2, capacity):
+    lo, hi = sorted((f1, f2))
+    eased = select(min_fold_fraction=lo, bit_capacity=capacity)
+    strict = select(min_fold_fraction=hi, bit_capacity=capacity)
+    assert len(strict.selected) <= len(eased.selected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(f1=st.floats(0.0, 1.0), f2=st.floats(0.0, 1.0),
+       update=st.sampled_from(["execute", "mem", "commit"]))
+def test_fold_floor_filters_monotonically(f1, f2, update):
+    """At generous capacity the strict set is a subset, and every
+    survivor really clears the floor."""
+    lo, hi = sorted((f1, f2))
+    eased = select(min_fold_fraction=lo, bit_capacity=GENEROUS,
+                   bdt_update=update)
+    strict = select(min_fold_fraction=hi, bit_capacity=GENEROUS,
+                    bdt_update=update)
+    assert strict.pcs <= eased.pcs
+    for s in strict.selected:
+        assert s.fold_fraction >= hi
+
+
+@settings(max_examples=25, deadline=None)
+@given(floor=st.floats(0.0, 1.0))
+def test_stricter_update_point_shrinks_candidates(floor):
+    """commit demands a longer predicate distance than mem than
+    execute, so selections nest (the paper's threshold-reduction
+    story, table-side)."""
+    sets = [select(bdt_update=u, min_fold_fraction=floor,
+                   bit_capacity=GENEROUS).pcs
+            for u in ("commit", "mem", "execute")]
+    assert sets[0] <= sets[1] <= sets[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(capacity=st.integers(1, 8),
+       update=st.sampled_from(["execute", "mem", "commit"]))
+def test_capacity_keeps_exactly_the_top_n(capacity, update):
+    full = select(bit_capacity=GENEROUS, bdt_update=update)
+    capped = select(bit_capacity=capacity, bdt_update=update)
+    want = [s.pc for s in full.selected][:capacity]
+    assert [s.pc for s in capped.selected] == want
+    # and whatever fell off the end is rejected for capacity, loudly
+    for s in full.selected[capacity:]:
+        assert "capacity" in capped.rejected[s.pc]
+
+
+@settings(max_examples=25, deadline=None)
+@given(c1=st.integers(1, 40), c2=st.integers(1, 40))
+def test_raising_min_count_never_admits_branches(c1, c2):
+    lo, hi = sorted((c1, c2))
+    eased = select(min_count=lo, bit_capacity=GENEROUS)
+    strict = select(min_count=hi, bit_capacity=GENEROUS)
+    assert strict.pcs <= eased.pcs
+    for s in strict.selected:
+        assert s.stats.count >= hi
+
+
+@settings(max_examples=25, deadline=None)
+@given(capacity=st.integers(1, 8),
+       floor=st.floats(0.0, 1.0),
+       update=st.sampled_from(["execute", "mem", "commit"]),
+       penalty=st.integers(0, 8))
+def test_selection_is_ranked_and_within_capacity(capacity, floor,
+                                                 update, penalty):
+    sel = select(bit_capacity=capacity, min_fold_fraction=floor,
+                 bdt_update=update, mispredict_penalty=penalty)
+    assert len(sel.selected) <= capacity
+    benefits = [s.benefit for s in sel.selected]
+    assert benefits == sorted(benefits, reverse=True)
+    # deterministic: same knobs, same selection
+    again = select(bit_capacity=capacity, min_fold_fraction=floor,
+                   bdt_update=update, mispredict_penalty=penalty)
+    assert [s.pc for s in again.selected] == [s.pc for s in sel.selected]
