@@ -14,16 +14,23 @@ Usage (also installed as the ``repro-asbr`` console script)::
     python -m repro.cli experiments fig11 --samples 600
     python -m repro.cli experiments all --workers 4
     python -m repro.cli dse run --space paper --journal results/dse.jsonl
+    python -m repro.cli dse run --tolerant --task-timeout 120 --retries 2
     python -m repro.cli dse frontier --journal results/dse.jsonl --csv
     python -m repro.cli dse report --journal results/dse.jsonl
+    python -m repro.cli faults campaign --n-faults 24 --protection all
+    python -m repro.cli faults report results/faults.json
     python -m repro.cli cache gc --cache-dir results/.runcache --max-bytes 64M
+    python -m repro.cli cache verify --cache-dir results/.runcache
 
 ``sim --asbr`` performs the paper's whole methodology on the program:
 profile it, select fold candidates, load the BIT, and re-simulate.
 ``dse`` explores the whole configuration space instead of one point
 (:mod:`repro.dse`): ``run`` evaluates a space through the journal +
 cache + pool, ``frontier``/``report`` re-render a journal without any
-simulation.  ``cache gc`` size-caps the on-disk result cache.
+simulation.  ``faults campaign`` injects seeded soft errors into the
+ASBR state and classifies every one (:mod:`repro.faults`).  ``cache
+gc`` size-caps the on-disk result cache; ``cache verify`` checks every
+entry's payload checksum and prunes corruption.
 ``--trace-out`` / ``--branch-report`` / ``--json`` attach the telemetry
 layer (:mod:`repro.telemetry`) to the run; ``trace`` renders a
 previously captured JSONL event stream.
@@ -257,7 +264,8 @@ def cmd_trace(args) -> int:
 
 def cmd_experiments(args) -> int:
     from repro.experiments import (ablations, dse_frontier, energy,
-                                   fig6, fig7, fig9, fig10, fig11)
+                                   fault_campaign, fig6, fig7, fig9,
+                                   fig10, fig11)
     from repro.experiments.common import ExperimentSetup
     cache_dir = None if args.no_cache else args.cache_dir
     setup = ExperimentSetup(n_samples=args.samples, workers=args.workers,
@@ -267,6 +275,7 @@ def cmd_experiments(args) -> int:
         "fig10": fig10.main, "fig11": fig11.main,
         "ablations": ablations.main, "energy": energy.main,
         "dse_frontier": dse_frontier.main,
+        "fault_campaign": fault_campaign.main,
     }
     names = list(drivers) if args.which == "all" else [args.which]
     for name in names:
@@ -330,12 +339,19 @@ def cmd_dse_run(args) -> int:
             "n_samples": args.samples, "seed": args.seed}) as journal:
         evaluator = Evaluator(args.benchmark, args.samples, args.seed,
                               workers=args.workers, cache=cache,
-                              journal=journal)
+                              journal=journal,
+                              task_timeout=args.task_timeout,
+                              retries=args.retries,
+                              tolerant=args.tolerant)
         results = search.run(evaluator, space)
     print("dse: %d points evaluated on %s (%d simulated, %d from "
           "journal) -> %s"
           % (len(results), args.benchmark, evaluator.simulated,
              evaluator.journal_hits, journal_path), file=sys.stderr)
+    if evaluator.failed:
+        print("dse: %d point(s) failed and were quarantined (journaled "
+              "as failed; a --resume retries them)"
+              % evaluator.failed, file=sys.stderr)
     _dse_emit(args, results, objectives)
     if args.expect_no_new and evaluator.simulated:
         print("--expect-no-new: %d evaluations were NOT served by the "
@@ -385,6 +401,58 @@ def cmd_cache_gc(args) -> int:
         else None
     result = ResultCache(args.cache_dir).gc(cap)
     print(result.render())
+    return 0
+
+
+def cmd_cache_verify(args) -> int:
+    from repro.runner import ResultCache
+    result = ResultCache(args.cache_dir).verify(prune=not args.keep)
+    print(result.render())
+    return 0
+
+
+def cmd_faults_campaign(args) -> int:
+    from repro.faults import (CampaignConfig, matrix_to_json,
+                              render_matrix, render_report,
+                              report_to_json, run_campaign,
+                              run_protection_matrix)
+    cfg = CampaignConfig(benchmark=args.benchmark,
+                         n_samples=args.samples, seed=args.seed,
+                         predictor_spec=args.predictor,
+                         bit_capacity=args.bit_size,
+                         bdt_update=args.bdt_update,
+                         protection=args.protection
+                         if args.protection != "all" else "none",
+                         n_faults=args.n_faults,
+                         fault_seed=args.fault_seed,
+                         live_only=not args.all_sites)
+    if args.protection == "all":
+        reports = run_protection_matrix(cfg)
+        text = matrix_to_json(reports) if args.json \
+            else render_matrix(reports)
+    else:
+        report = run_campaign(cfg)
+        text = report_to_json(report) if args.json \
+            else render_report(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text if text.endswith("\n") else text + "\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_faults_report(args) -> int:
+    from repro.faults import render_matrix, render_report, \
+        reports_from_json
+    with open(args.file) as f:
+        reports = reports_from_json(f.read())
+    if len(reports) == 1:
+        (report,) = reports.values()
+        print(render_report(report))
+    else:
+        print(render_matrix(reports))
     return 0
 
 
@@ -464,7 +532,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate paper tables")
     p.add_argument("which", choices=("fig6", "fig7", "fig9", "fig10",
                                      "fig11", "ablations", "energy",
-                                     "dse_frontier", "all"))
+                                     "dse_frontier", "fault_campaign",
+                                     "all"))
     p.add_argument("--samples", type=int, default=600)
     p.add_argument("--workers", type=int,
                    default=int(os.environ.get("REPRO_WORKERS", "0")),
@@ -531,6 +600,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="on-disk run-result cache location")
     sp.add_argument("--no-cache", action="store_true",
                     help="disable the on-disk run-result cache")
+    sp.add_argument("--task-timeout", type=float,
+                    help="seconds a pooled run may go silent before "
+                         "it is retried (crash/hang detector)")
+    sp.add_argument("--retries", type=int, default=0,
+                    help="retries per failed/timed-out run "
+                         "(exponential backoff)")
+    sp.add_argument("--tolerant", action="store_true",
+                    help="quarantine failing points (journaled as "
+                         "failed, retried on --resume) instead of "
+                         "aborting the exploration")
     _add_dse_output_options(sp)
     sp.set_defaults(fn=cmd_dse_run)
 
@@ -546,6 +625,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dse_output_options(sp)
     sp.set_defaults(fn=cmd_dse_report)
 
+    p = sub.add_parser("faults", help="soft-error injection campaigns "
+                                      "(repro.faults)")
+    faults_sub = p.add_subparsers(dest="faults_command", required=True)
+    sp = faults_sub.add_parser("campaign",
+                               help="run a seeded injection campaign "
+                                    "(deterministic: same flags -> "
+                                    "byte-identical report)")
+    sp.add_argument("--benchmark", default="adpcm_enc")
+    sp.add_argument("--samples", type=int, default=600)
+    sp.add_argument("--seed", type=int, default=20010618,
+                    help="input seed (the campaign plan has its own "
+                         "--fault-seed)")
+    sp.add_argument("--predictor", default="bimodal-512-512")
+    sp.add_argument("--bit-size", type=int, default=16)
+    sp.add_argument("--bdt-update", default="execute",
+                    choices=("commit", "mem", "execute"))
+    sp.add_argument("--protection", default="all",
+                    choices=("none", "parity", "ecc", "all"),
+                    help="detection/recovery model ('all' runs the "
+                         "same plan under every model)")
+    sp.add_argument("--n-faults", type=int, default=24,
+                    help="injections per campaign (stratified across "
+                         "structures)")
+    sp.add_argument("--fault-seed", type=int, default=1,
+                    help="seed of the (site, cycle) plan")
+    sp.add_argument("--all-sites", action="store_true",
+                    help="target every enumerable bit, not just BDT "
+                         "state that live BIT entries read")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the canonical JSON report")
+    sp.add_argument("--out", metavar="FILE",
+                    help="write the report to FILE instead of stdout")
+    sp.set_defaults(fn=cmd_faults_campaign)
+
+    sp = faults_sub.add_parser("report", help="render a saved campaign "
+                                              "JSON report")
+    sp.add_argument("file", help="JSON from 'faults campaign --json'")
+    sp.set_defaults(fn=cmd_faults_report)
+
     p = sub.add_parser("cache", help="manage the on-disk result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     sp = cache_sub.add_parser("gc", help="LRU-by-mtime garbage "
@@ -557,6 +675,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="size cap, e.g. 4096, 64M, 2G (omit to only "
                          "measure)")
     sp.set_defaults(fn=cmd_cache_gc)
+    sp = cache_sub.add_parser("verify",
+                              help="scan entries: parse, version and "
+                                   "payload-checksum checks; prunes "
+                                   "bad entries unless --keep")
+    sp.add_argument("--cache-dir",
+                    default=os.environ.get("REPRO_CACHE_DIR",
+                                           "results/.runcache"))
+    sp.add_argument("--keep", action="store_true",
+                    help="report only; do not delete bad entries")
+    sp.set_defaults(fn=cmd_cache_verify)
     return parser
 
 

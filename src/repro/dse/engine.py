@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.dse.journal import Journal, eval_key
 from repro.dse.objectives import ObjectiveVector, extract_objectives
 from repro.dse.space import DesignPoint
-from repro.runner import ResultCache, run_sweep
+from repro.runner import FailedResult, ResultCache, run_sweep
 from repro.sim.pipeline import PipelineStats
 
 #: the paper's reference configuration (fig. 6/11 baseline).
@@ -71,15 +71,26 @@ class Evaluator:
     def __init__(self, benchmark: str, n_samples: int, seed: int,
                  workers: int = 0,
                  cache: Optional[ResultCache] = None,
-                 journal: Optional[Journal] = None) -> None:
+                 journal: Optional[Journal] = None,
+                 task_timeout: Optional[float] = None,
+                 retries: int = 0,
+                 tolerant: bool = False) -> None:
         self.benchmark = benchmark
         self.n_samples = n_samples
         self.seed = seed
         self.workers = workers
         self.cache = cache
         self.journal = journal
+        #: hardened-runner knobs (see :func:`repro.runner.map_specs`).
+        #: ``tolerant`` quarantines a point whose run fails — it is
+        #: journaled as ``failed`` (retried on resume) and dropped from
+        #: the result list instead of aborting the exploration.
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.tolerant = tolerant
         self.simulated = 0       # evaluations that reached run_sweep
         self.journal_hits = 0    # evaluations answered by the journal
+        self.failed = 0          # evaluations quarantined (tolerant)
         self._baselines: Dict[int, PipelineStats] = {}  # n -> stats
 
     # ------------------------------------------------------------------
@@ -147,9 +158,23 @@ class Evaluator:
             specs = [p.to_spec(self.benchmark, n, self.seed)
                      for p in pending]
             results = run_sweep(specs, workers=self.workers,
-                                cache=self.cache, collect_metrics=True)
+                                cache=self.cache, collect_metrics=True,
+                                task_timeout=self.task_timeout,
+                                retries=self.retries,
+                                on_error="return" if self.tolerant
+                                else "raise")
             self.simulated += len(pending)
-            for p, (stats, metrics) in zip(pending, results):
+            for p, result in zip(pending, results):
+                if isinstance(result, FailedResult):
+                    # quarantined: journaled as failed (kept pending
+                    # for a future resume), dropped from the results
+                    self.failed += 1
+                    if self.journal is not None:
+                        self.journal.record_failed(
+                            p, self.benchmark, n, self.seed,
+                            result.error, kind=result.kind)
+                    continue
+                stats, metrics = result
                 vec = extract_objectives(p, stats, metrics, baseline)
                 if self.journal is not None:
                     self.journal.record_eval(p, self.benchmark, n,
@@ -158,4 +183,5 @@ class Evaluator:
                                          self.seed, vec,
                                          from_journal=False)
 
-        return [resolved[p] for p in dict.fromkeys(points)]
+        return [resolved[p] for p in dict.fromkeys(points)
+                if p in resolved]

@@ -46,6 +46,7 @@ class Journal:
         self.path = path
         self.meta: Optional[dict] = None
         self.records: Dict[str, dict] = {}   # eval_key -> eval record
+        self.failures: Dict[str, dict] = {}  # eval_key -> failed record
         self.dropped = 0                     # corrupt/truncated lines
         self._fh = None
 
@@ -56,6 +57,7 @@ class Journal:
         """Read whatever is on disk; tolerate a truncated tail."""
         self.meta = None
         self.records = {}
+        self.failures = {}
         self.dropped = 0
         try:
             with open(self.path) as f:
@@ -80,6 +82,10 @@ class Journal:
                 self.meta = rec
             elif kind == "eval":
                 self.records[rec["key"]] = rec
+                # a successful re-evaluation supersedes an old failure
+                self.failures.pop(rec["key"], None)
+            elif kind == "failed":
+                self.failures[rec["key"]] = rec
             else:
                 self.dropped += 1
         return self
@@ -149,6 +155,32 @@ class Journal:
         }
         self._write(rec)
         self.records[key] = rec
+        self.failures.pop(key, None)
+        return rec
+
+    def record_failed(self, point: DesignPoint, benchmark: str,
+                      n_samples: int, seed: int, error: str,
+                      kind: str = "error") -> dict:
+        """Durably record that a point could not be evaluated.
+
+        The point stays *pending* — ``has()`` ignores failures, so a
+        resumed exploration retries it — but the failure itself is
+        never lost: reports can show which points were quarantined and
+        why, even after the process that hit them is gone.
+        """
+        key = eval_key(point, benchmark, n_samples, seed)
+        rec = {
+            "kind": "failed",
+            "key": key,
+            "point": point.to_dict(),
+            "benchmark": benchmark,
+            "n_samples": n_samples,
+            "seed": seed,
+            "error": error,
+            "failure_kind": kind,
+        }
+        self._write(rec)
+        self.failures[key] = rec
         return rec
 
     def close(self) -> None:

@@ -12,6 +12,8 @@
   and predictor-area studies backing the paper's design-choice claims.
 * :mod:`repro.experiments.dse_frontier` — the paper space as a computed
   speedup/cost/energy Pareto frontier (:mod:`repro.dse`).
+* :mod:`repro.experiments.fault_campaign` — soft-error vulnerability of
+  the ASBR state under none/parity/ECC protection (:mod:`repro.faults`).
 
 Paper-reported numbers live in :mod:`repro.experiments.paper_data`;
 every driver prints measured-vs-paper so the shape comparison is
@@ -28,6 +30,7 @@ from repro.experiments import (
     ablations,
     dse_frontier,
     energy,
+    fault_campaign,
     fig6,
     fig7,
     fig9,
@@ -48,5 +51,6 @@ __all__ = [
     "ablations",
     "dse_frontier",
     "energy",
+    "fault_campaign",
     "paper_data",
 ]

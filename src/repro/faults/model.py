@@ -1,0 +1,205 @@
+"""Fault model: where a soft error can land, and when.
+
+The ASBR mechanism adds fetch-stage state the baseline core does not
+have — BDT direction bits and validity counters (paper Section 4,
+Figure 8), BIT entries (Section 7: PC tag, BTA, the BTI/BFI replacement
+words and the DI register/condition index) — plus the auxiliary
+predictor's pattern-history counters.  A particle strike in any of
+those bits is *architecturally invisible* to the unprotected design:
+the fetch stage folds a branch using whatever the table says, so a
+flipped direction bit silently executes the wrong path.  This module
+enumerates every such bit as a :class:`FaultSite` and pairs sites with
+injection cycles into :class:`FaultSpec` plans.
+
+Everything here is deterministic: sites enumerate in a total order,
+plans are drawn from a seeded ``random.Random``, and the same
+``(sites, n_faults, cycles, seed)`` always yields the same plan — the
+property the ``faults-smoke`` CI step (bit-identical campaign reports)
+rests on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.conditions import Condition
+
+#: Detection/recovery models a campaign can assume for the ASBR state.
+#:
+#: * ``"none"``   — raw latches: the flip lands and stays until the
+#:   structure is rewritten (direction bits/counters) or forever (BIT).
+#: * ``"parity"`` — per-entry parity detects the flip on *read*; the
+#:   fold is suppressed and fetch falls back to the auxiliary
+#:   predictor, exactly like a BDT-busy miss.  Detection only — the
+#:   value is not restored, but a later rewrite clears the bad parity.
+#: * ``"ecc"``    — SEC code corrects the flip on first read; the read
+#:   observes the fault-free value.
+PROTECTIONS = ("none", "parity", "ecc")
+
+#: structure identifiers (FaultSite.structure)
+BDT_DIR = "bdt.dir"        # one of the six per-register direction bits
+BDT_CNT = "bdt.cnt"        # a validity-counter bit
+BIT_FIELD = "bit"          # a field bit of one BIT entry
+PRED_PHT = "pred"          # a pattern-history-table counter bit
+
+STRUCTURES = (BDT_DIR, BDT_CNT, BIT_FIELD, PRED_PHT)
+
+#: BIT entry fields and their widths in bits (matches
+#: :data:`repro.asbr.bit.BITS_PER_ENTRY`: 30+30+32+32+5+3 plus the
+#: valid bit, which we do not target — a dropped valid bit is a plain
+#: fold miss, indistinguishable from a cold table).
+BIT_FIELD_BITS: Dict[str, int] = {
+    "tag": 30,        # branch PC match (word address)
+    "bta": 30,        # branch target address
+    "bti": 32,        # taken-path replacement instruction word
+    "bfi": 32,        # fall-through replacement instruction word
+    "di_reg": 5,      # DI: condition register number
+    "di_cond": 3,     # DI: condition code
+}
+
+#: ``tag``/``bta`` hold word addresses, so the flippable bits of the
+#: byte address the simulator carries start at bit 2.
+_WORD_ADDR_SHIFT = 2
+
+#: deterministic condition order for the 3-bit DI condition encoding
+CONDITION_ORDER = tuple(Condition)
+
+
+@dataclass(frozen=True, order=True)
+class FaultSite:
+    """One flippable bit of microarchitectural state.
+
+    ``index`` identifies the entry (register number for BDT sites, the
+    entry's branch PC for BIT sites, the PHT row for predictor sites);
+    ``field``/``bit`` locate the bit within it.
+    """
+
+    structure: str
+    field: str
+    index: int
+    bit: int
+
+    def label(self) -> str:
+        if self.structure == BDT_DIR:
+            return "bdt.dir[r%d].%s" % (self.index, self.field)
+        if self.structure == BDT_CNT:
+            return "bdt.cnt[r%d].b%d" % (self.index, self.bit)
+        if self.structure == BIT_FIELD:
+            return "bit[0x%x].%s.b%d" % (self.index, self.field, self.bit)
+        return "pred.pht[%d].b%d" % (self.index, self.bit)
+
+
+@dataclass(frozen=True, order=True)
+class FaultSpec:
+    """One injection: flip ``site`` once the run reaches ``cycle``."""
+
+    site: FaultSite
+    cycle: int
+
+    def label(self) -> str:
+        return "%s@%d" % (self.site.label(), self.cycle)
+
+    def to_dict(self) -> dict:
+        return {"structure": self.site.structure, "field": self.site.field,
+                "index": self.site.index, "bit": self.site.bit,
+                "cycle": self.cycle}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        return cls(FaultSite(d["structure"], d["field"], d["index"],
+                             d["bit"]), d["cycle"])
+
+
+def enumerate_sites(asbr=None, predictor=None,
+                    live_only: bool = True) -> List[FaultSite]:
+    """Every targetable bit of ``asbr``'s tables and ``predictor``'s PHT.
+
+    With ``live_only`` (the default for campaigns) BDT sites are
+    restricted to the ``(register, condition)`` pairs some BIT entry
+    actually reads — a flip in a direction bit no fold ever consumes is
+    masked by construction and only dilutes the campaign.  Pass
+    ``live_only=False`` to measure raw (whole-structure) vulnerability.
+
+    The returned list is sorted, so site identity is stable across runs
+    and processes.
+    """
+    sites: List[FaultSite] = []
+    if asbr is not None:
+        entries = [e for bank in asbr.bit.banks for e in bank]
+        live_pairs = {(e.cond_reg, e.condition) for e in entries}
+        live_regs = sorted({r for r, _ in live_pairs})
+        bdt = asbr.bdt
+        regs = live_regs if live_only else list(range(bdt.num_regs))
+        for reg in regs:
+            for cond in CONDITION_ORDER:
+                if live_only and (reg, cond) not in live_pairs:
+                    continue
+                sites.append(FaultSite(BDT_DIR, cond.name, reg, 0))
+            for b in range(bdt.counter_bits):
+                sites.append(FaultSite(BDT_CNT, "counter", reg, b))
+        for e in entries:
+            for field, width in BIT_FIELD_BITS.items():
+                lo = _WORD_ADDR_SHIFT if field in ("tag", "bta") else 0
+                for b in range(lo, lo + width):
+                    sites.append(FaultSite(BIT_FIELD, field, e.pc, b))
+    if predictor is not None:
+        counters = getattr(predictor, "_counters", None)
+        if counters is not None:
+            for idx in range(len(counters)):
+                for b in range(2):          # 2-bit saturating counters
+                    sites.append(FaultSite(PRED_PHT, "pht", idx, b))
+    sites.sort()
+    return sites
+
+
+def sites_by_structure(sites: Sequence[FaultSite]
+                       ) -> Dict[str, List[FaultSite]]:
+    groups: Dict[str, List[FaultSite]] = {}
+    for s in sites:
+        groups.setdefault(s.structure, []).append(s)
+    return groups
+
+
+def sample_campaign(sites: Sequence[FaultSite], n_faults: int,
+                    cycles: int, seed: int,
+                    structures: Optional[Sequence[str]] = None
+                    ) -> List[FaultSpec]:
+    """Draw a deterministic, stratified injection plan.
+
+    ``n_faults`` is split as evenly as possible across the structures
+    present in ``sites`` (AVF is reported per structure, so each needs
+    its own sample), then ``(site, cycle)`` pairs are drawn without
+    replacement from a ``random.Random(seed)``.  ``cycles`` is the
+    fault-free run length; injection cycles land in ``[1, cycles)`` so
+    every fault fires before the reference run would have halted.
+    """
+    if n_faults < 0:
+        raise ValueError("n_faults must be >= 0")
+    groups = sites_by_structure(sites)
+    order = [s for s in (structures or STRUCTURES) if s in groups]
+    if not order or n_faults == 0:
+        return []
+    plan: List[FaultSpec] = []
+    seen = set()
+    rng = random.Random(seed)
+    base, extra = divmod(n_faults, len(order))
+    for i, structure in enumerate(order):
+        pool = groups[structure]
+        want = base + (1 if i < extra else 0)
+        drawn = 0
+        # bounded draw loop: duplicates are rejected, tiny site pools
+        # cannot spin forever
+        for _ in range(want * 50):
+            if drawn >= want:
+                break
+            site = pool[rng.randrange(len(pool))]
+            cycle = rng.randrange(1, max(2, cycles))
+            if (site, cycle) in seen:
+                continue
+            seen.add((site, cycle))
+            plan.append(FaultSpec(site, cycle))
+            drawn += 1
+    plan.sort()
+    return plan

@@ -1,0 +1,91 @@
+"""Text rendering of campaign reports (``repro faults campaign|report``)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.faults.campaign import (
+    OUTCOME_MASKED,
+    OUTCOME_RECOVERED,
+    OUTCOME_SDC,
+    CampaignReport,
+)
+
+
+def report_to_json(report: CampaignReport) -> str:
+    """Canonical (byte-stable) JSON of one report."""
+    return json.dumps(report.to_dict(), indent=1, sort_keys=True)
+
+
+def matrix_to_json(reports: Dict[str, CampaignReport]) -> str:
+    """Canonical JSON of a protection matrix, keyed by protection."""
+    return json.dumps({p: r.to_dict() for p, r in sorted(reports.items())},
+                      indent=1, sort_keys=True)
+
+
+def reports_from_json(text: str) -> Dict[str, CampaignReport]:
+    """Parse either a single report or a protection matrix."""
+    obj = json.loads(text)
+    if "injections" in obj:             # single report
+        rep = CampaignReport.from_dict(obj)
+        return {rep.config.get("protection", "?"): rep}
+    return {p: CampaignReport.from_dict(d) for p, d in obj.items()}
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def render_report(report: CampaignReport) -> str:
+    cfg = report.config
+    head = ("fault campaign: %s n=%s seed=%s | protection=%s | "
+            "%d faults over %d sites (fault_seed=%s)"
+            % (cfg.get("benchmark"), cfg.get("n_samples"),
+               cfg.get("seed"), cfg.get("protection"),
+               len(report.injections), report.sites_enumerated,
+               cfg.get("fault_seed")))
+    ref = ("reference: %d cycles, %d committed, %d folds"
+           % (report.ref_cycles, report.ref_committed, report.ref_folds))
+    rows = []
+    for s, d in report.by_structure().items():
+        rows.append([s, "%d" % d["injections"], "%d" % d["masked"],
+                     "%d" % d["detected_recovered"], "%d" % d["sdc"],
+                     "%.3f" % d["avf"]])
+    totals = report.to_dict()["totals"]
+    rows.append(["TOTAL", "%d" % len(report.injections),
+                 "%d" % totals[OUTCOME_MASKED],
+                 "%d" % totals[OUTCOME_RECOVERED],
+                 "%d" % totals[OUTCOME_SDC],
+                 "%.3f" % (totals[OUTCOME_SDC] / len(report.injections)
+                           if report.injections else 0.0)])
+    table = _table(["structure", "inj", "masked", "recovered", "sdc",
+                    "avf"], rows)
+    return "\n".join([head, ref, "", table])
+
+
+def render_matrix(reports: Dict[str, CampaignReport]) -> str:
+    """Side-by-side outcome totals across protection models."""
+    order = [p for p in ("none", "parity", "ecc") if p in reports]
+    order += [p for p in sorted(reports) if p not in order]
+    rows = []
+    for p in order:
+        r = reports[p]
+        t = r.to_dict()["totals"]
+        n = len(r.injections)
+        rows.append([p, "%d" % n, "%d" % t[OUTCOME_MASKED],
+                     "%d" % t[OUTCOME_RECOVERED], "%d" % t[OUTCOME_SDC],
+                     "%.3f" % (t[OUTCOME_SDC] / n if n else 0.0)])
+    table = _table(["protection", "inj", "masked", "recovered", "sdc",
+                    "avf"], rows)
+    sections = [table, ""]
+    for p in order:
+        sections.append(render_report(reports[p]))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

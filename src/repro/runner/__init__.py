@@ -33,11 +33,14 @@ from repro.runner.cache import (
     CACHE_VERSION,
     GCResult,
     ResultCache,
+    VerifyResult,
     key_for_spec,
     parse_size,
 )
 from repro.runner.pool import (
+    FailedResult,
     RunSpec,
+    TaskTimeout,
     execute_spec,
     execute_spec_metrics,
     map_specs,
@@ -46,9 +49,12 @@ from repro.runner.sweep import run_sweep
 
 __all__ = [
     "CACHE_VERSION",
+    "FailedResult",
     "GCResult",
     "ResultCache",
     "RunSpec",
+    "TaskTimeout",
+    "VerifyResult",
     "parse_size",
     "aggregate_metrics",
     "execute_spec",

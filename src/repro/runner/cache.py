@@ -45,8 +45,9 @@ from repro.sim.pipeline import PipelineStats
 #: program bytes or inputs (e.g. a new stall rule in the pipeline), or
 #: when the entry schema changes.  v2 added the optional ``metrics``
 #: block (serialised telemetry tables riding alongside the stats); v3
-#: added the selection-policy knobs to the config digest.
-CACHE_VERSION = 3
+#: added the selection-policy knobs to the config digest; v4 added the
+#: in-entry payload checksum (``sha256``), verified on every read.
+CACHE_VERSION = 4
 
 _digest_memo: Dict[tuple, str] = {}
 
@@ -76,6 +77,18 @@ def _sha(*parts: str) -> str:
         h.update(p.encode("utf-8"))
         h.update(b"\x00")
     return h.hexdigest()
+
+
+def _payload_checksum(entry: dict) -> str:
+    """sha256 of an entry's canonical JSON (without the ``sha256`` key).
+
+    Stored inside every entry at write time and re-derived on read: a
+    torn write, a flipped byte or a hand-edited file fails the compare
+    and the entry is evicted as corrupt instead of ever being served.
+    """
+    body = {k: v for k, v in entry.items() if k != "sha256"}
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 def program_digest(program) -> str:
@@ -119,6 +132,23 @@ def key_for_spec(spec: RunSpec) -> str:
         _digest_memo[ik] = input_digest(speech_like(spec.n_samples,
                                                     spec.seed))
     return _sha(_digest_memo[pk], _digest_memo[ik], config_digest(spec))
+
+
+@dataclasses.dataclass
+class VerifyResult:
+    """Outcome of one :meth:`ResultCache.verify` scan."""
+
+    scanned: int = 0
+    ok: int = 0
+    stale: int = 0        # older CACHE_VERSION (valid, but unusable)
+    corrupt: int = 0      # unparseable / bad checksum / bad payload
+    pruned: int = 0       # stale+corrupt entries deleted (prune=True)
+
+    def render(self) -> str:
+        return ("cache verify: %d entries scanned, %d ok, %d stale, "
+                "%d corrupt, %d pruned"
+                % (self.scanned, self.ok, self.stale, self.corrupt,
+                   self.pruned))
 
 
 @dataclasses.dataclass
@@ -211,6 +241,41 @@ class ResultCache:
         self._approx_bytes = result.remaining_bytes
         return result
 
+    def verify(self, prune: bool = True) -> VerifyResult:
+        """Scan every entry, checking parseability, version and payload
+        checksum; with ``prune`` (default) bad entries are deleted.
+
+        ``repro cache verify`` exposes this for unattended caches; a
+        killed writer, a full disk or bit rot all surface here as
+        ``corrupt`` instead of as mystery misses at sweep time.
+        """
+        result = VerifyResult()
+        for _mtime, _size, path in self._scan():
+            result.scanned += 1
+            bad = None
+            try:
+                with open(path) as f:
+                    entry = json.load(f)
+                if entry["version"] != CACHE_VERSION:
+                    bad = "stale"       # old schema; may lack a checksum
+                elif entry.get("sha256") != _payload_checksum(entry):
+                    raise ValueError("payload checksum mismatch")
+                else:
+                    PipelineStats(**entry["stats"])
+            except (ValueError, KeyError, TypeError, OSError):
+                bad = "corrupt"
+            if bad is None:
+                result.ok += 1
+                continue
+            setattr(result, bad, getattr(result, bad) + 1)
+            if prune:
+                try:
+                    os.remove(path)
+                    result.pruned += 1
+                except OSError:
+                    pass
+        return result
+
     def get(self, key: str, with_metrics: bool = False):
         """Stats for ``key``, or None; drops unreadable entries.
 
@@ -225,6 +290,8 @@ class ResultCache:
                 entry = json.load(f)
             if entry["version"] != CACHE_VERSION:
                 raise ValueError("cache version mismatch")
+            if entry.get("sha256") != _payload_checksum(entry):
+                raise ValueError("payload checksum mismatch")
             stats = PipelineStats(**entry["stats"])
         except FileNotFoundError:
             self.misses += 1
@@ -270,6 +337,7 @@ class ResultCache:
         }
         if metrics is not None:
             entry["metrics"] = metrics
+        entry["sha256"] = _payload_checksum(entry)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:

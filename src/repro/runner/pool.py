@@ -17,8 +17,9 @@ is what makes the workers=1-vs-N determinism test
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.pipeline import PipelineStats
 
@@ -114,8 +115,199 @@ def execute_spec_metrics(spec: RunSpec) -> Tuple[PipelineStats, dict]:
     return stats, registry.to_dict()
 
 
+@dataclass(frozen=True)
+class FailedResult:
+    """Sentinel standing in for a spec that could not be executed.
+
+    Returned (never raised) by :func:`map_specs` when
+    ``on_error="return"``: the sweep keeps its shape, the caller sees
+    exactly which spec failed and why, and a poisoned spec is
+    quarantined instead of aborting its 75 healthy neighbours.
+
+    ``kind`` is ``"error"`` (the run raised — the message carries the
+    exception) or ``"timeout"`` (no result arrived within
+    ``task_timeout`` — a hung run or a killed worker; the pool cannot
+    tell those apart from the outside).  ``attempts`` counts the tries
+    that were spent before giving up.
+    """
+
+    spec: RunSpec
+    error: str
+    kind: str
+    attempts: int
+
+    def render(self) -> str:
+        return ("FAILED[%s after %d attempt(s)] %r: %s"
+                % (self.kind, self.attempts, self.spec, self.error))
+
+
+class TaskTimeout(RuntimeError):
+    """A task produced no result within ``task_timeout`` (raised only
+    with ``on_error="raise"``; otherwise a :class:`FailedResult`)."""
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    """Exponential backoff before retry ``attempt + 1``."""
+    if backoff > 0:
+        time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def _run_inline(fn, spec: RunSpec, retries: int, backoff: float,
+                on_error: str):
+    """Execute one spec in this process, with bounded retries."""
+    for attempt in range(1, retries + 2):
+        try:
+            return fn(spec)
+        except Exception as exc:
+            if attempt <= retries:
+                _backoff_sleep(backoff, attempt)
+                continue
+            if on_error == "return":
+                return FailedResult(spec, "%s: %s"
+                                    % (type(exc).__name__, exc),
+                                    "error", attempt)
+            raise
+
+
+def _try_build_pool(procs: int):
+    """A worker pool, or None when one cannot be built (fd exhaustion,
+    a platform without multiprocessing support, ...) — the caller then
+    degrades gracefully to serial execution."""
+    try:
+        import multiprocessing
+        return multiprocessing.Pool(processes=procs)
+    except Exception:
+        return None
+
+
+def _finish_inline(specs, fn, results, done, retries, backoff, on_error):
+    """Serial fallback: complete every unfinished task in-process."""
+    for j in range(len(specs)):
+        if not done[j]:
+            results[j] = _run_inline(fn, specs[j], retries, backoff,
+                                     on_error)
+            done[j] = True
+    return results
+
+
+def _map_pooled(specs: List[RunSpec], fn, procs: int,
+                task_timeout: Optional[float], retries: int,
+                backoff: float, on_error: str) -> List:
+    """Fan ``specs`` over a worker pool, surviving crashed workers.
+
+    ``pool.map`` would hang forever on a worker killed mid-task (the
+    pool respawns the worker but the task's result is simply gone), so
+    each task is an ``apply_async`` handle polled with
+    ``get(task_timeout)``.  A timeout means a hung run or a killed
+    worker; the task is resubmitted (the pool's respawned workers pick
+    it up) until its retries are spent.  If the pool itself refuses new
+    work it is rebuilt once per incident, and if it cannot be rebuilt
+    the remaining tasks complete serially in this process — a sweep
+    never dies of pool trouble.
+    """
+    import multiprocessing
+
+    pool = _try_build_pool(procs)
+    if pool is None:
+        return _finish_inline(specs, fn, [None] * len(specs),
+                              [False] * len(specs), retries, backoff,
+                              on_error)
+    n = len(specs)
+    results: List = [None] * n
+    done = [False] * n
+    attempts = [0] * n
+    handles: dict = {}
+
+    def submit(i: int) -> bool:
+        attempts[i] += 1
+        try:
+            handles[i] = pool.apply_async(fn, (specs[i],))
+            return True
+        except Exception:
+            return False
+
+    def rebuild() -> bool:
+        """Replace a broken pool, resubmitting every unfinished task
+        (resubmission is free — blame stays on the task that failed)."""
+        nonlocal pool
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+        pool = _try_build_pool(procs)
+        if pool is None:
+            return False
+        for j in range(n):
+            if not done[j]:
+                attempts[j] = max(attempts[j], 1)
+                try:
+                    handles[j] = pool.apply_async(fn, (specs[j],))
+                except Exception:
+                    return False
+        return True
+
+    def resubmit(i: int) -> bool:
+        _backoff_sleep(backoff, attempts[i])
+        return submit(i) or rebuild()
+
+    try:
+        for i in range(n):
+            if not submit(i):
+                if not rebuild():
+                    return _finish_inline(specs, fn, results, done,
+                                          retries, backoff, on_error)
+                break                 # rebuild submitted the rest too
+        for i in range(n):
+            while not done[i]:
+                try:
+                    results[i] = handles[i].get(task_timeout)
+                    done[i] = True
+                except multiprocessing.TimeoutError:
+                    if attempts[i] <= retries:
+                        if not resubmit(i):
+                            return _finish_inline(specs, fn, results,
+                                                  done, retries,
+                                                  backoff, on_error)
+                        continue
+                    msg = ("no result within %.3gs after %d attempt(s) "
+                           "(worker hung or killed)"
+                           % (task_timeout, attempts[i]))
+                    if on_error == "return":
+                        results[i] = FailedResult(specs[i], msg,
+                                                  "timeout", attempts[i])
+                        done[i] = True
+                    else:
+                        raise TaskTimeout("%r: %s" % (specs[i], msg))
+                except Exception as exc:
+                    if attempts[i] <= retries:
+                        if not resubmit(i):
+                            return _finish_inline(specs, fn, results,
+                                                  done, retries,
+                                                  backoff, on_error)
+                        continue
+                    if on_error == "return":
+                        results[i] = FailedResult(
+                            specs[i], "%s: %s" % (type(exc).__name__,
+                                                  exc),
+                            "error", attempts[i])
+                        done[i] = True
+                    else:
+                        raise
+    finally:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+    return results
+
+
 def map_specs(specs: Sequence[RunSpec], workers: int = 0,
-              collect_metrics: bool = False) -> List:
+              collect_metrics: bool = False,
+              task_timeout: Optional[float] = None,
+              retries: int = 0, backoff: float = 0.25,
+              on_error: str = "raise") -> List:
     """Execute every spec, returning results in input order.
 
     Each result is a ``PipelineStats``, or a ``(stats, metrics_dict)``
@@ -123,14 +315,32 @@ def map_specs(specs: Sequence[RunSpec], workers: int = 0,
     in this process — no multiprocessing import, no pickling,
     deterministic and debuggable.  Larger values fan out over a process
     pool; results are identical because both paths run the same function
-    and every spec is self-contained.  A worker failure (e.g. a
-    golden-output mismatch) propagates.
+    and every spec is self-contained.
+
+    Robustness knobs (defaults preserve the strict legacy semantics:
+    one attempt, failures propagate):
+
+    * ``task_timeout`` — seconds a pooled task may go without producing
+      a result before it is considered lost (hung run or SIGKILLed
+      worker) and retried/failed.  This is the crash detector: without
+      it a killed worker's task would be waited on forever.
+    * ``retries`` / ``backoff`` — each failed or timed-out task is
+      retried up to ``retries`` times with exponential backoff
+      (``backoff * 2**(attempt-1)`` seconds) before giving up.
+    * ``on_error="return"`` — a task out of retries yields a
+      :class:`FailedResult` in its slot instead of raising, so one
+      poisoned spec cannot abort the sweep.  ``"raise"`` (default)
+      propagates the worker's exception / :class:`TaskTimeout`.
+
+    If the pool cannot be built or rebuilt, the remaining work degrades
+    to serial in-process execution rather than failing.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError("on_error must be 'raise' or 'return'")
     specs = list(specs)
     fn = execute_spec_metrics if collect_metrics else execute_spec
     if workers <= 1 or len(specs) <= 1:
-        return [fn(s) for s in specs]
-    import multiprocessing
-    procs = min(workers, len(specs))
-    with multiprocessing.Pool(processes=procs) as pool:
-        return pool.map(fn, specs)
+        return [_run_inline(fn, s, retries, backoff, on_error)
+                for s in specs]
+    return _map_pooled(specs, fn, min(workers, len(specs)),
+                       task_timeout, retries, backoff, on_error)

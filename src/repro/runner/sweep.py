@@ -11,13 +11,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.runner.cache import ResultCache, key_for_spec
-from repro.runner.pool import RunSpec, map_specs
+from repro.runner.pool import FailedResult, RunSpec, map_specs
 
 
 def run_sweep(specs: Sequence[RunSpec],
               workers: int = 0,
               cache: Optional[ResultCache] = None,
-              collect_metrics: bool = False) -> List:
+              collect_metrics: bool = False,
+              task_timeout: Optional[float] = None,
+              retries: int = 0,
+              on_error: str = "raise") -> List:
     """Stats for every spec, in input order.
 
     Duplicate specs are simulated once.  With a cache, known results are
@@ -33,6 +36,12 @@ def run_sweep(specs: Sequence[RunSpec],
     the serialised tables are cached alongside the stats, so a repeated
     metric sweep costs one file read per configuration.  Cache entries
     recorded without metrics are upgraded in place by the refill.
+
+    ``task_timeout`` / ``retries`` / ``on_error`` pass straight through
+    to :func:`~repro.runner.pool.map_specs`; with ``on_error="return"``
+    a spec that exhausts its retries occupies its result slots as a
+    :class:`~repro.runner.pool.FailedResult`, which is reported to the
+    caller but never written to the cache.
     """
     specs = list(specs)
     resolved: Dict[RunSpec, object] = {}
@@ -53,10 +62,12 @@ def run_sweep(specs: Sequence[RunSpec],
         todo.append(spec)
 
     results = map_specs(todo, workers=workers,
-                        collect_metrics=collect_metrics)
+                        collect_metrics=collect_metrics,
+                        task_timeout=task_timeout, retries=retries,
+                        on_error=on_error)
     for spec, result in zip(todo, results):
         resolved[spec] = result
-        if cache is not None:
+        if cache is not None and not isinstance(result, FailedResult):
             if collect_metrics:
                 stats, metrics = result
             else:

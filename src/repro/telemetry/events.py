@@ -30,6 +30,14 @@ kind           meaning / payload (``data`` keys)
 ``squash``     a wrong-path instruction was killed in IF or ID.
 ``redirect``   fetch was redirected; ``pc`` is the new target.
 ``retire``     functional-simulator retirement (the light hook).
+``fault_inject``  a soft error was injected into BDT/BIT/predictor
+               state (:mod:`repro.faults`); ``data`` holds ``site``
+               and ``protection``.
+``fault_detect``  parity caught a corrupted entry on read; the fold
+               was suppressed (predictor fallback) or the counter
+               reset.
+``fault_correct`` ECC repaired a corrupted entry on read; the read
+               observed the fault-free value.
 ``truncated``  sentinel appended by a size-bounded JSONL sink;
                ``data["dropped"]`` counts the lost events.
 =============  =====================================================
@@ -59,10 +67,14 @@ BDT_UPDATE = "bdt_update"
 SQUASH = "squash"
 REDIRECT = "redirect"
 RETIRE = "retire"
+FAULT_INJECT = "fault_inject"
+FAULT_DETECT = "fault_detect"
+FAULT_CORRECT = "fault_correct"
 TRUNCATED = "truncated"
 
 EVENT_KINDS = (FETCH, DECODE, ISSUE, COMMIT, BRANCH, FOLD_HIT, FOLD_MISS,
-               BDT_UPDATE, SQUASH, REDIRECT, RETIRE, TRUNCATED)
+               BDT_UPDATE, SQUASH, REDIRECT, RETIRE, FAULT_INJECT,
+               FAULT_DETECT, FAULT_CORRECT, TRUNCATED)
 
 #: Shared payload for events that carry none — emit sites pass it so the
 #: hot tracing path never allocates an empty dict per event.

@@ -146,15 +146,23 @@ class Workload:
 
     def run_pipeline(self, pcm: Sequence[int], predictor=None, asbr=None,
                      config: Optional[PipelineConfig] = None,
-                     trace=None) -> WorkloadResult:
+                     trace=None, on_sim=None) -> WorkloadResult:
         """``trace`` (a :class:`repro.telemetry.Tracer`) enables the
-        pipeline's telemetry hooks for this run; None costs nothing."""
+        pipeline's telemetry hooks for this run; None costs nothing.
+
+        ``on_sim`` is called with the constructed simulator before the
+        run starts — the instrumentation window for layers that rebind
+        instance methods (e.g. :class:`repro.faults.FaultInjector`),
+        which must happen before ``run()`` captures ``tick``.
+        """
         stream = self.prepare_input(pcm)
         count = self._count(pcm, stream)
         sim = PipelineSimulator(self.program,
                                 self.build_memory(stream, count),
                                 predictor=predictor, asbr=asbr,
                                 config=config, trace=trace)
+        if on_sim is not None:
+            on_sim(sim)
         stats = sim.run()
         return WorkloadResult(self.read_output(sim.memory, count),
                               stats=stats, instructions=stats.committed)

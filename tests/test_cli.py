@@ -202,3 +202,55 @@ class TestTelemetryCLI:
         assert args.mode == "pipeview" and args.skip == 5
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "summary", "t.jsonl"])
+
+
+class TestHardenedRunnerCLI:
+    def test_cache_verify_parses(self):
+        args = build_parser().parse_args(
+            ["cache", "verify", "--cache-dir", "d", "--keep"])
+        assert args.cache_dir == "d" and args.keep
+
+    def test_dse_run_robustness_flags(self):
+        args = build_parser().parse_args(
+            ["dse", "run", "--task-timeout", "30", "--retries", "2",
+             "--tolerant"])
+        assert args.task_timeout == 30.0
+        assert args.retries == 2 and args.tolerant
+        # and the strict defaults are unchanged
+        args = build_parser().parse_args(["dse", "run"])
+        assert args.task_timeout is None
+        assert args.retries == 0 and not args.tolerant
+
+    def test_faults_campaign_defaults(self):
+        args = build_parser().parse_args(["faults", "campaign"])
+        assert args.benchmark == "adpcm_enc"
+        assert (args.samples, args.seed) == (600, 20010618)
+        assert args.protection == "all" and args.n_faults == 24
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["faults", "campaign", "--protection", "tmr"])
+
+    def test_faults_report_requires_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "report"])
+
+    def test_cache_verify_prunes_corrupt_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / ("ab" * 32 + ".json")).write_text("{ not json")
+        assert main(["cache", "verify", "--cache-dir",
+                     str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "1 pruned" in out
+        assert list(cache_dir.iterdir()) == []
+
+    def test_cache_verify_keep_leaves_files(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        bad = cache_dir / ("cd" * 32 + ".json")
+        bad.write_text("{ not json")
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir),
+                     "--keep"]) == 0
+        out = capsys.readouterr().out
+        assert "0 pruned" in out
+        assert bad.exists()

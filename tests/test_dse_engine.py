@@ -241,3 +241,50 @@ class TestCLI:
         doc = json.loads(out)
         assert doc["objectives"] == ["speedup", "table_bits", "energy"]
         assert any(p["on_frontier"] for p in doc["points"])
+
+
+# ----------------------------------------------------------------------
+# tolerant evaluation (quarantined points)
+# ----------------------------------------------------------------------
+BAD_POINT = DesignPoint(predictor_spec="no-such-predictor",
+                        with_asbr=False)
+GOOD_POINT = DesignPoint(predictor_spec="bimodal-512-512",
+                         with_asbr=False)
+ADHOC_META = {"space": "adhoc", "benchmark": BENCH,
+              "n_samples": N, "seed": SEED}
+
+
+class TestTolerantEvaluation:
+    def test_poisoned_point_quarantined_and_journaled(self, tmp_path):
+        from repro.dse.journal import eval_key
+        path = os.path.join(str(tmp_path), "j.jsonl")
+        with Journal(path).open(ADHOC_META) as journal:
+            ev = Evaluator(BENCH, N, SEED, workers=0, journal=journal,
+                           tolerant=True)
+            results = ev.evaluate([GOOD_POINT, BAD_POINT])
+        assert [r.point for r in results] == [GOOD_POINT]
+        assert ev.failed == 1
+        j = Journal(path).load()
+        key = eval_key(BAD_POINT, BENCH, N, SEED)
+        assert not j.has(key)               # pending: resume retries
+        assert "no-such-predictor" in j.failures[key]["error"]
+
+    def test_resume_retries_quarantined_point(self, tmp_path):
+        path = os.path.join(str(tmp_path), "j.jsonl")
+        with Journal(path).open(ADHOC_META) as journal:
+            ev = Evaluator(BENCH, N, SEED, workers=0, journal=journal,
+                           tolerant=True)
+            ev.evaluate([BAD_POINT])
+            assert ev.failed == 1
+        # a resumed exploration sees the point as pending and retries
+        with Journal(path).open(ADHOC_META) as journal:
+            ev2 = Evaluator(BENCH, N, SEED, workers=0, journal=journal,
+                            tolerant=True)
+            assert ev2.evaluate([BAD_POINT]) == []
+            assert ev2.failed == 1          # retried, failed again
+            assert ev2.journal_hits == 0    # never served from journal
+
+    def test_default_evaluator_still_raises(self, tmp_path):
+        ev = make_evaluator(tmp_path)
+        with pytest.raises(ValueError):
+            ev.evaluate([BAD_POINT])

@@ -127,3 +127,41 @@ def test_eval_key_identity():
     assert k != eval_key(p, "adpcm_enc", 64, 12)
     assert k != eval_key(DesignPoint(bit_capacity=8), "adpcm_enc", 64,
                          11)
+
+
+class TestFailedRecords:
+    def key(self):
+        return eval_key(DesignPoint(), "adpcm_enc", 64, 11)
+
+    def test_failed_point_stays_pending_but_is_never_lost(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path).open(META) as j:
+            j.record_failed(DesignPoint(), "adpcm_enc", 64, 11,
+                            "worker hung", kind="timeout")
+        j = Journal(path).load()
+        assert not j.has(self.key())        # resume will retry it
+        rec = j.failures[self.key()]
+        assert rec["error"] == "worker hung"
+        assert rec["failure_kind"] == "timeout"
+        assert DesignPoint.from_dict(rec["point"]) == DesignPoint()
+
+    def test_eval_supersedes_failure(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path).open(META) as j:
+            j.record_failed(DesignPoint(), "adpcm_enc", 64, 11, "boom")
+            assert self.key() in j.failures
+            j.record_eval(DesignPoint(), "adpcm_enc", 64, 11, vec())
+            assert self.key() not in j.failures
+        # the same resolution holds on a cold reload of both lines
+        j = Journal(path).load()
+        assert j.has(self.key())
+        assert self.key() not in j.failures
+
+    def test_failure_after_eval_keeps_the_eval(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path).open(META) as j:
+            j.record_eval(DesignPoint(), "adpcm_enc", 64, 11, vec())
+            j.record_failed(DesignPoint(), "adpcm_enc", 64, 11, "flaky")
+        j = Journal(path).load()
+        assert j.has(self.key())            # the result is not erased
+        assert self.key() in j.failures     # but the incident is visible

@@ -180,3 +180,26 @@ class TestInfrastructure:
         for bench in paper_data.BENCHMARK_NAMES:
             sel = setup.selection(bench)
             assert len(sel.selected) <= 16
+
+
+class TestFaultCampaignDriver:
+    def test_campaign_config_follows_setup(self):
+        from repro.experiments import fault_campaign
+        setup = ExperimentSetup(n_samples=64, seed=11)
+        cfg = fault_campaign.campaign_config(setup)
+        assert cfg.benchmark == fault_campaign.BENCHMARK
+        assert (cfg.n_samples, cfg.seed) == (64, 11)
+        assert cfg.predictor_spec == fault_campaign.PREDICTOR
+        assert cfg.fault_seed == fault_campaign.FAULT_SEED
+
+    def test_verdicts_hold_on_a_small_matrix(self):
+        from repro.experiments import fault_campaign
+        from repro.faults import CampaignConfig, run_protection_matrix
+        matrix = run_protection_matrix(
+            CampaignConfig(n_samples=64, seed=11, bit_capacity=8,
+                           n_faults=6, fault_seed=3))
+        text = fault_campaign._verdicts(matrix)
+        # parity must not leak and ECC must stay bit-identical, even on
+        # a plan this small; the unprotected line is allowed either way
+        assert "FAILED" not in text
+        assert "parity-protected" in text and "ECC-protected" in text

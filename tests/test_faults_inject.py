@@ -1,0 +1,263 @@
+"""Unit tests for the fault model and injector (repro.faults).
+
+The vehicle is conftest's FOLD_DEMO: one fold-friendly branch
+(``beqz r9``), golden architectural result r6 == 555.  Every protection
+claim from :mod:`repro.faults.inject` is checked against it:
+
+* unprotected direction-bit flips produce real SDC (wrong r6);
+* parity never lets a wrong-path fold commit — architecture is always
+  correct, detections/suppressions are counted;
+* ECC runs are cycle-for-cycle identical to the fault-free reference;
+* the fault-free path is untouched (zero-overhead: no instance tick).
+"""
+
+import pytest
+
+from repro.asbr import ASBRUnit, extract_branch_info
+from repro.asm import assemble
+from repro.faults import (
+    BDT_CNT,
+    BDT_DIR,
+    BIT_FIELD,
+    PRED_PHT,
+    STRUCTURES,
+    FaultInducedError,
+    FaultInjector,
+    FaultSite,
+    FaultSpec,
+    enumerate_sites,
+    sample_campaign,
+    sites_by_structure,
+)
+from repro.faults.model import CONDITION_ORDER
+from repro.predictors import make_predictor
+from repro.sim.pipeline import PipelineConfig, PipelineSimulator
+from tests.conftest import FOLD_DEMO
+
+PROG = assemble(FOLD_DEMO)
+GOLDEN_R6 = 555
+PREDICTOR = "bimodal-64"
+
+
+def make_unit():
+    info = extract_branch_info(PROG, PROG.labels["br1"])
+    return ASBRUnit.from_branch_infos([info], capacity=4,
+                                      bdt_update="execute")
+
+
+def run_demo(spec=None, protection="none", max_cycles=None):
+    config = (PipelineConfig(max_cycles=max_cycles)
+              if max_cycles else PipelineConfig())
+    sim = PipelineSimulator(PROG, predictor=make_predictor(PREDICTOR),
+                            asbr=make_unit(), config=config)
+    inj = None
+    if spec is not None:
+        inj = FaultInjector(spec, protection)
+        inj.attach(sim)
+    stats = sim.run()
+    return sim, stats, inj
+
+
+_REF_SIM, REF_STATS, _ = run_demo()
+assert _REF_SIM.regs[6] == GOLDEN_R6
+assert REF_STATS.folds_committed > 0
+WATCHDOG = REF_STATS.cycles * 4 + 1000
+
+#: the demo's single live BDT bit: ``beqz r9`` reads (r9, EQZ)
+LIVE_DIR = FaultSite(BDT_DIR, "EQZ", 9, 0)
+
+
+# ----------------------------------------------------------------------
+# site enumeration
+# ----------------------------------------------------------------------
+def test_enumerate_sites_sorted_and_stable():
+    a = enumerate_sites(make_unit(), make_predictor(PREDICTOR))
+    b = enumerate_sites(make_unit(), make_predictor(PREDICTOR))
+    assert a == b
+    assert a == sorted(a)
+    assert set(sites_by_structure(a)) == set(STRUCTURES)
+
+
+def test_live_only_restricts_bdt_to_consumed_pairs():
+    live = sites_by_structure(enumerate_sites(make_unit()))
+    assert live[BDT_DIR] == [LIVE_DIR]          # only (r9, EQZ) is read
+    assert {s.index for s in live[BDT_CNT]} == {9}
+
+    unit = make_unit()
+    full = sites_by_structure(enumerate_sites(unit, live_only=False))
+    assert len(full[BDT_DIR]) == unit.bdt.num_regs * len(CONDITION_ORDER)
+    assert len(full[BDT_CNT]) == unit.bdt.num_regs * unit.bdt.counter_bits
+    # BIT sites do not depend on liveness
+    assert full[BIT_FIELD] == live[BIT_FIELD]
+
+
+def test_enumerate_predictor_only():
+    pred = make_predictor(PREDICTOR)
+    sites = enumerate_sites(predictor=pred)
+    assert sites
+    assert all(s.structure == PRED_PHT for s in sites)
+    assert len(sites) == len(pred._counters) * 2
+
+
+def test_predictor_without_pht_yields_no_sites():
+    assert enumerate_sites(predictor=make_predictor("not-taken")) == []
+
+
+# ----------------------------------------------------------------------
+# campaign sampling
+# ----------------------------------------------------------------------
+def test_sample_campaign_deterministic_and_bounded():
+    sites = enumerate_sites(make_unit(), make_predictor(PREDICTOR))
+    a = sample_campaign(sites, 16, REF_STATS.cycles, seed=5)
+    b = sample_campaign(sites, 16, REF_STATS.cycles, seed=5)
+    assert a == b
+    assert a == sorted(a)
+    assert len(a) == 16
+    assert len(set(a)) == 16                    # without replacement
+    assert all(1 <= s.cycle < REF_STATS.cycles for s in a)
+    assert sample_campaign(sites, 16, REF_STATS.cycles, seed=6) != a
+
+
+def test_sample_campaign_stratifies_across_structures():
+    sites = enumerate_sites(make_unit(), make_predictor(PREDICTOR))
+    plan = sample_campaign(sites, 8, REF_STATS.cycles, seed=1)
+    assert {s.site.structure for s in plan} == set(STRUCTURES)
+
+
+def test_sample_campaign_edge_cases():
+    sites = enumerate_sites(make_unit())
+    assert sample_campaign(sites, 0, 100, seed=1) == []
+    assert sample_campaign([], 8, 100, seed=1) == []
+    with pytest.raises(ValueError):
+        sample_campaign(sites, -1, 100, seed=1)
+
+
+# ----------------------------------------------------------------------
+# injector mechanics
+# ----------------------------------------------------------------------
+def test_unknown_protection_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector(FaultSpec(LIVE_DIR, 5), protection="tmr")
+
+
+def test_zero_overhead_until_attached():
+    sim = PipelineSimulator(PROG, predictor=make_predictor(PREDICTOR),
+                            asbr=make_unit())
+    assert "tick" not in sim.__dict__           # class fast path intact
+    FaultInjector(FaultSpec(LIVE_DIR, 5)).attach(sim)
+    assert "tick" in sim.__dict__               # this instance only
+
+
+def test_injector_fires_once_and_records_event():
+    _sim, _stats, inj = run_demo(FaultSpec(LIVE_DIR, 5), "ecc",
+                                 max_cycles=WATCHDOG)
+    assert inj.fired
+    kinds = [k for _c, k, _l in inj.events]
+    assert kinds[0] == "fault_inject"
+    assert kinds.count("fault_inject") == 1
+
+
+def test_fault_beyond_run_length_never_fires():
+    _sim, stats, inj = run_demo(FaultSpec(LIVE_DIR, REF_STATS.cycles * 2))
+    assert not inj.fired
+    assert stats == REF_STATS                   # arming is invisible
+
+
+# ----------------------------------------------------------------------
+# protection semantics on the live direction bit, across every cycle
+# ----------------------------------------------------------------------
+def _sweep(protection):
+    """Outcome of flipping the live dir bit at every cycle of the run."""
+    wrong, crashed, identical = 0, 0, 0
+    for cycle in range(1, REF_STATS.cycles):
+        spec = FaultSpec(LIVE_DIR, cycle)
+        try:
+            sim, stats, inj = run_demo(spec, protection,
+                                       max_cycles=WATCHDOG)
+        except Exception:
+            crashed += 1
+            continue
+        if sim.regs[6] != GOLDEN_R6:
+            wrong += 1
+        elif stats == REF_STATS:
+            identical += 1
+    return wrong, crashed, identical
+
+
+def test_unprotected_dir_flips_cause_real_sdc():
+    wrong, crashed, _ = _sweep("none")
+    assert wrong + crashed > 0                  # the exposure is real
+
+
+def test_parity_never_commits_a_wrong_path_fold():
+    wrong, crashed, _ = _sweep("parity")
+    assert wrong == 0 and crashed == 0
+
+
+def test_ecc_is_always_bit_identical():
+    wrong, crashed, identical = _sweep("ecc")
+    assert wrong == 0 and crashed == 0
+    assert identical == REF_STATS.cycles - 1    # every single cycle
+
+
+def test_parity_detection_suppresses_folds():
+    hits = []
+    for cycle in range(1, REF_STATS.cycles):
+        _sim, stats, inj = run_demo(FaultSpec(LIVE_DIR, cycle), "parity",
+                                    max_cycles=WATCHDOG)
+        if inj.suppressed_folds:
+            hits.append((stats, inj))
+    assert hits                                 # some read saw the flip
+    for stats, inj in hits:
+        assert inj.detections == inj.suppressed_folds
+        assert stats.folds_committed < REF_STATS.folds_committed
+
+
+def test_ecc_corrections_counted():
+    fired = [run_demo(FaultSpec(LIVE_DIR, c), "ecc",
+                      max_cycles=WATCHDOG)[2]
+             for c in range(1, REF_STATS.cycles)]
+    assert any(i.corrections for i in fired)
+    for inj in fired:
+        assert inj.suppressed_folds == 0        # ecc never suppresses
+
+
+# ----------------------------------------------------------------------
+# BIT-entry corruption (white-box)
+# ----------------------------------------------------------------------
+def bit_entry(unit):
+    return [e for bank in unit.bit.banks for e in bank][0]
+
+
+def test_tag_corruption_rekeys_entry():
+    unit = make_unit()
+    e = bit_entry(unit)
+    old_pc = e.pc
+    inj = FaultInjector(FaultSpec(FaultSite(BIT_FIELD, "tag", old_pc, 5),
+                                  1))
+    inj._corrupt_bit_entry(unit.bit, inj.spec.site)
+    assert unit.bit.lookup(old_pc) is None      # original PC misses now
+    assert unit.bit.lookup(old_pc ^ (1 << 5)) is e
+
+
+def test_corrupt_di_cond_can_be_undecodable():
+    unit = make_unit()
+    e = bit_entry(unit)
+    e.condition = CONDITION_ORDER[5]            # 5 ^ (1<<1) = 7: invalid
+    site = FaultSite(BIT_FIELD, "di_cond", e.pc, 1)
+    inj = FaultInjector(FaultSpec(site, 1))
+    with pytest.raises(FaultInducedError):
+        inj._corrupt_bit_entry(unit.bit, site)
+
+
+def test_corrupt_absent_entry_is_masked():
+    unit = make_unit()
+    site = FaultSite(BIT_FIELD, "bta", 0xdead00, 4)   # no such entry
+    inj = FaultInjector(FaultSpec(site, 1))
+    inj._corrupt_bit_entry(unit.bit, site)      # must not raise
+
+
+def test_site_labels_are_distinct():
+    sites = enumerate_sites(make_unit(), make_predictor(PREDICTOR))
+    labels = [s.label() for s in sites]
+    assert len(set(labels)) == len(labels)

@@ -1,0 +1,96 @@
+"""Property tests for the fault protection models (hypothesis).
+
+The satellite claims, stated as properties over *any* single-bit fault
+drawn from the full site list at *any* cycle of the run:
+
+* **ECC**: the run is bit-identical to fault-free — same PipelineStats,
+  same architectural result.  Correction happens before any consumer
+  sees the flip, so nothing downstream can diverge.
+* **parity**: the architectural state is always identical to golden —
+  a detected fault only ever suppresses a fold (miss path, predictor
+  fallback) or resets a PHT counter; it never commits a wrong path.
+
+Context (program, selection, reference run) is built once at module
+scope — hypothesis re-runs the test body hundreds of times and must
+not pay the profile/selection cost per example.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asbr import ASBRUnit, extract_branch_info
+from repro.asm import assemble
+from repro.faults import FaultInjector, FaultSpec, enumerate_sites
+from repro.predictors import make_predictor
+from repro.sim.pipeline import PipelineConfig, PipelineSimulator
+from tests.conftest import FOLD_DEMO
+
+PROG = assemble(FOLD_DEMO)
+GOLDEN_R6 = 555
+PREDICTOR = "bimodal-64"
+
+
+def make_unit():
+    info = extract_branch_info(PROG, PROG.labels["br1"])
+    return ASBRUnit.from_branch_infos([info], capacity=4,
+                                      bdt_update="execute")
+
+
+def run_with_fault(spec, protection):
+    sim = PipelineSimulator(PROG, predictor=make_predictor(PREDICTOR),
+                            asbr=make_unit(),
+                            config=PipelineConfig(max_cycles=WATCHDOG))
+    inj = FaultInjector(spec, protection)
+    inj.attach(sim)
+    stats = sim.run()
+    return sim, stats, inj
+
+
+_ref = PipelineSimulator(PROG, predictor=make_predictor(PREDICTOR),
+                         asbr=make_unit())
+REF_STATS = _ref.run()
+assert _ref.regs[6] == GOLDEN_R6
+WATCHDOG = REF_STATS.cycles * 4 + 1000
+
+#: every targetable bit: live BDT pairs, all BIT entry fields, the PHT
+SITES = enumerate_sites(make_unit(), make_predictor(PREDICTOR))
+
+site_and_cycle = st.tuples(st.integers(0, len(SITES) - 1),
+                           st.integers(1, REF_STATS.cycles - 1))
+
+
+@settings(deadline=None, max_examples=80, derandomize=True)
+@given(site_and_cycle)
+def test_ecc_makes_any_fault_bit_identical(sc):
+    site_i, cycle = sc
+    sim, stats, inj = run_with_fault(FaultSpec(SITES[site_i], cycle),
+                                     "ecc")
+    assert stats == REF_STATS
+    assert sim.regs[6] == GOLDEN_R6
+    assert inj.suppressed_folds == 0
+
+
+@settings(deadline=None, max_examples=80, derandomize=True)
+@given(site_and_cycle)
+def test_parity_never_corrupts_architecture(sc):
+    site_i, cycle = sc
+    sim, stats, inj = run_with_fault(FaultSpec(SITES[site_i], cycle),
+                                     "parity")
+    # the run always completes (no crash, no hang) and is always right
+    assert sim.regs[6] == GOLDEN_R6
+    # parity only suppresses: it can cost folds, never invent them
+    assert stats.folds_committed <= REF_STATS.folds_committed
+    # every suppressed fold was a detection, and detections that are
+    # not fold suppressions (counter resets) leave architecture alone
+    assert inj.suppressed_folds <= inj.detections
+
+
+@settings(deadline=None, max_examples=40, derandomize=True)
+@given(site_and_cycle)
+def test_undetected_parity_fault_is_fully_masked(sc):
+    """If parity saw nothing, the run must equal the reference — the
+    flip is latent and nothing read it."""
+    site_i, cycle = sc
+    _sim, stats, inj = run_with_fault(FaultSpec(SITES[site_i], cycle),
+                                      "parity")
+    if inj.detections == 0:
+        assert stats == REF_STATS

@@ -273,3 +273,68 @@ def test_golden_mismatch_is_never_cached(tmp_path, monkeypatch):
     with pytest.raises(AssertionError):
         run_sweep([spec_of()], cache=cache)
     assert os.listdir(str(tmp_path)) == []
+
+
+# ----------------------------------------------------------------------
+# payload checksums and cache verification
+# ----------------------------------------------------------------------
+def test_cache_entries_carry_verifiable_checksum(tmp_path):
+    from repro.runner.cache import _payload_checksum
+    cache = ResultCache(str(tmp_path))
+    key = key_for_spec(spec_of())
+    cache.put(key, execute_spec(spec_of()))
+    with open(os.path.join(str(tmp_path), key + ".json")) as f:
+        entry = json.load(f)
+    assert entry["sha256"] == _payload_checksum(entry)
+    assert cache.get(key) is not None        # and it reads back
+
+
+def test_cache_drops_silently_tampered_payload(tmp_path):
+    """A bit flip that keeps the JSON valid is caught by the checksum
+    (the pre-checksum cache would have served it as truth)."""
+    cache = ResultCache(str(tmp_path))
+    key = key_for_spec(spec_of())
+    cache.put(key, execute_spec(spec_of()))
+    path = os.path.join(str(tmp_path), key + ".json")
+    with open(path) as f:
+        entry = json.load(f)
+    entry["stats"]["cycles"] += 1
+    with open(path, "w") as f:
+        json.dump(entry, f)
+    assert cache.get(key) is None
+    assert cache.dropped == 1
+    assert not os.path.exists(path)
+
+
+def test_cache_verify_classifies_and_prunes(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    good = key_for_spec(spec_of())
+    cache.put(good, execute_spec(spec_of()))
+
+    def write(name, payload):
+        with open(os.path.join(str(tmp_path), name + ".json"), "w") as f:
+            f.write(payload)
+
+    with open(os.path.join(str(tmp_path), good + ".json")) as f:
+        entry = json.load(f)
+    stale = dict(entry, version=CACHE_VERSION - 1)
+    write("aa" * 32, json.dumps(stale))
+    tampered = dict(entry)
+    tampered["stats"] = dict(entry["stats"], cycles=1)
+    write("bb" * 32, json.dumps(tampered))
+    write("cc" * 32, "{ not json")
+
+    scan = ResultCache(str(tmp_path)).verify(prune=False)
+    assert (scan.scanned, scan.ok) == (4, 1)
+    assert (scan.stale, scan.corrupt, scan.pruned) == (1, 2, 0)
+    assert "4 entries scanned" in scan.render()
+
+    pruned = ResultCache(str(tmp_path)).verify(prune=True)
+    assert pruned.pruned == 3
+    assert os.listdir(str(tmp_path)) == [good + ".json"]
+    assert ResultCache(str(tmp_path)).verify().ok == 1
+
+
+def test_cache_verify_empty_directory(tmp_path):
+    result = ResultCache(str(tmp_path / "missing")).verify()
+    assert result.scanned == 0 and result.pruned == 0
