@@ -81,45 +81,97 @@ def test_predictor_throughput(benchmark):
     benchmark(run)
 
 
-def test_sim_speed_summary(save_table):
-    """Record simulator throughput (ops/sec) under results/.
+def test_functional_blocks_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    mem = wl.build_memory(_PCM)
 
-    Best-of-3 wall-clock on the adpcm_enc workload; the decoded-dispatch
-    fast path (see DESIGN.md) is what these numbers track.
+    def run():
+        sim = FunctionalSimulator(wl.program, mem.copy(), engine="blocks")
+        return sim.run()
+
+    retired = benchmark(run)
+    assert retired > 5000
+
+
+def test_pipeline_blocks_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    mem = wl.build_memory(_PCM)
+
+    def run():
+        sim = PipelineSimulator(wl.program, mem.copy(), engine="blocks")
+        return sim.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 5000
+
+
+def test_sim_speed_summary(save_table):
+    """Record simulator × engine throughput (ops/sec) under results/.
+
+    Best-of-3 wall-clock on the adpcm_enc workload for the interpreted
+    fast path and the block-compiled engine (see DESIGN.md), plus a
+    machine-readable ``BENCH_sim_speed.json`` so the perf trajectory is
+    tracked across PRs.  A long input (not the micro-benchmarks'
+    ``_PCM``) keeps per-run setup out of the measured ratio.
     """
+    import json
+    import os
     import time
 
+    from conftest import RESULTS_DIR
     from repro.experiments.common import render_table
 
     wl = get_workload("adpcm_enc")
+    pcm = speech_like(8000, seed=42)
     rows = []
+    records = []
 
-    best = work = 0
-    for _ in range(3):
-        sim = FunctionalSimulator(wl.program, wl.build_memory(_PCM))
-        t0 = time.perf_counter()
-        sim.run()
-        dt = time.perf_counter() - t0
-        if sim.instructions_retired / dt > best:
-            best, work = sim.instructions_retired / dt, \
-                sim.instructions_retired
-    rows.append(["functional", "instructions/s",
-                 "{:,.0f}".format(best), "{:,}".format(work)])
-    assert best > 0
+    def measure(simulator, engine):
+        best = work = 0
+        for _ in range(3):
+            mem = wl.build_memory(pcm)
+            if simulator == "functional":
+                sim = FunctionalSimulator(wl.program, mem, engine=engine)
+                t0 = time.perf_counter()
+                sim.run()
+                dt = time.perf_counter() - t0
+                ops, unit = sim.instructions_retired, "instructions/s"
+            else:
+                sim = PipelineSimulator(wl.program, mem, engine=engine)
+                t0 = time.perf_counter()
+                stats = sim.run()
+                dt = time.perf_counter() - t0
+                ops, unit = stats.cycles, "cycles/s"
+            if ops / dt > best:
+                best, work = ops / dt, ops
+        assert best > 0
+        return best, work, unit
 
-    best = work = 0
-    for _ in range(3):
-        sim = PipelineSimulator(wl.program, wl.build_memory(_PCM))
-        t0 = time.perf_counter()
-        stats = sim.run()
-        dt = time.perf_counter() - t0
-        if stats.cycles / dt > best:
-            best, work = stats.cycles / dt, stats.cycles
-    rows.append(["pipeline", "cycles/s",
-                 "{:,.0f}".format(best), "{:,}".format(work)])
-    assert best > 0
+    rates = {}
+    for simulator in ("functional", "pipeline"):
+        for engine in ("interp", "blocks"):
+            rate, work, unit = measure(simulator, engine)
+            rates[(simulator, engine)] = rate
+            speedup = rate / rates[(simulator, "interp")]
+            rows.append([simulator, engine, unit,
+                         "{:,.0f}".format(rate), "{:,}".format(work),
+                         "%.2fx" % speedup])
+            records.append({
+                "simulator": simulator, "engine": engine, "unit": unit,
+                "ops_per_sec": round(rate), "work_per_run": work,
+                "speedup_vs_interp": round(speedup, 3),
+            })
 
     save_table("sim_speed", render_table(
-        ["simulator", "unit", "ops/sec", "work per run"], rows,
+        ["simulator", "engine", "unit", "ops/sec", "work per run",
+         "speedup"], rows,
         "Simulator throughput (adpcm_enc, %d samples, best of 3)"
-        % len(_PCM)))
+        % len(pcm)))
+    payload = {
+        "benchmark": "sim_speed", "workload": "adpcm_enc",
+        "samples": len(pcm), "reps": 3, "results": records,
+    }
+    with open(os.path.join(RESULTS_DIR, "BENCH_sim_speed.json"),
+              "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,105 @@
+"""CI perf-smoke gate: blocks engine must beat interp on ADPCM.
+
+A coarse anti-regression check, not a tight threshold: it first proves
+compiled-vs-interpreted equivalence on a quick sweep (both simulators,
+with and without ASBR/bimodal), then races the two engines on the
+ADPCM workload and fails if the block-compiled engine is *slower* than
+the interpreted one.  Run as a plain script::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Exit status 0 = pass.  Kept out of the pytest tiers on purpose — wall
+clock assertions do not belong in the correctness suite.
+"""
+
+import dataclasses
+import sys
+import time
+
+from repro.asbr import ASBRUnit
+from repro.predictors import make_predictor
+from repro.profiling import BranchProfiler, select_branches
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import get_workload
+from repro.workloads.inputs import speech_like
+
+WORKLOAD = "adpcm_enc"
+EQUIV_SAMPLES = 96
+RACE_SAMPLES = 8000
+REPS = 3
+
+
+def check_equivalence() -> None:
+    wl = get_workload(WORKLOAD)
+    pcm = speech_like(EQUIV_SAMPLES, seed=11)
+    stream = wl.input_stream(pcm)
+
+    # functional: architectural state must match exactly
+    ref = FunctionalSimulator(wl.program, wl.build_memory(stream))
+    retired = ref.run()
+    sim = FunctionalSimulator(wl.program, wl.build_memory(stream),
+                              engine="blocks")
+    assert sim.run() == retired, "retired count diverged"
+    assert sim.regs.snapshot() == ref.regs.snapshot(), "registers diverged"
+    assert sim.memory.snapshot() == ref.memory.snapshot(), "memory diverged"
+
+    # pipeline: full PipelineStats must be bit-identical, across the
+    # plain, predicted and ASBR-folding configurations
+    profile = BranchProfiler().profile(wl.program, wl.build_memory(stream))
+    sel = select_branches(profile, bit_capacity=16, bdt_update="execute")
+
+    def one(pred_spec, with_asbr, engine):
+        asbr = (ASBRUnit.from_branch_infos(sel.infos, capacity=16,
+                                           bdt_update="execute")
+                if with_asbr else None)
+        sim = PipelineSimulator(wl.program, wl.build_memory(stream),
+                                predictor=make_predictor(pred_spec),
+                                asbr=asbr, engine=engine)
+        return dataclasses.asdict(sim.run())
+
+    for pred_spec, with_asbr in (("not-taken", False),
+                                 ("bimodal-512-512", False),
+                                 ("bimodal-512-512", True)):
+        a = one(pred_spec, with_asbr, "interp")
+        b = one(pred_spec, with_asbr, "blocks")
+        assert a == b, ("pipeline stats diverged under %s asbr=%s:\n%r\n%r"
+                        % (pred_spec, with_asbr, a, b))
+    print("equivalence: OK (%s, %d samples, 3 pipeline configs)"
+          % (WORKLOAD, EQUIV_SAMPLES))
+
+
+def race() -> int:
+    wl = get_workload(WORKLOAD)
+    pcm = speech_like(RACE_SAMPLES, seed=42)
+
+    def best_rate(engine):
+        best = 0.0
+        for _ in range(REPS):
+            sim = PipelineSimulator(wl.program, wl.build_memory(pcm),
+                                    engine=engine)
+            t0 = time.perf_counter()
+            stats = sim.run()
+            dt = time.perf_counter() - t0
+            best = max(best, stats.cycles / dt)
+        return best
+
+    interp = best_rate("interp")
+    blocks = best_rate("blocks")
+    ratio = blocks / interp
+    print("race: interp %.0f cycles/s, blocks %.0f cycles/s (%.2fx)"
+          % (interp, blocks, ratio))
+    if blocks < interp:
+        print("FAIL: blocks engine is slower than interp on %s"
+              % WORKLOAD, file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    check_equivalence()
+    return race()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

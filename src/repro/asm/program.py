@@ -42,6 +42,10 @@ class Program:
     #: these are potential indirect-jump targets, so the instruction
     #: scheduler must not move the instruction they name
     address_taken: Set[str] = field(default_factory=set)
+    #: mutation counter, bumped by :meth:`replace_instr` — identity-
+    #: keyed caches (interned decode tables, compiled block artifacts)
+    #: include it in their keys so in-place edits invalidate them
+    version: int = field(default=0, compare=False, repr=False)
 
     @property
     def text_end(self) -> int:
@@ -81,6 +85,7 @@ class Program:
         """
         self.instrs[index] = instr
         self.words[index] = encode(instr)
+        self.version += 1
 
     def disassemble(self) -> str:
         """Full text-segment disassembly with addresses and labels."""

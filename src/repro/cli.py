@@ -150,7 +150,7 @@ def cmd_asm(args) -> int:
 
 def cmd_run(args) -> int:
     prog = _load_program(args.file)
-    sim = FunctionalSimulator(prog)
+    sim = FunctionalSimulator(prog, engine=args.engine)
     n = sim.run(max_instructions=args.max_instructions)
     print("retired %d instructions" % n)
     for i in range(32):
@@ -182,7 +182,7 @@ def cmd_sim(args) -> int:
     asbr = _build_asbr(prog, args)
     tracer = _make_cli_tracer(args)
     sim = PipelineSimulator(prog, predictor=make_predictor(args.predictor),
-                            asbr=asbr, trace=tracer)
+                            asbr=asbr, trace=tracer, engine=args.engine)
     stats = sim.run()
     _report_run(args, stats, asbr, tracer, prog)
     return 0
@@ -229,7 +229,7 @@ def cmd_workload(args) -> int:
                                           bdt_update=args.bdt_update)
     tracer = _make_cli_tracer(args)
     result = wl.run_pipeline(pcm, predictor=make_predictor(args.predictor),
-                             asbr=asbr, trace=tracer)
+                             asbr=asbr, trace=tracer, engine=args.engine)
     ok = result.outputs == wl.golden_output(pcm)
     _report_run(args, result.stats, asbr, tracer, wl.program,
                 extra={"workload": wl.name, "outputs_match_golden": ok})
@@ -269,7 +269,7 @@ def cmd_experiments(args) -> int:
     from repro.experiments.common import ExperimentSetup
     cache_dir = None if args.no_cache else args.cache_dir
     setup = ExperimentSetup(n_samples=args.samples, workers=args.workers,
-                            cache_dir=cache_dir)
+                            cache_dir=cache_dir, engine=args.engine)
     drivers = {
         "fig6": fig6.main, "fig7": fig7.main, "fig9": fig9.main,
         "fig10": fig10.main, "fig11": fig11.main,
@@ -342,7 +342,8 @@ def cmd_dse_run(args) -> int:
                               journal=journal,
                               task_timeout=args.task_timeout,
                               retries=args.retries,
-                              tolerant=args.tolerant)
+                              tolerant=args.tolerant,
+                              engine=args.engine)
         results = search.run(evaluator, space)
     print("dse: %d points evaluated on %s (%d simulated, %d from "
           "journal) -> %s"
@@ -456,6 +457,15 @@ def cmd_faults_report(args) -> int:
     return 0
 
 
+def _add_engine_option(p) -> None:
+    p.add_argument("--engine", default="interp",
+                   choices=("interp", "blocks"),
+                   help="execution engine: interpreted fast path or "
+                        "the block-compiled translation cache "
+                        "(bit-identical; blocks falls back to interp "
+                        "when tracing/fault hooks are attached)")
+
+
 def _add_sim_options(p) -> None:
     p.add_argument("--predictor", default="bimodal-2048",
                    help="predictor spec (e.g. not-taken, bimodal-512-512, "
@@ -476,6 +486,7 @@ def _add_sim_options(p) -> None:
     p.add_argument("--json", action="store_true",
                    help="emit stats (and telemetry tables when "
                         "enabled) as JSON on stdout")
+    _add_engine_option(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -494,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="functional (golden) simulation")
     p.add_argument("file")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
+    _add_engine_option(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("sim", help="cycle-accurate pipeline simulation")
@@ -546,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "addressed; safe to delete at any time)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
+    _add_engine_option(p)
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser("dse", help="design-space exploration "
@@ -610,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="quarantine failing points (journaled as "
                          "failed, retried on --resume) instead of "
                          "aborting the exploration")
+    _add_engine_option(sp)
     _add_dse_output_options(sp)
     sp.set_defaults(fn=cmd_dse_run)
 

@@ -74,11 +74,15 @@ class Evaluator:
                  journal: Optional[Journal] = None,
                  task_timeout: Optional[float] = None,
                  retries: int = 0,
-                 tolerant: bool = False) -> None:
+                 tolerant: bool = False,
+                 engine: str = "interp") -> None:
         self.benchmark = benchmark
         self.n_samples = n_samples
         self.seed = seed
         self.workers = workers
+        #: execution engine for every simulated spec; never part of a
+        #: journal or cache key (engines are bit-identical)
+        self.engine = engine
         self.cache = cache
         self.journal = journal
         #: hardened-runner knobs (see :func:`repro.runner.map_specs`).
@@ -107,7 +111,8 @@ class Evaluator:
         """Reference-core stats at one input size (memoised)."""
         n = self.n_samples if n_samples is None else n_samples
         if n not in self._baselines:
-            spec = BASELINE_POINT.to_spec(self.benchmark, n, self.seed)
+            spec = BASELINE_POINT.to_spec(self.benchmark, n, self.seed,
+                                          engine=self.engine)
             (stats, metrics), = run_sweep([spec], workers=1,
                                           cache=self.cache,
                                           collect_metrics=True)
@@ -155,7 +160,8 @@ class Evaluator:
                         from_journal=False)
                 self.simulated += 1
         if pending:
-            specs = [p.to_spec(self.benchmark, n, self.seed)
+            specs = [p.to_spec(self.benchmark, n, self.seed,
+                               engine=self.engine)
                      for p in pending]
             results = run_sweep(specs, workers=self.workers,
                                 cache=self.cache, collect_metrics=True,

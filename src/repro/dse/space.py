@@ -83,15 +83,20 @@ class DesignPoint:
                                        self.bit_capacity, self.threshold)
 
     def to_spec(self, benchmark: str, n_samples: int,
-                seed: int) -> RunSpec:
-        """The :class:`RunSpec` evaluating this point on one workload."""
+                seed: int, engine: str = "interp") -> RunSpec:
+        """The :class:`RunSpec` evaluating this point on one workload.
+
+        ``engine`` selects the execution engine; it is not part of the
+        point's identity (results are bit-identical across engines).
+        """
         return RunSpec(benchmark=benchmark, n_samples=n_samples,
                        seed=seed, predictor_spec=self.predictor_spec,
                        with_asbr=self.with_asbr,
                        bit_capacity=self.bit_capacity,
                        bdt_update=self.bdt_update,
                        min_fold_fraction=self.min_fold_fraction,
-                       min_count=self.min_count)
+                       min_count=self.min_count,
+                       engine=engine)
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -107,7 +107,13 @@ def input_digest(values) -> str:
 
 
 def config_digest(spec: RunSpec) -> str:
-    """Digest of the run configuration (spec fields + cache version)."""
+    """Digest of the run configuration (spec fields + cache version).
+
+    ``spec.engine`` is deliberately *excluded*: the interpreted and
+    block-compiled engines are bit-identical (locked by the golden and
+    differential suites), so results cached under one engine are served
+    to runs requesting the other.
+    """
     return _sha("config", "v%d" % CACHE_VERSION, SELECTION_BASELINE,
                 spec.predictor_spec, str(spec.with_asbr),
                 str(spec.bit_capacity), spec.bdt_update,

@@ -48,6 +48,9 @@ class RunSpec:
     bdt_update: str = "execute"
     min_fold_fraction: float = 0.5
     min_count: int = 16
+    #: execution engine ("interp" | "blocks"); never part of the result
+    #: cache key — both engines are bit-identical by construction
+    engine: str = "interp"
 
 
 def _execute(spec: RunSpec, trace=None) -> PipelineStats:
@@ -86,7 +89,8 @@ def _execute(spec: RunSpec, trace=None) -> PipelineStats:
                                           bdt_update=spec.bdt_update)
     result = wl.run_pipeline(pcm,
                              predictor=make_predictor(spec.predictor_spec),
-                             asbr=asbr, trace=trace)
+                             asbr=asbr, trace=trace,
+                             engine=getattr(spec, "engine", "interp"))
     if result.outputs != wl.golden_output(pcm):
         raise AssertionError(
             "%s produced wrong output under %s (asbr=%s)"

@@ -6,8 +6,13 @@
   in-order single-issue pipeline with caches, a pluggable branch
   predictor, and optional ASBR branch folding; the measurement vehicle
   for every experiment in the paper.
+* :mod:`~repro.sim.blocks` — the block-compiled execution engine behind
+  ``engine="blocks"`` on both simulators: basic blocks are compiled to
+  specialized Python functions (content-addressed, memoised on disk),
+  bit-identical to the interpreted paths.
 """
 
+from repro.sim.blocks import BlockCache, CompiledBlocks, compile_blocks
 from repro.sim.functional import (
     FunctionalSimulator,
     SimulationError,
@@ -24,4 +29,7 @@ __all__ = [
     "PipelineConfig",
     "PipelineSimulator",
     "PipelineStats",
+    "BlockCache",
+    "CompiledBlocks",
+    "compile_blocks",
 ]

@@ -1,0 +1,1233 @@
+"""Block-compiled execution engine (a basic-block translation cache).
+
+The decoded-dispatch fast paths still pay one Python-level indirect call
+per retired instruction (functional) or per occupied stage per cycle
+(pipeline).  This module removes that floor the way dynamic binary
+translators do: straight-line regions are compiled *once per program*
+into specialized Python functions, so the per-instruction work collapses
+into consecutive statements inside one frame.
+
+Functional engine
+-----------------
+:func:`discover_leaders` finds basic-block leaders (program entry,
+branch targets, branch/``jal`` fall-throughs).  For each leader,
+:func:`generate_source` emits one function containing the whole
+*superblock*: straight-line code is inlined through unconditional
+``j``/``jal`` transfers and across fall-through leader boundaries up to
+:data:`CHAIN_CAP` instructions.  Dispatch is *threaded*: every generated
+function returns the next block's function object directly (the
+functions are siblings in one ``bind()`` scope, so the references are
+closure cells — no table lookup between blocks), and the dispatcher
+loop is three lines.  Exits that cannot be threaded (indirect jumps to
+unknown targets, halt, running off text) are reported through a small
+shared list ``S``:
+
+``S[0]``
+    progress index *within* the current block, written before every
+    memory access — the only statements that can raise — so a trap
+    handler can reconstruct the exact architectural PC and retire count.
+``S[1]``/``S[3]``
+    exit reason (1 = halt retired, 2 = leave the fast path) and exit PC.
+``S[2]``
+    cumulative retired-instruction count; each block adds its length
+    right before its terminator.
+
+Bit-identity with the interpreted loop — including mid-block traps,
+``max_instructions`` exhaustion and out-of-text errors — is the whole
+point: the generated statements replicate the execution plans of
+:class:`~repro.sim.functional.FunctionalSimulator` expression by
+expression, and a *budget margin* keeps the fast loop from ever running
+past the instruction budget (the precise tail is single-stepped on the
+always-present plans).  ``tests/test_differential_random.py``,
+``tests/test_stats_golden.py`` and ``tests/test_blocks_engine.py``
+enforce the equivalence.
+
+Pipeline engine
+---------------
+:func:`run_pipeline_blocks` is a statement-for-statement transcription
+of ``PipelineSimulator.tick()`` into one monolithic loop: all latch and
+stats state lives in locals, the EX dispatch runs on precomputed integer
+kind codes (``_Decoded.exk``), hazard checks use register bitmasks, and
+commit/squash recycle their slots through a free list so the steady
+state allocates nothing.  Cycle counts stay bit-identical (the golden
+locks run against both engines).
+
+Caching
+-------
+Generated sources are memoized per process keyed on the program object
+(`id` + mutation ``version``) and content-addressed on disk by
+``program_digest`` using the same envelope discipline as
+:class:`repro.runner.cache.ResultCache` (version field, sha256 payload
+checksum verified on read, atomic temp-file replace, corrupt entries
+dropped) — sweep workers compile each workload once per machine, not
+once per RunSpec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.alu import MASK32, _op_div, _op_rem, _sra, to_signed
+from repro.isa.opcodes import Kind
+from repro.sim.functional import SimulationError
+
+#: bump when the generated code's shape or semantics change — stale
+#: on-disk artifacts are ignored, exactly like ResultCache entries
+BLOCKS_VERSION = 1
+
+#: superblock length cap: chains inline through unconditional transfers
+#: and fall-through leaders until they hit control flow or this many
+#: instructions.  Also the budget margin of the functional dispatcher.
+CHAIN_CAP = 32
+
+_LOAD_SIZE = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+_STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4}
+
+# condition-expression templates; same unsigned tests as
+# repro.isa.alu.ZERO_TESTS_U (bit 31 set <=> negative)
+_ZTEST_FMT = {
+    "==0": "%s == 0",
+    "!=0": "%s != 0",
+    "<0": "%s >= 2147483648",
+    "<=0": "%s == 0 or %s >= 2147483648",
+    ">0": "0 < %s < 2147483648",
+    ">=0": "%s < 2147483648",
+}
+
+
+def _r(reg: int) -> str:
+    """Operand expression for a register read (r0 is hardwired zero)."""
+    return "0" if reg == 0 else "r[%d]" % reg
+
+
+def _alu_expr(op: str, a: str, b: str) -> str:
+    """Expression computing ALU ``op`` on operand expressions ``a``/``b``.
+
+    Must be value-equivalent to ``repro.isa.alu._ALU_OPS[op](a, b)`` —
+    the differential suite compares final register files bit for bit.
+    """
+    if op in ("add", "addu"):
+        return "(%s + %s) & 4294967295" % (a, b)
+    if op in ("sub", "subu"):
+        return "(%s - %s) & 4294967295" % (a, b)
+    if op == "and":
+        return "%s & %s" % (a, b)
+    if op == "or":
+        return "%s | %s" % (a, b)
+    if op == "xor":
+        return "%s ^ %s" % (a, b)
+    if op == "nor":
+        return "~(%s | %s) & 4294967295" % (a, b)
+    if op == "slt":
+        # xor-with-bias maps signed order onto unsigned order, avoiding
+        # two to_signed() calls; equivalent to to_signed(a) < to_signed(b)
+        return ("1 if ((%s & 4294967295) ^ 2147483648)"
+                " < ((%s & 4294967295) ^ 2147483648) else 0" % (a, b))
+    if op == "sltu":
+        return "1 if (%s & 4294967295) < (%s & 4294967295) else 0" % (a, b)
+    if op == "sll":
+        return "((%s) << (%s & 31)) & 4294967295" % (a, b)
+    if op == "srl":
+        return "((%s) & 4294967295) >> (%s & 31)" % (a, b)
+    if op == "sra":
+        return "_sra(%s, %s & 31)" % (a, b)
+    if op == "mul":
+        return "(_sgn(%s) * _sgn(%s)) & 4294967295" % (a, b)
+    if op == "div":
+        return "_div(%s, %s)" % (a, b)
+    if op == "rem":
+        return "_rem(%s, %s)" % (a, b)
+    raise SimulationError("unhandled ALU op %r" % op)  # pragma: no cover
+
+
+def discover_leaders(program) -> Set[int]:
+    """Text indices that start a basic block.
+
+    Leaders: index 0, the entry point, every in-text branch/jump target,
+    and the fall-through successor of each conditional branch and each
+    ``jal`` (the return point).  Indirect-jump targets are unknown
+    statically; the dispatcher single-steps until it rejoins a leader.
+    """
+    instrs = program.instrs
+    n = len(instrs)
+    base = program.text_base
+    leaders: Set[int] = set()
+    if n == 0:
+        return leaders
+    leaders.add(0)
+    if program.entry is not None:
+        i = (program.entry - base) >> 2
+        if program.entry % 4 == 0 and 0 <= i < n:
+            leaders.add(i)
+
+    def add_target(t: int) -> None:
+        ti = (t - base) >> 2
+        if t % 4 == 0 and 0 <= ti < n:
+            leaders.add(ti)
+
+    for i, instr in enumerate(instrs):
+        k = instr.spec.kind
+        pc = base + 4 * i
+        if k is Kind.BRANCH_CMP or k is Kind.BRANCH_Z:
+            add_target(instr.branch_target(pc))
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif k is Kind.JUMP:
+            add_target(instr.jump_target(pc))
+        elif k is Kind.JAL:
+            add_target(instr.jump_target(pc))
+            if i + 1 < n:
+                leaders.add(i + 1)
+    return leaders
+
+
+def _emit_straight(body: List[str], instr, pc: int, j: int) -> None:
+    """Statements for one non-control instruction (plan-equivalent)."""
+    spec = instr.spec
+    k = spec.kind
+    op = instr.op
+    if k is Kind.ALU_RRR:
+        rd = instr.rd
+        if rd:      # rd == 0: write discarded; ALU ops cannot trap
+            body.append("r[%d] = %s" % (
+                rd, _alu_expr(spec.alu_op, _r(instr.rs), _r(instr.rt))))
+        return
+    if k is Kind.SHIFT_I:
+        rd = instr.rd
+        if rd:
+            body.append("r[%d] = %s" % (
+                rd, _alu_expr(spec.alu_op, _r(instr.rs), repr(instr.shamt))))
+        return
+    if k is Kind.ALU_RRI:
+        rt = instr.rt
+        if rt:
+            body.append("r[%d] = %s" % (
+                rt, _alu_expr(spec.alu_op, _r(instr.rs), repr(instr.imm))))
+        return
+    if k is Kind.LUI:
+        rt = instr.rt
+        if rt:
+            body.append("r[%d] = %d" % (rt, (instr.imm << 16) & MASK32))
+        return
+    if k is Kind.LOAD:
+        rs, rt = instr.rs, instr.rt
+        size = _LOAD_SIZE[op]
+        addr = ("%d" % (instr.imm & MASK32) if rs == 0
+                else "(r[%d] + %d) & 4294967295" % (rs, instr.imm))
+        body.append("S[0] = %d" % j)    # trap point: j instrs completed
+        if rt == 0:
+            # the access (and any alignment trap) still happens
+            body.append("read(%s, %d)" % (addr, size))
+        elif op == "lw":
+            body.append("r[%d] = read(%s, 4) & 4294967295" % (rt, addr))
+        elif op == "lbu":
+            body.append("r[%d] = read(%s, 1) & 255" % (rt, addr))
+        elif op == "lhu":
+            body.append("r[%d] = read(%s, 2) & 65535" % (rt, addr))
+        elif op == "lb":
+            body.append("v = read(%s, 1) & 255" % addr)
+            body.append("r[%d] = (v - 256) & 4294967295 if v & 128 else v"
+                        % rt)
+        else:   # lh
+            body.append("v = read(%s, 2) & 65535" % addr)
+            body.append("r[%d] = (v - 65536) & 4294967295 if v & 32768"
+                        " else v" % rt)
+        return
+    if k is Kind.STORE:
+        rs = instr.rs
+        addr = ("%d" % (instr.imm & MASK32) if rs == 0
+                else "(r[%d] + %d) & 4294967295" % (rs, instr.imm))
+        body.append("S[0] = %d" % j)
+        body.append("write(%s, %s, %d)" % (addr, _r(instr.rt),
+                                           _STORE_SIZE[op]))
+        return
+    if k is Kind.CTL:
+        body.append("ctl(%d)" % instr.imm)
+        return
+    raise SimulationError("unhandled kind %s" % k)  # pragma: no cover
+
+
+def _compile_block(program, leaders: Set[int], L: int
+                   ) -> Tuple[List[str], Tuple[int, ...]]:
+    """Body lines + per-slot PCs for the superblock starting at ``L``."""
+    instrs = program.instrs
+    n = len(instrs)
+    base = program.text_base
+
+    def goto(pc: int) -> List[str]:
+        """Thread to the block at ``pc``, or leave the fast path."""
+        if pc % 4 == 0:
+            i = (pc - base) >> 2
+            if 0 <= i < n and i in leaders:
+                return ["return b%d" % i]
+        return ["S[1] = 2", "S[3] = %d" % pc, "return None"]
+
+    body: List[str] = []
+    pcs: List[int] = []
+    idx = L
+    while True:
+        if idx >= n:
+            # fell off the end of text: the dispatcher reproduces the
+            # interpreter's canonical out-of-text error
+            term = ["S[1] = 2", "S[3] = %d" % (base + 4 * idx),
+                    "return None"]
+            break
+        pc = base + 4 * idx
+        if pcs and len(pcs) >= CHAIN_CAP:
+            term = goto(pc)
+            break
+        instr = instrs[idx]
+        k = instr.spec.kind
+        pc4 = (pc + 4) & MASK32
+
+        if k is Kind.BRANCH_CMP or k is Kind.BRANCH_Z:
+            pcs.append(pc)
+            if k is Kind.BRANCH_CMP:
+                cmp_op = "==" if instr.op == "beq" else "!="
+                cond = "%s %s %s" % (_r(instr.rs), cmp_op, _r(instr.rt))
+            else:
+                fmt = _ZTEST_FMT[instr.spec.condition.value]
+                a = _r(instr.rs)
+                cond = fmt % ((a,) * fmt.count("%s"))
+            taken = goto(instr.branch_target(pc))
+            fall = goto(pc4)
+            if len(taken) == 1 and len(fall) == 1:
+                # both arms thread: fold into one conditional return
+                term = ["%s if %s else %s"
+                        % (taken[0], cond, fall[0].replace("return ", ""))]
+            else:
+                term = ["if %s:" % cond] \
+                    + ["    " + ln for ln in taken] + fall
+            break
+        if k is Kind.JUMP or k is Kind.JAL:
+            pcs.append(pc)
+            if k is Kind.JAL:
+                body.append("r[31] = %d" % pc4)
+            t = instr.jump_target(pc)
+            ti = (t - base) >> 2
+            if t % 4 == 0 and 0 <= ti < n and len(pcs) < CHAIN_CAP:
+                idx = ti        # inline straight through the transfer
+                continue
+            term = goto(t)
+            break
+        if k is Kind.JR or k is Kind.JALR:
+            pcs.append(pc)
+            if k is Kind.JALR and instr.rd:
+                # write before read: jalr rX, rX returns to PC+4
+                body.append("r[%d] = %d" % (instr.rd, pc4))
+            rs = instr.rs
+            if rs == 0:
+                term = ["S[1] = 2", "S[3] = 0", "return None"]
+            else:
+                term = ["f = D.get(r[%d])" % rs,
+                        "if f is None:",
+                        "    S[1] = 2",
+                        "    S[3] = r[%d]" % rs,
+                        "    return None",
+                        "return f"]
+            break
+        if k is Kind.HALT:
+            pcs.append(pc)
+            term = ["S[1] = 1", "S[3] = %d" % pc4, "return None"]
+            break
+
+        pcs.append(pc)
+        _emit_straight(body, instr, pc, len(pcs) - 1)
+        idx += 1
+
+    body.append("S[2] += %d" % len(pcs))
+    body.extend(term)
+    return body, tuple(pcs)
+
+
+def generate_source(program) -> str:
+    """The complete generated module source for ``program``.
+
+    Layout: one ``bind(r, read, write, ctl, S, D)`` function whose body
+    defines one sibling function per leader (so inter-block references
+    are closure cells shared through ``bind``'s scope) and finally fills
+    the pc -> function dispatch dict ``D``; plus a ``META`` literal
+    mapping each leader index to ``(block_length, per_slot_pcs)``.
+    """
+    base = program.text_base
+    leaders = discover_leaders(program)
+    order = sorted(leaders)
+    meta: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+    out: List[str] = [
+        "# generated by repro.sim.blocks v%d -- do not edit"
+        % BLOCKS_VERSION,
+        "def bind(r, read, write, ctl, S, D):",
+    ]
+    for L in order:
+        body, pcs = _compile_block(program, leaders, L)
+        meta[L] = (len(pcs), pcs)
+        out.append("    def b%d():" % L)
+        for line in body:
+            out.append("        " + line)
+    out.append("    D.update({")
+    for L in order:
+        out.append("        %d: b%d," % (base + 4 * L, L))
+    out.append("    })")
+    out.append("    return D")
+    out.append("META = %r" % (meta,))
+    return "\n".join(out) + "\n"
+
+
+# ======================================================================
+# compiled artifacts and their caches
+# ======================================================================
+class BoundBlocks:
+    """One program's compiled blocks bound to one simulator's state."""
+
+    __slots__ = ("D", "pc_of", "pcs_of", "S", "max_len")
+
+    def __init__(self, D, pc_of, pcs_of, S, max_len):
+        self.D = D              # pc -> block function
+        self.pc_of = pc_of      # block function -> entry pc
+        self.pcs_of = pcs_of    # block function -> per-slot pcs
+        self.S = S              # the shared exit/progress list
+        self.max_len = max_len  # longest block (the budget margin)
+
+
+class CompiledBlocks:
+    """The exec'd translation of one program (shareable, stateless)."""
+
+    __slots__ = ("source", "namespace", "max_len", "program")
+
+    def __init__(self, source: str, program) -> None:
+        self.source = source
+        self.program = program   # strong ref keeps id(program) stable
+        g = {"_sra": _sra, "_div": _op_div, "_rem": _op_rem,
+             "_sgn": to_signed}
+        exec(compile(source, "<repro.sim.blocks>", "exec"), g)
+        self.namespace = g
+        self.max_len = max(
+            (m[0] for m in g["META"].values()), default=1) or 1
+
+    def bind(self, regs, read, write, ctl) -> BoundBlocks:
+        """Instantiate the blocks against one simulator's state."""
+        S = [0, 0, 0, 0]
+        D: Dict[int, object] = {}
+        self.namespace["bind"](regs, read, write, ctl, S, D)
+        base = self.program.text_base
+        pc_of = {}
+        pcs_of = {}
+        for idx, (_length, pcs) in self.namespace["META"].items():
+            fn = D[base + 4 * idx]
+            pc_of[fn] = base + 4 * idx
+            pcs_of[fn] = pcs
+        return BoundBlocks(D, pc_of, pcs_of, S, self.max_len)
+
+
+class BlockCache:
+    """On-disk store of generated sources, content-addressed by program.
+
+    Same envelope discipline as :class:`repro.runner.cache.ResultCache`:
+    a version field, a sha256 checksum of the payload verified on read,
+    atomic temp-file-then-replace writes, and corrupt or stale entries
+    silently dropped (the source is regenerated).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, program) -> str:
+        from repro.runner.cache import _sha, program_digest
+        key = _sha("blocks", "v%d" % BLOCKS_VERSION,
+                   program_digest(program))
+        return os.path.join(self.root, key + ".blocks.json")
+
+    def get(self, program) -> Optional[str]:
+        path = self._path(program)
+        try:
+            with open(path, "r") as f:
+                entry = json.load(f)
+            if entry["version"] != BLOCKS_VERSION:
+                raise ValueError("stale blocks version")
+            source = entry["source"]
+            digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            if digest != entry["sha256"]:
+                raise ValueError("checksum mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (KeyError, TypeError, ValueError, OSError):
+            try:
+                os.remove(path)     # corrupt: drop and regenerate
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return source
+
+    def put(self, program, source: str) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(program)
+        entry = {
+            "version": BLOCKS_VERSION,
+            "sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            "source": source,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+
+#: per-process translation memo: (id(program), mutation version) ->
+#: CompiledBlocks.  The artifact holds a strong program reference, so a
+#: live entry's id can never be reused by a different program.
+_MEMO: Dict[Tuple[int, int], CompiledBlocks] = {}
+_MEMO_CAP = 128
+
+
+def compile_blocks(program, cache_dir: Optional[str] = None
+                   ) -> CompiledBlocks:
+    """Translate ``program``, consulting the process and disk caches.
+
+    ``cache_dir`` defaults to ``$REPRO_BLOCKS_CACHE`` (unset: no disk
+    cache).  Mutating a program through ``replace_instr`` bumps its
+    ``version`` and naturally invalidates the process memo; the disk key
+    is the content digest, so it never goes stale.
+    """
+    key = (id(program), getattr(program, "version", 0))
+    hit = _MEMO.get(key)
+    if hit is not None and hit.program is program:
+        return hit
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_BLOCKS_CACHE") or None
+    disk = BlockCache(cache_dir) if cache_dir else None
+    source = disk.get(program) if disk is not None else None
+    if source is None:
+        source = generate_source(program)
+        if disk is not None:
+            disk.put(program, source)
+    art = CompiledBlocks(source, program)
+    if len(_MEMO) >= _MEMO_CAP:
+        _MEMO.clear()
+    _MEMO[key] = art
+    return art
+
+
+def bind_functional(sim, cache_dir: Optional[str] = None) -> BoundBlocks:
+    """Compile ``sim.program`` and bind it to ``sim``'s live state."""
+    art = compile_blocks(sim.program, cache_dir)
+    return art.bind(sim.regs.raw, sim.memory.read, sim.memory.write,
+                    sim.ctl_writes.append)
+
+
+# ======================================================================
+# functional dispatcher
+# ======================================================================
+def run_functional_blocks(sim, max_instructions: int) -> int:
+    """Block-dispatch twin of ``FunctionalSimulator.run`` (no observer).
+
+    The fast loop only runs a block while at least ``max_len`` budget
+    remains, so a block can never overrun ``max_instructions``; the
+    precise tail (and any stretch between an indirect jump and the next
+    leader) single-steps on the interpreter's execution plans, which
+    keeps trap PCs, retire counts and error messages bit-identical.
+    """
+    b = sim._blocks
+    D_get = b.D.get
+    pc_of = b.pc_of
+    pcs_of = b.pcs_of
+    S = b.S
+    S[1] = 0
+    S[2] = 0
+    margin = max_instructions - b.max_len
+    plans = sim._plans
+    program = sim.program
+    base = program.text_base
+    n = len(plans)
+    pc = sim.pc
+    try:
+        while not sim.halted:
+            fn = D_get(pc)
+            if fn is not None and S[2] <= margin:
+                try:
+                    while True:
+                        nxt = fn()
+                        if nxt is None:
+                            break
+                        fn = nxt
+                        if S[2] > margin:
+                            break
+                except BaseException:
+                    # only memory accesses raise, and each is preceded
+                    # by an S[0] progress write: S[0] slots of the
+                    # faulting block retired before pcs[S[0]] trapped
+                    S[2] += S[0]
+                    sim.pc = pcs_of[fn][S[0]]
+                    raise
+                if nxt is None:
+                    if S[1] == 1:          # halt retired inside a block
+                        sim.halted = True
+                        sim.pc = S[3]
+                        break
+                    pc = S[3]              # left the fast path
+                    continue
+                pc = pc_of[fn]             # budget margin reached
+                continue
+            # -- precise path: one interpreted step on the plans --
+            sim.pc = pc
+            if S[2] >= max_instructions:
+                raise SimulationError(
+                    "instruction budget (%d) exhausted at pc=0x%x"
+                    % (max_instructions, pc))
+            i = (pc - base) >> 2
+            if pc & 3 or not 0 <= i < n:
+                program.instr_at(pc)       # raises the canonical error
+            pc = plans[i]()
+            S[2] += 1
+            sim.pc = pc
+    finally:
+        sim.instructions_retired += S[2]
+    return S[2]
+
+
+# ======================================================================
+# pipeline fast loop
+# ======================================================================
+def run_pipeline_blocks(sim):
+    """Monolithic fast twin of ``PipelineSimulator.run``/``tick``.
+
+    A statement-for-statement transcription of ``tick()`` with every
+    latch, flag and counter held in locals for the whole run, the EX
+    dispatch inlined on ``_Decoded`` integer codes (``exk`` for the
+    stage, ``aluk``/``condk``/``lfk`` for the hot ALU ops, zero-tests
+    and load fixups), the cache access and the not-taken/bimodal
+    predictors inlined with their state hoisted into locals, operand
+    forwarding and squash/redirect inlined, and retired/squashed slots
+    recycled through a free list.  State (latches, stats, cache
+    counters) is written back in ``finally`` so budget errors and
+    telemetry-free inspection see the same simulator the interpreted
+    loop would leave behind.  Bit-identical timing is locked by the
+    golden-stats suite.
+    """
+    from repro.predictors.bimodal import BimodalPredictor
+    from repro.predictors.simple import NotTakenPredictor
+    from repro.sim.pipeline import _Slot
+
+    stats = sim.stats
+    if sim.halted:
+        return stats
+    max_cycles = sim.config.max_cycles
+    asbr = sim.asbr
+    predictor = sim.predictor
+    pred_predict = predictor.predict
+    pred_update = predictor.update
+    # specialize the two predictors every paper configuration uses;
+    # exact-type checks so subclasses keep the generic call path
+    if type(predictor) is NotTakenPredictor:
+        pmode = 1
+        counters = p_mask = btb_tags = btb_targets = b_mask = None
+    elif type(predictor) is BimodalPredictor:
+        pmode = 2
+        counters = predictor._counters
+        p_mask = predictor._mask
+        btb = predictor.btb
+        btb_tags = btb._tags
+        btb_targets = btb._targets
+        b_mask = btb._mask
+    else:
+        pmode = 0
+        counters = p_mask = btb_tags = btb_targets = b_mask = None
+    regs = sim._reglist
+    mem_read = sim._mem_read
+    mem_write = sim._mem_write
+    dec = sim._dec
+    base = sim._text_base
+    end = sim._text_end
+    bdt_commit = sim._bdt_commit
+    rel_mem = sim._rel_mem
+    rel_ex = sim._rel_ex
+    pending = sim._pending_releases     # list identity is stable
+    foreign_decode = sim._foreign_decode
+    if asbr is not None:
+        try_fold = asbr.try_fold
+        acquire = asbr.producer_decoded
+        release = asbr.producer_value
+        cancel = asbr.producer_squashed
+        ctl_write = asbr.control_write
+    else:
+        try_fold = acquire = release = cancel = ctl_write = None
+
+    # cache geometry and statistics, hoisted (Cache.access inlined below)
+    icache = sim.icache
+    ic_sets = icache._sets
+    ic_shift = icache._block_shift
+    ic_smask = icache._set_mask
+    ic_assoc = icache.config.assoc
+    ic_pen = icache.config.miss_penalty
+    ic_wbpen = icache.config.writeback_penalty
+    ic_stats = icache.stats
+    ic_acc = ic_stats.accesses
+    ic_miss = ic_stats.misses
+    ic_wbk = ic_stats.writebacks
+    dcache = sim.dcache
+    dc_sets = dcache._sets
+    dc_shift = dcache._block_shift
+    dc_smask = dcache._set_mask
+    dc_assoc = dcache.config.assoc
+    dc_pen = dcache.config.miss_penalty
+    dc_wbpen = dcache.config.writeback_penalty
+    dc_stats = dcache.stats
+    dc_acc = dc_stats.accesses
+    dc_miss = dc_stats.misses
+    dc_wbk = dc_stats.writebacks
+
+    # latches and fetch state
+    s_if = sim.s_if
+    if_wait = sim.if_wait
+    s_id = sim.s_id
+    s_ex = sim.s_ex
+    s_mem = sim.s_mem
+    s_wb = sim.s_wb
+    fetch_pc = sim.fetch_pc
+    fetch_halted = sim._fetch_halted
+    suppress = sim._suppress_fetch
+    halted = False
+
+    # statistics counters
+    cycles = stats.cycles
+    committed = stats.committed
+    fetched = stats.fetched
+    squashed = stats.squashed
+    branches = stats.branches
+    mispredicts = stats.branch_mispredicts
+    folds = stats.folds_committed
+    uncond_folds = stats.uncond_folds_committed
+    lookups = stats.predictor_lookups
+    jump_bubbles = stats.jump_bubbles
+    jr_redirects = stats.jr_redirects
+    load_use = stats.load_use_stalls
+    istalls = stats.icache_miss_stalls
+    dstalls = stats.dcache_miss_stalls
+
+    pool = []       # retired/squashed slots, recycled at fetch
+
+    try:
+        while True:
+            if cycles >= max_cycles:
+                raise SimulationError(
+                    "cycle budget (%d) exhausted; fetch_pc=0x%x"
+                    % (max_cycles, fetch_pc))
+            cycles += 1
+            suppress = False
+
+            # ---- WB: commit ----------------------------------------
+            wb = s_wb
+            if wb is not None:
+                d = wb.d
+                dest = d.dest
+                if dest is not None and dest != 0:
+                    regs[dest] = wb.result & 4294967295
+                    if wb.acquired_reg is not None and bdt_commit:
+                        pending.append((dest, wb.result))
+                if wb.folded:
+                    folds += 1
+                if wb.uncond_folded:
+                    uncond_folds += 1
+                committed += 1
+                s_wb = None
+                if d.is_halt:
+                    # nothing younger may have architectural effect —
+                    # and pending releases die with the wrong path
+                    halted = True
+                    break
+                if d.is_ctl and asbr is not None:
+                    ctl_write(d.imm)
+                pool.append(wb)
+
+            # ---- MEM: first-cycle work -----------------------------
+            mem = s_mem
+            if mem is not None and not mem.mem_done:
+                d = mem.d
+                mem.mem_done = True
+                if d.is_load:
+                    addr = mem.mem_addr
+                    v = mem_read(addr, d.size)
+                    lf = d.lfk
+                    if lf == 1:                     # lw
+                        mem.result = v & 4294967295
+                    elif lf == 2:                   # lbu
+                        mem.result = v & 255
+                    elif lf == 3:                   # lhu
+                        mem.result = v & 65535
+                    elif lf == 4:                   # lb
+                        v &= 255
+                        mem.result = ((v - 256) & 4294967295
+                                      if v & 128 else v)
+                    elif lf == 5:                   # lh
+                        v &= 65535
+                        mem.result = ((v - 65536) & 4294967295
+                                      if v & 32768 else v)
+                    else:
+                        mem.result = d.load_fix(v)
+                    tag = addr >> dc_shift
+                    way = dc_sets[tag & dc_smask]
+                    dc_acc += 1
+                    if tag in way:
+                        way.move_to_end(tag)
+                        mem.mem_wait = 0
+                    else:
+                        dc_miss += 1
+                        extra = dc_pen
+                        if len(way) >= dc_assoc:
+                            _victim, dirty = way.popitem(last=False)
+                            if dirty:
+                                dc_wbk += 1
+                                extra += dc_wbpen
+                        way[tag] = False
+                        mem.mem_wait = extra
+                        dstalls += extra
+                elif d.is_store:
+                    addr = mem.mem_addr
+                    mem_write(addr, mem.store_val, d.size)
+                    tag = addr >> dc_shift
+                    way = dc_sets[tag & dc_smask]
+                    dc_acc += 1
+                    if tag in way:
+                        way.move_to_end(tag)
+                        way[tag] = True
+                        mem.mem_wait = 0
+                    else:
+                        dc_miss += 1
+                        extra = dc_pen
+                        if len(way) >= dc_assoc:
+                            _victim, dirty = way.popitem(last=False)
+                            if dirty:
+                                dc_wbk += 1
+                                extra += dc_wbpen
+                        way[tag] = True
+                        mem.mem_wait = extra
+                        dstalls += extra
+
+            # ---- EX: first-cycle work (may squash and redirect) ----
+            ex = s_ex
+            if ex is not None and not ex.ex_done:
+                ex.ex_done = True
+                d = ex.d
+                k = d.exk
+                if 1 <= k <= 3:                     # ALU_RRR/SHIFT_I/ALU_RRI
+                    rr = d.rs
+                    if rr == 0:
+                        a = 0
+                    elif mem is not None and mem.d.dest == rr:
+                        a = mem.result
+                    else:
+                        a = regs[rr]
+                    if k == 3:
+                        b2 = d.imm
+                    elif k == 2:
+                        b2 = d.shamt
+                    else:
+                        rr = d.rt
+                        if rr == 0:
+                            b2 = 0
+                        elif mem is not None and mem.d.dest == rr:
+                            b2 = mem.result
+                        else:
+                            b2 = regs[rr]
+                    ak = d.aluk
+                    if ak == 1:                     # add/addu
+                        ex.result = (a + b2) & 4294967295
+                    elif ak == 3:                   # and
+                        ex.result = a & b2
+                    elif ak == 4:                   # or
+                        ex.result = a | b2
+                    elif ak == 2:                   # sub/subu
+                        ex.result = (a - b2) & 4294967295
+                    elif ak == 8:                   # sll
+                        ex.result = (a << (b2 & 31)) & 4294967295
+                    elif ak == 9:                   # srl
+                        ex.result = (a & 4294967295) >> (b2 & 31)
+                    elif ak == 6:                   # slt (sign-bias trick)
+                        ex.result = (1 if ((a & 4294967295) ^ 2147483648)
+                                     < ((b2 & 4294967295) ^ 2147483648)
+                                     else 0)
+                    elif ak == 7:                   # sltu
+                        ex.result = (1 if (a & 4294967295)
+                                     < (b2 & 4294967295) else 0)
+                    elif ak == 5:                   # xor
+                        ex.result = a ^ b2
+                    else:                           # sra/mul/div/rem/nor
+                        ex.result = d.alu(a, b2)
+                elif k == 5:                        # LOAD
+                    rr = d.rs
+                    if rr == 0:
+                        a = 0
+                    elif mem is not None and mem.d.dest == rr:
+                        a = mem.result
+                    else:
+                        a = regs[rr]
+                    ex.mem_addr = (a + d.imm) & 4294967295
+                elif k == 8 or k == 7:              # BRANCH_Z / BRANCH_CMP
+                    rr = d.rs
+                    if rr == 0:
+                        a = 0
+                    elif mem is not None and mem.d.dest == rr:
+                        a = mem.result
+                    else:
+                        a = regs[rr]
+                    if k == 8:
+                        ck = d.condk
+                        if ck == 1:                 # ==0
+                            taken = a == 0
+                        elif ck == 2:               # !=0
+                            taken = a != 0
+                        elif ck == 3:               # <0
+                            taken = a >= 2147483648
+                        elif ck == 4:               # <=0
+                            taken = a == 0 or a >= 2147483648
+                        elif ck == 5:               # >0
+                            taken = 0 < a < 2147483648
+                        elif ck == 6:               # >=0
+                            taken = a < 2147483648
+                        else:
+                            taken = d.cond(a)
+                    else:
+                        rr = d.rt
+                        if rr == 0:
+                            bb = 0
+                        elif mem is not None and mem.d.dest == rr:
+                            bb = mem.result
+                        else:
+                            bb = regs[rr]
+                        taken = (a == bb) == d.eq_sense
+                    target = d.br_target
+                    actual = target if taken else d.pc4
+                    branches += 1
+                    if pmode == 2:                  # bimodal, inlined
+                        pp = ex.pc
+                        pi = (pp >> 2) & p_mask
+                        c = counters[pi]
+                        if taken:
+                            if c < 3:
+                                counters[pi] = c + 1
+                            bi = (pp >> 2) & b_mask
+                            btb_tags[bi] = pp
+                            btb_targets[bi] = target
+                        elif c > 0:
+                            counters[pi] = c - 1
+                    elif pmode == 0:
+                        pred_update(ex.pc, taken, target)
+                    # pmode == 1: not-taken update is a no-op
+                    if actual != ex.pred_next_pc:
+                        mispredicts += 1
+                        # EX redirect: squash the two younger stages
+                        sq = s_id
+                        if sq is not None:
+                            squashed += 1
+                            ar = sq.acquired_reg
+                            if ar is not None:
+                                cancel(ar)
+                                sq.acquired_reg = None
+                            pool.append(sq)
+                            s_id = None
+                        sq = s_if
+                        if sq is not None:
+                            squashed += 1
+                            ar = sq.acquired_reg
+                            if ar is not None:
+                                cancel(ar)
+                                sq.acquired_reg = None
+                            pool.append(sq)
+                            s_if = None
+                        if_wait = 0
+                        fetch_pc = actual
+                        suppress = True
+                        fetch_halted = False
+                elif k == 6:                        # STORE
+                    rr = d.rs
+                    if rr == 0:
+                        a = 0
+                    elif mem is not None and mem.d.dest == rr:
+                        a = mem.result
+                    else:
+                        a = regs[rr]
+                    rr = d.rt
+                    if rr == 0:
+                        bb = 0
+                    elif mem is not None and mem.d.dest == rr:
+                        bb = mem.result
+                    else:
+                        bb = regs[rr]
+                    ex.mem_addr = (a + d.imm) & 4294967295
+                    ex.store_val = bb
+                elif k == 4:                        # LUI
+                    ex.result = d.result_const
+                elif k == 9:                        # JAL
+                    ex.result = d.pc4
+                elif k == 10 or k == 11:            # JR / JALR
+                    if k == 11:
+                        ex.result = d.pc4
+                    rr = d.rs
+                    if rr == 0:
+                        a = 0
+                    elif mem is not None and mem.d.dest == rr:
+                        a = mem.result
+                    else:
+                        a = regs[rr]
+                    sq = s_id
+                    if sq is not None:
+                        squashed += 1
+                        ar = sq.acquired_reg
+                        if ar is not None:
+                            cancel(ar)
+                            sq.acquired_reg = None
+                        pool.append(sq)
+                        s_id = None
+                    sq = s_if
+                    if sq is not None:
+                        squashed += 1
+                        ar = sq.acquired_reg
+                        if ar is not None:
+                            cancel(ar)
+                            sq.acquired_reg = None
+                        pool.append(sq)
+                        s_if = None
+                    if_wait = 0
+                    fetch_pc = a
+                    suppress = True
+                    fetch_halted = False
+                    jr_redirects += 1
+                # else k == 0: JUMP/HALT/CTL — nothing to compute
+
+            # ---- ID: first-cycle work (jump redirect, BDT acquire) -
+            did = s_id
+            if did is not None and not did.id_done:
+                did.id_done = True
+                d = did.d
+                if asbr is not None:
+                    dest = d.dest
+                    if dest is not None and dest != 0:
+                        acquire(dest)
+                        did.acquired_reg = dest
+                if d.is_halt:
+                    fetch_halted = True
+                elif d.is_jump:
+                    sq = s_if
+                    if sq is not None:
+                        squashed += 1
+                        ar = sq.acquired_reg
+                        if ar is not None:
+                            cancel(ar)
+                            sq.acquired_reg = None
+                        pool.append(sq)
+                        s_if = None
+                    if_wait = 0
+                    fetch_pc = d.jump_target
+                    suppress = True
+                    jump_bubbles += 1
+
+            # ---- IF: start a new fetch -----------------------------
+            if s_if is None and not suppress and not fetch_halted:
+                pc = fetch_pc
+                if not (pc & 3) and base <= pc < end:
+                    d = dec[(pc - base) >> 2]
+                    tag = pc >> ic_shift
+                    way = ic_sets[tag & ic_smask]
+                    ic_acc += 1
+                    if tag in way:
+                        way.move_to_end(tag)
+                        if_wait = 0
+                    else:
+                        ic_miss += 1
+                        extra = ic_pen
+                        if len(way) >= ic_assoc:
+                            _victim, dirty = way.popitem(last=False)
+                            if dirty:
+                                ic_wbk += 1
+                                extra += ic_wbpen
+                        way[tag] = False
+                        if_wait = extra
+                        istalls += extra
+                    uf = d.uncond_fold
+                    if uf is not None:
+                        td, tpc, next_pc = uf
+                        if pool:
+                            slot = pool.pop()
+                            slot.d = td
+                            slot.pc = tpc
+                            slot.folded = False
+                            slot.mem_wait = 0
+                            slot.mem_done = False
+                            slot.ex_done = False
+                            slot.id_done = False
+                            slot.acquired_reg = None
+                        else:
+                            slot = _Slot(td, tpc)
+                        slot.uncond_folded = True
+                        s_if = slot
+                        fetched += 1
+                        fetch_pc = next_pc
+                    elif d.is_branch:
+                        fold = None
+                        if try_fold is not None:
+                            fold = try_fold(pc)
+                        if fold is not None:
+                            fd = foreign_decode(fold.instr, fold.instr_pc)
+                            if pool:
+                                slot = pool.pop()
+                                slot.d = fd
+                                slot.pc = fold.instr_pc
+                                slot.uncond_folded = False
+                                slot.mem_wait = 0
+                                slot.mem_done = False
+                                slot.ex_done = False
+                                slot.id_done = False
+                                slot.acquired_reg = None
+                            else:
+                                slot = _Slot(fd, fold.instr_pc)
+                            slot.folded = True
+                            s_if = slot
+                            fetched += 1
+                            fetch_pc = fold.next_pc
+                        else:
+                            lookups += 1
+                            if pmode == 2:          # bimodal, inlined
+                                if counters[(pc >> 2) & p_mask] >= 2:
+                                    bi = (pc >> 2) & b_mask
+                                    pt = (btb_targets[bi]
+                                          if btb_tags[bi] == pc else None)
+                                else:
+                                    pt = None
+                            elif pmode == 1:        # not-taken
+                                pt = None
+                            else:
+                                pred = pred_predict(pc)
+                                pt = (pred.target if pred.taken
+                                      and pred.target is not None else None)
+                            if pool:
+                                slot = pool.pop()
+                                slot.d = d
+                                slot.pc = pc
+                                slot.folded = False
+                                slot.uncond_folded = False
+                                slot.mem_wait = 0
+                                slot.mem_done = False
+                                slot.ex_done = False
+                                slot.id_done = False
+                                slot.acquired_reg = None
+                            else:
+                                slot = _Slot(d, pc)
+                            slot.pred_next_pc = pt if pt is not None else d.pc4
+                            s_if = slot
+                            fetched += 1
+                            fetch_pc = slot.pred_next_pc
+                    else:
+                        if pool:
+                            slot = pool.pop()
+                            slot.d = d
+                            slot.pc = pc
+                            slot.folded = False
+                            slot.uncond_folded = False
+                            slot.mem_wait = 0
+                            slot.mem_done = False
+                            slot.ex_done = False
+                            slot.id_done = False
+                            slot.acquired_reg = None
+                        else:
+                            slot = _Slot(d, pc)
+                        s_if = slot
+                        fetched += 1
+                        fetch_pc = d.pc4
+
+            # ---- advance latches downstream-first ------------------
+            # MEM -> WB
+            if mem is not None and mem.mem_done:
+                if mem.mem_wait > 0:
+                    mem.mem_wait -= 1
+                else:
+                    ar = mem.acquired_reg
+                    if ar is not None and (rel_mem
+                                           or (rel_ex and mem.d.is_load)):
+                        pending.append((ar, mem.result))
+                        mem.acquired_reg = None
+                    s_wb = mem
+                    s_mem = None
+
+            # EX -> MEM
+            if ex is not None and ex.ex_done and s_mem is None:
+                if rel_ex:
+                    ar = ex.acquired_reg
+                    if ar is not None and not ex.d.is_load:
+                        pending.append((ar, ex.result))
+                        ex.acquired_reg = None
+                s_mem = ex
+                s_ex = None
+
+            # ID -> EX (load-use interlock against this cycle's EX)
+            if did is not None and did.id_done and s_ex is None:
+                if ex is not None and ex.d.is_load:
+                    if ex.d.dest_mask & did.d.src_mask:
+                        load_use += 1
+                    else:
+                        s_ex = did
+                        s_id = None
+                else:
+                    s_ex = did
+                    s_id = None
+
+            # IF -> ID
+            if s_if is not None:
+                if if_wait > 0:
+                    if_wait -= 1
+                elif s_id is None:
+                    s_id = s_if
+                    s_if = None
+
+            # ---- apply deferred BDT releases -----------------------
+            if pending:
+                for reg, value in pending:
+                    release(reg, value)
+                pending.clear()  # noqa: B038 — shared-identity list
+    finally:
+        stats.cycles = cycles
+        stats.committed = committed
+        stats.fetched = fetched
+        stats.squashed = squashed
+        stats.branches = branches
+        stats.branch_mispredicts = mispredicts
+        stats.folds_committed = folds
+        stats.uncond_folds_committed = uncond_folds
+        stats.predictor_lookups = lookups
+        stats.jump_bubbles = jump_bubbles
+        stats.jr_redirects = jr_redirects
+        stats.load_use_stalls = load_use
+        stats.icache_miss_stalls = istalls
+        stats.dcache_miss_stalls = dstalls
+        ic_stats.accesses = ic_acc
+        ic_stats.misses = ic_miss
+        ic_stats.writebacks = ic_wbk
+        dc_stats.accesses = dc_acc
+        dc_stats.misses = dc_miss
+        dc_stats.writebacks = dc_wbk
+        sim.s_if = s_if
+        sim.if_wait = if_wait
+        sim.s_id = s_id
+        sim.s_ex = s_ex
+        sim.s_mem = s_mem
+        sim.s_wb = s_wb
+        sim.fetch_pc = fetch_pc
+        sim._fetch_halted = fetch_halted
+        sim._suppress_fetch = suppress
+        if halted:
+            sim.halted = True
+    return stats

@@ -75,10 +75,27 @@ class FunctionalSimulator:
         When omitted, a fresh memory is created and the program's data
         segment is loaded into it.  A private copy is NOT taken; pass
         ``memory.copy()`` if the caller wants to keep the original.
+    engine:
+        ``"interp"`` (default) runs the per-instruction plan loop;
+        ``"blocks"`` runs the block-compiled translation cache
+        (:mod:`repro.sim.blocks`) — bit-identical architectural state,
+        retire counts and errors, several times faster.  ``run`` falls
+        back to the interpreted loop whenever an observer or tracer is
+        attached (they need per-instruction visibility).
+    blocks_cache_dir:
+        optional directory for on-disk compiled-block artifacts
+        (defaults to ``$REPRO_BLOCKS_CACHE``; unset = no disk cache).
     """
 
     def __init__(self, program: Program,
-                 memory: Optional[MainMemory] = None) -> None:
+                 memory: Optional[MainMemory] = None,
+                 engine: str = "interp",
+                 blocks_cache_dir: Optional[str] = None) -> None:
+        if engine not in ("interp", "blocks"):
+            raise ValueError(
+                "unknown engine %r (expected 'interp' or 'blocks')"
+                % (engine,))
+        self.engine = engine
         self.program = program
         if memory is None:
             memory = MainMemory()
@@ -98,6 +115,15 @@ class FunctionalSimulator:
             self._compile(instr, program.pc_of(i))
             for i, instr in enumerate(program.instrs)
         ]
+        # block engine: compiled superblocks bound to this simulator's
+        # registers/memory.  The plans above stay — they are the precise
+        # single-step path for budget tails and indirect-jump misses.
+        self._blocks = None
+        if engine == "blocks":
+            from repro.sim import blocks as _blocks_mod
+            self._blocks = _blocks_mod.bind_functional(
+                self, blocks_cache_dir)
+            self._blocks_run = _blocks_mod.run_functional_blocks
 
     # ------------------------------------------------------------------
     # plan compilation (construction-time decode)
@@ -314,6 +340,11 @@ class FunctionalSimulator:
         if trace is not None:
             from repro.telemetry.tracer import retire_observer
             observer = retire_observer(trace, observer)
+        if observer is None and self._blocks is not None:
+            # block-compiled fast path (engine="blocks"); observers and
+            # tracers need per-instruction callbacks, so their presence
+            # falls back to the interpreted loop below
+            return self._blocks_run(self, max_instructions)
         plans = self._plans
         instrs = self.program.instrs
         base = self.program.text_base

@@ -125,12 +125,38 @@ class PipelineStats:
 class _Decoded:
     """One statically-decoded instruction at a fixed text address."""
 
-    __slots__ = ("instr", "pc", "pc4", "ex", "dest", "srcs",
+    __slots__ = ("instr", "pc", "pc4", "ex", "exk", "dest", "srcs",
+                 "src_mask", "dest_mask", "aluk", "condk", "lfk",
                  "is_load", "is_store", "is_branch", "is_halt", "is_ctl",
                  "is_jump", "rs", "rt", "imm", "shamt", "alu",
                  "result_const", "size", "load_fix",
                  "br_target", "cond", "eq_sense", "jump_target",
                  "uncond_fold")
+
+
+#: integer EX-dispatch codes mirroring the ``_ex_*`` handlers below; the
+#: block engine (repro.sim.blocks) branches on these in its monolithic
+#: loop — an if/elif on a small int beats an indirect call per stage
+EXK_NONE = 0        # JUMP / HALT / CTL: nothing to compute
+EXK_ALU_RRR = 1
+EXK_SHIFT_I = 2
+EXK_ALU_RRI = 3
+EXK_CONST = 4       # LUI
+EXK_LOAD = 5
+EXK_STORE = 6
+EXK_BRANCH_CMP = 7
+EXK_BRANCH_Z = 8
+EXK_JAL = 9
+EXK_JR = 10
+EXK_JALR = 11
+
+#: sub-dispatch codes letting the block engine inline the hot ALU
+#: operations, zero-tests and load fixups as plain expressions instead
+#: of indirect calls; 0 always means "call the generic callable"
+_ALU_CODE = {"add": 1, "addu": 1, "sub": 2, "subu": 2, "and": 3,
+             "or": 4, "xor": 5, "slt": 6, "sltu": 7, "sll": 8, "srl": 9}
+_COND_CODE = {"==0": 1, "!=0": 2, "<0": 3, "<=0": 4, ">0": 5, ">=0": 6}
+_LOAD_CODE = {"lw": 1, "lbu": 2, "lhu": 3, "lb": 4, "lh": 5}
 
 
 def _ex_alu_rrr(sim, slot, d):
@@ -211,6 +237,17 @@ def _decode(instr: Instruction, pc: int) -> _Decoded:
     d.pc4 = (pc + 4) & MASK32
     d.dest = instr.dest_reg
     d.srcs = tuple(instr.src_regs)
+    # register bitmasks: the block engine's hazard check is one AND
+    # (`dest_mask & src_mask`), equivalent to `dest in srcs` with the
+    # dest None/r0 guards folded in (r0 never sets a dest bit)
+    d.dest_mask = 1 << d.dest if d.dest is not None and d.dest != 0 else 0
+    mask = 0
+    for s in d.srcs:
+        mask |= 1 << s
+    d.src_mask = mask
+    d.aluk = 0
+    d.condk = 0
+    d.lfk = 0
     d.is_load = k is Kind.LOAD
     d.is_store = k is Kind.STORE
     d.is_branch = instr.is_branch
@@ -233,44 +270,119 @@ def _decode(instr: Instruction, pc: int) -> _Decoded:
 
     if k is Kind.ALU_RRR:
         d.alu = alu_fn(spec.alu_op)
+        d.aluk = _ALU_CODE.get(spec.alu_op, 0)
         d.ex = _ex_alu_rrr
+        d.exk = EXK_ALU_RRR
     elif k is Kind.SHIFT_I:
         d.alu = alu_fn(spec.alu_op)
+        d.aluk = _ALU_CODE.get(spec.alu_op, 0)
         d.ex = _ex_shift_i
+        d.exk = EXK_SHIFT_I
     elif k is Kind.ALU_RRI:
         d.alu = alu_fn(spec.alu_op)
+        d.aluk = _ALU_CODE.get(spec.alu_op, 0)
         d.ex = _ex_alu_rri
+        d.exk = EXK_ALU_RRI
     elif k is Kind.LUI:
         d.result_const = (instr.imm << 16) & MASK32
         d.ex = _ex_const
+        d.exk = EXK_CONST
     elif k is Kind.LOAD:
         d.size = _LOAD_SIZE[instr.op]
         d.load_fix = LOAD_FIX[instr.op]
+        d.lfk = _LOAD_CODE.get(instr.op, 0)
         d.ex = _ex_load
+        d.exk = EXK_LOAD
     elif k is Kind.STORE:
         d.size = _STORE_SIZE[instr.op]
         d.ex = _ex_store
+        d.exk = EXK_STORE
     elif k is Kind.BRANCH_CMP:
         d.eq_sense = instr.op == "beq"
         d.br_target = instr.branch_target(pc)
         d.ex = _ex_branch_cmp
+        d.exk = EXK_BRANCH_CMP
     elif k is Kind.BRANCH_Z:
         d.cond = ZERO_TESTS_U[spec.condition.value]
+        d.condk = _COND_CODE.get(spec.condition.value, 0)
         d.br_target = instr.branch_target(pc)
         d.ex = _ex_branch_z
+        d.exk = EXK_BRANCH_Z
     elif k is Kind.JUMP:
         d.jump_target = instr.jump_target(pc)
         d.ex = _ex_none
+        d.exk = EXK_NONE
     elif k is Kind.JAL:
         d.jump_target = instr.jump_target(pc)
         d.ex = _ex_jal
+        d.exk = EXK_JAL
     elif k is Kind.JR:
         d.ex = _ex_jr
+        d.exk = EXK_JR
     elif k is Kind.JALR:
         d.ex = _ex_jalr
+        d.exk = EXK_JALR
     else:                               # HALT, CTL
         d.ex = _ex_none
+        d.exk = EXK_NONE
     return d
+
+
+def _build_dec_table(program: Program,
+                     fold_unconditional: bool) -> List[_Decoded]:
+    """Decode every text slot and resolve unconditional fold targets.
+
+    ``d.uncond_fold`` is ``(target_record, target_pc, next_fetch_pc)``
+    when a statically-unconditional transfer (``j`` / ``beq r0, r0``)
+    can be folded at fetch, else None — see
+    ``PipelineSimulator.fold_unconditional``.
+    """
+    dec = [_decode(instr, program.pc_of(i))
+           for i, instr in enumerate(program.instrs)]
+    if not fold_unconditional:
+        return dec
+    base, end = program.text_base, program.text_end
+    for d in dec:
+        k = d.instr.spec.kind
+        if k is Kind.JUMP:
+            target = d.jump_target
+        elif (k is Kind.BRANCH_CMP and d.instr.op == "beq"
+                and d.rs == 0 and d.rt == 0):
+            target = d.br_target
+        else:
+            continue
+        if target & 3 or not base <= target < end:
+            continue
+        td = dec[(target - base) >> 2]
+        if td.instr.is_control or td.is_halt:
+            continue
+        d.uncond_fold = (td, target, (target + 4) & MASK32)
+    return dec
+
+
+#: interned decode tables for the block engine: _Decoded records are
+#: immutable after construction, so simulators over the same (program,
+#: fold flag) can share one table instead of re-deriving it per RunSpec.
+#: Keyed on object identity plus the program's mutation ``version``
+#: (``replace_instr`` bumps it); the table's records hold the program's
+#: instructions, and the key tuple below pins the program itself, so a
+#: live entry's id can never be recycled by a different program.
+_DEC_MEMO: Dict[tuple, tuple] = {}
+_DEC_MEMO_CAP = 64
+
+
+def _interned_dec_table(program: Program,
+                        fold_unconditional: bool) -> List[_Decoded]:
+    key = (id(program), getattr(program, "version", 0),
+           fold_unconditional)
+    hit = _DEC_MEMO.get(key)
+    if hit is not None and hit[0] is program:
+        return hit[1]
+    dec = _build_dec_table(program, fold_unconditional)
+    if len(_DEC_MEMO) >= _DEC_MEMO_CAP:
+        _DEC_MEMO.clear()
+    _DEC_MEMO[key] = (program, dec)
+    return dec
 
 
 class _Slot:
@@ -315,7 +427,7 @@ class PipelineSimulator:
                  asbr: Optional[ASBRUnit] = None,
                  config: Optional[PipelineConfig] = None,
                  fold_unconditional: bool = False,
-                 trace=None) -> None:
+                 trace=None, engine: str = "interp") -> None:
         """``fold_unconditional`` enables CRISP-style folding of
         statically-unconditional control transfers (``j`` and
         ``beq r0, r0``) at fetch — the classic scheme of Ditzel &
@@ -328,7 +440,19 @@ class PipelineSimulator:
         instrumented twins of the hot methods are bound onto this
         instance (one check, here, at construction), so tracing has
         strictly zero cost when disabled.  Traced runs produce
-        bit-identical statistics and architectural state."""
+        bit-identical statistics and architectural state.
+
+        ``engine`` selects the execution engine: ``"interp"`` is the
+        decoded-dispatch ``tick()`` loop; ``"blocks"`` runs the
+        block-compiled fast loop (:mod:`repro.sim.blocks`) with
+        bit-identical statistics.  When telemetry is attached or
+        ``tick`` has been rebound on the instance (fault injection),
+        ``run`` transparently falls back to the interpreted loop."""
+        if engine not in ("interp", "blocks"):
+            raise ValueError(
+                "unknown engine %r (expected 'interp' or 'blocks')"
+                % (engine,))
+        self.engine = engine
         self.program = program
         self.config = config if config is not None else PipelineConfig()
         if memory is None:
@@ -381,13 +505,17 @@ class PipelineSimulator:
         self._bdt_commit = asbr is not None and asbr.bdt_update == "commit"
         self._rel_mem = asbr is not None and asbr.bdt_update == "mem"
         self._rel_ex = asbr is not None and asbr.bdt_update == "execute"
-        self._dec: List[_Decoded] = [
-            _decode(instr, program.pc_of(i))
-            for i, instr in enumerate(program.instrs)
-        ]
-        # injected (BTI/BFI) instructions decoded on first use
-        self._foreign: Dict[int, _Decoded] = {}
-        self._precompute_uncond_folds()
+        if engine == "blocks":
+            # shared, interned table: computed once per (program, fold
+            # flag) per process instead of once per simulator
+            self._dec = _interned_dec_table(program, fold_unconditional)
+        else:
+            self._dec = _build_dec_table(program, fold_unconditional)
+        # injected (BTI/BFI) instructions decoded on first use; the pin
+        # list keeps every memoized instruction alive so a (id, pc) key
+        # can never be recycled by a new object after BIT eviction
+        self._foreign: Dict[tuple, _Decoded] = {}
+        self._foreign_pin: List[Instruction] = []
 
         # ---- telemetry (the one and only disabled-path hook check) ------
         self.trace = None
@@ -395,44 +523,23 @@ class PipelineSimulator:
             from repro.telemetry.traced import attach
             attach(self, trace)
 
-    def _precompute_uncond_folds(self) -> None:
-        """Resolve each statically-unconditional transfer's fold target.
-
-        ``d.uncond_fold`` is ``(target_record, target_pc, next_fetch_pc)``
-        when the transfer can be folded at fetch, else None.  Records are
-        per-simulator, so when unconditional folding is off nothing is
-        marked and the fetch path pays a single None check.
-        """
-        if not self.fold_unconditional:
-            return
-        base, end = self._text_base, self._text_end
-        dec = self._dec
-        for d in dec:
-            k = d.instr.spec.kind
-            if k is Kind.JUMP:
-                target = d.jump_target
-            elif (k is Kind.BRANCH_CMP and d.instr.op == "beq"
-                    and d.rs == 0 and d.rt == 0):
-                target = d.br_target
-            else:
-                continue
-            if target & 3 or not base <= target < end:
-                continue
-            td = dec[(target - base) >> 2]
-            if td.instr.is_control or td.is_halt:
-                continue
-            d.uncond_fold = (td, target, (target + 4) & MASK32)
-
     def _foreign_decode(self, instr: Instruction, pc: int) -> _Decoded:
-        """Decoded record for an injected (non-program) instruction.
+        """Decoded record for an injected (non-program) instruction,
+        memoized per ``(instr, pc)`` for the life of the simulator.
 
-        BIT entries pre-decode their own BTI/BFI objects, so identity is
-        stable and each object is always injected at the same PC."""
-        key = id(instr)
+        BIT entries pre-decode their own BTI/BFI objects, so a hot
+        folded branch decodes its target exactly once.  The key includes
+        the identity *and* the injection PC, and the memoized
+        instruction is pinned: a ``ctlw`` reconfiguration may evict a
+        BIT entry and free its BTI/BFI, and without the pin a later
+        allocation could recycle the id and silently inherit a stale
+        decode."""
+        key = (id(instr), pc)
         d = self._foreign.get(key)
         if d is None:
             d = _decode(instr, pc)
             self._foreign[key] = d
+            self._foreign_pin.append(instr)
         return d
 
     # ==================================================================
@@ -440,6 +547,15 @@ class PipelineSimulator:
     # ==================================================================
     def run(self) -> PipelineStats:
         """Simulate until the program's ``halt`` commits."""
+        if (self.engine == "blocks" and self.trace is None
+                and type(self) is PipelineSimulator
+                and "tick" not in self.__dict__):
+            # telemetry attach and fault injection both rebind methods
+            # on the instance (and tests may subclass); any of those
+            # falls back to the interpreted loop so the instrumented
+            # twins keep seeing every cycle
+            from repro.sim.blocks import run_pipeline_blocks
+            return run_pipeline_blocks(self)
         max_cycles = self.config.max_cycles
         stats = self.stats
         tick = self.tick

@@ -135,18 +135,21 @@ class Workload:
 
     # ------------------------------------------------------------------
     def run_functional(self, pcm: Sequence[int],
-                       max_instructions: int = 500_000_000) -> WorkloadResult:
+                       max_instructions: int = 500_000_000,
+                       engine: str = "interp") -> WorkloadResult:
         stream = self.prepare_input(pcm)
         count = self._count(pcm, stream)
         sim = FunctionalSimulator(self.program,
-                                  self.build_memory(stream, count))
+                                  self.build_memory(stream, count),
+                                  engine=engine)
         n = sim.run(max_instructions=max_instructions)
         return WorkloadResult(self.read_output(sim.memory, count),
                               instructions=n)
 
     def run_pipeline(self, pcm: Sequence[int], predictor=None, asbr=None,
                      config: Optional[PipelineConfig] = None,
-                     trace=None, on_sim=None) -> WorkloadResult:
+                     trace=None, on_sim=None,
+                     engine: str = "interp") -> WorkloadResult:
         """``trace`` (a :class:`repro.telemetry.Tracer`) enables the
         pipeline's telemetry hooks for this run; None costs nothing.
 
@@ -160,7 +163,7 @@ class Workload:
         sim = PipelineSimulator(self.program,
                                 self.build_memory(stream, count),
                                 predictor=predictor, asbr=asbr,
-                                config=config, trace=trace)
+                                config=config, trace=trace, engine=engine)
         if on_sim is not None:
             on_sim(sim)
         stats = sim.run()

@@ -1,0 +1,292 @@
+"""Unit tests for the block-compiled execution engine (repro.sim.blocks).
+
+The differential sweep and golden locks prove bulk bit-identity; these
+tests pin down the engine's edges: budget and trap semantics, indirect
+jumps into the middle of a compiled block, the interp fallbacks that
+preserve the telemetry/fault invariants, the foreign-decode memo, and
+the content-addressed artifact cache (process memo + disk round-trip +
+corruption recovery).
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.asm import assemble
+from repro.runner.cache import key_for_spec
+from repro.runner.pool import RunSpec
+from repro.sim import blocks
+from repro.sim.functional import FunctionalSimulator, SimulationError
+from repro.sim.pipeline import PipelineSimulator
+
+
+def _prog(src):
+    return assemble(".text\nmain:\n" + src)
+
+
+LOOP_FOREVER = "li r1, 0\nloop: addiu r1, r1, 1\nj loop\n"
+
+
+# ----------------------------------------------------------------------
+# engine selection and validation
+# ----------------------------------------------------------------------
+def test_functional_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        FunctionalSimulator(_prog("halt\n"), engine="jit")
+
+
+def test_pipeline_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        PipelineSimulator(_prog("halt\n"), engine="jit")
+
+
+# ----------------------------------------------------------------------
+# budget and trap parity with the interpreted engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("budget", [1, 2, 3, 7, 50, 1001])
+def test_budget_exhaustion_bit_identical(budget):
+    """Same error message, same retired count, same final pc."""
+    outcomes = []
+    for engine in ("interp", "blocks"):
+        sim = FunctionalSimulator(_prog(LOOP_FOREVER), engine=engine)
+        with pytest.raises(SimulationError) as exc:
+            sim.run(max_instructions=budget)
+        outcomes.append((str(exc.value), sim.instructions_retired,
+                         sim.pc, sim.regs.snapshot()))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_trap_parity_misaligned_load():
+    from repro.memory.main_memory import MisalignedAccess
+
+    src = "li r1, 2\nli r2, 7\nlw r3, -3(sp)\nhalt\n"
+    outcomes = []
+    for engine in ("interp", "blocks"):
+        sim = FunctionalSimulator(_prog(src), engine=engine)
+        with pytest.raises(MisalignedAccess) as exc:
+            sim.run()
+        outcomes.append((str(exc.value), sim.instructions_retired,
+                         sim.pc, sim.regs.snapshot()))
+    assert outcomes[0] == outcomes[1]
+    # the two pre-trap instructions retired; the trap pc is the load's
+    assert outcomes[0][1] == 2
+
+
+def test_jr_into_middle_of_block():
+    """An indirect jump targeting a non-leader pc must still execute
+    correctly (the dispatcher single-steps until the next leader)."""
+    src = (
+        "la r9, spot\n"
+        "addiu r9, r9, 8\n"       # skip the first two instrs of 'spot'
+        "jr r9\n"
+        "spot:\n"
+        "addiu r1, r1, 100\n"
+        "addiu r1, r1, 20\n"
+        "addiu r1, r1, 3\n"
+        "halt\n"
+    )
+    results = []
+    for engine in ("interp", "blocks"):
+        sim = FunctionalSimulator(_prog(src), engine=engine)
+        retired = sim.run()
+        results.append((retired, sim.regs.snapshot(), sim.pc))
+    assert results[0] == results[1]
+    assert results[0][1][1] == 3          # only the third addiu ran
+
+
+def test_ctl_writes_identical():
+    src = "ctlw 3\nli r1, 5\nctlw 1\nhalt\n"
+    a = FunctionalSimulator(_prog(src))
+    b = FunctionalSimulator(_prog(src), engine="blocks")
+    a.run()
+    b.run()
+    assert a.ctl_writes == b.ctl_writes == [3, 1]
+
+
+# ----------------------------------------------------------------------
+# fallback guards: telemetry / fault hooks force the interpreted path
+# ----------------------------------------------------------------------
+def test_functional_observer_falls_back_to_interp():
+    src = "li r1, 1\nli r2, 2\naddu r3, r1, r2\nhalt\n"
+    seen = []
+    sim = FunctionalSimulator(_prog(src), engine="blocks")
+    retired = sim.run(observer=lambda pc, instr, nxt: seen.append(pc))
+    assert retired == 4
+    assert len(seen) == 4                 # per-instruction visibility kept
+    assert sim.regs[3] == 3
+
+
+def test_pipeline_trace_falls_back_to_interp(monkeypatch):
+    from repro.telemetry import MetricsRegistry, Tracer
+    monkeypatch.setattr(blocks, "run_pipeline_blocks",
+                        lambda sim: pytest.fail("blocks path taken"))
+    prog = _prog("li r1, 1\nli r2, 2\naddu r3, r1, r2\nhalt\n")
+    sim = PipelineSimulator(prog, trace=Tracer(MetricsRegistry()),
+                            engine="blocks")
+    stats = sim.run()
+    assert stats.committed == 4
+
+
+def test_pipeline_tick_rebinding_falls_back(monkeypatch):
+    """A fault injector (or anything else) that rebinds ``tick`` on the
+    instance must win: the block path would bypass the rebound method."""
+    monkeypatch.setattr(blocks, "run_pipeline_blocks",
+                        lambda sim: pytest.fail("blocks path taken"))
+    prog = _prog("li r1, 1\nhalt\n")
+    sim = PipelineSimulator(prog, engine="blocks")
+    ticks = []
+    orig = type(sim).tick
+
+    def spy_tick():
+        ticks.append(1)
+        return orig(sim)
+
+    sim.tick = spy_tick
+    sim.run()
+    assert ticks, "instance tick() was bypassed"
+
+
+def test_pipeline_subclass_falls_back(monkeypatch):
+    monkeypatch.setattr(blocks, "run_pipeline_blocks",
+                        lambda sim: pytest.fail("blocks path taken"))
+
+    class Sub(PipelineSimulator):
+        pass
+
+    sim = Sub(_prog("li r1, 1\nhalt\n"), engine="blocks")
+    stats = sim.run()
+    assert stats.committed == 2
+
+
+# ----------------------------------------------------------------------
+# foreign-decode memo (the satellite bugfix)
+# ----------------------------------------------------------------------
+def test_hot_folded_branch_decodes_target_exactly_once(monkeypatch):
+    from collections import Counter
+
+    from repro.asbr import ASBRUnit
+    from repro.predictors import make_predictor
+    from repro.profiling import BranchProfiler, select_branches
+    from repro.workloads import get_workload
+    from repro.workloads.inputs import speech_like
+    import repro.sim.pipeline as pl
+
+    counts = Counter()
+    real_decode = pl._decode
+
+    def counting_decode(instr, pc, *args, **kwargs):
+        counts[(id(instr), pc)] += 1
+        return real_decode(instr, pc, *args, **kwargs)
+
+    monkeypatch.setattr(pl, "_decode", counting_decode)
+
+    wl = get_workload("adpcm_enc")
+    pcm = speech_like(96, seed=11)
+    stream = wl.input_stream(pcm)
+    profile = BranchProfiler().profile(wl.program, wl.build_memory(stream))
+    sel = select_branches(profile, bit_capacity=16, bdt_update="execute")
+    asbr = ASBRUnit.from_branch_infos(sel.infos, capacity=16,
+                                      bdt_update="execute")
+    sim = PipelineSimulator(wl.program, wl.build_memory(stream),
+                            predictor=make_predictor("bimodal-512-512"),
+                            asbr=asbr)
+    stats = sim.run()
+    assert stats.folds_committed > 100    # the folds were genuinely hot
+    assert counts, "decode was never called"
+    assert max(counts.values()) == 1, \
+        "some (instr, pc) was decoded more than once"
+
+
+# ----------------------------------------------------------------------
+# artifact caches: process memo, disk round-trip, corruption recovery
+# ----------------------------------------------------------------------
+def test_process_memo_shares_artifacts():
+    prog = _prog("li r1, 1\nhalt\n")
+    a = blocks.compile_blocks(prog)
+    b = blocks.compile_blocks(prog)
+    assert a is b
+
+
+def test_program_mutation_invalidates_memo():
+    prog = _prog("li r1, 1\nli r2, 2\nhalt\n")
+    a = blocks.compile_blocks(prog)
+    prog.replace_instr(1, prog.instrs[0])   # bumps program.version
+    b = blocks.compile_blocks(prog)
+    assert a is not b
+
+
+def test_disk_cache_round_trip(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path / "blockcache")
+    src = "li r1, 7\nloop: addiu r1, r1, -1\nbne r1, r0, loop\nhalt\n"
+    prog = _prog(src)
+    blocks.compile_blocks(prog, cache_dir=cache_dir)
+    entries = [f for f in os.listdir(cache_dir)
+               if f.endswith(".blocks.json")]
+    assert len(entries) == 1
+
+    # a fresh, identical program in a fresh process-memo must be served
+    # from disk: generating the source again is forbidden
+    blocks._MEMO.clear()
+    monkeypatch.setattr(blocks, "generate_source",
+                        lambda p: pytest.fail("disk cache was bypassed"))
+    prog2 = _prog(src)
+    art = blocks.compile_blocks(prog2, cache_dir=cache_dir)
+    sim = FunctionalSimulator(prog2, engine="blocks",
+                              blocks_cache_dir=cache_dir)
+    assert sim.run() == 16
+    assert art.program is prog2
+
+
+def test_disk_cache_drops_corrupt_entry(tmp_path):
+    cache_dir = str(tmp_path / "blockcache")
+    prog = _prog("li r1, 1\nhalt\n")
+    blocks.compile_blocks(prog, cache_dir=cache_dir)
+    (path,) = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)
+               if f.endswith(".blocks.json")]
+    with open(path) as f:
+        entry = json.load(f)
+    entry["source"] = entry["source"] + "\n# tampered"
+    with open(path, "w") as f:
+        json.dump(entry, f)
+
+    blocks._MEMO.clear()
+    cache = blocks.BlockCache(cache_dir)
+    assert cache.get(prog) is None        # checksum mismatch -> dropped
+    assert not os.path.exists(path)
+    # and a full compile regenerates cleanly
+    sim = FunctionalSimulator(prog, engine="blocks",
+                              blocks_cache_dir=cache_dir)
+    sim.run()
+    assert sim.regs[1] == 1
+
+
+# ----------------------------------------------------------------------
+# result-cache key: engine deliberately excluded
+# ----------------------------------------------------------------------
+def test_engine_not_part_of_result_cache_key():
+    a = RunSpec("adpcm_enc", 96, 11, "not-taken")
+    b = RunSpec("adpcm_enc", 96, 11, "not-taken", engine="blocks")
+    assert key_for_spec(a) == key_for_spec(b)
+
+
+def test_generated_source_is_deterministic():
+    src = "li r1, 3\nloop: addiu r1, r1, -1\nbne r1, r0, loop\nhalt\n"
+    assert (blocks.generate_source(_prog(src))
+            == blocks.generate_source(_prog(src)))
+
+
+def test_pipeline_stats_match_with_engine_stats_identity():
+    """End-to-end: cache stats objects also agree across engines."""
+    src = ("li r1, 40\nli r2, 0\n"
+           "loop: addiu r2, r2, 3\nsw r2, -8(sp)\nlw r3, -8(sp)\n"
+           "addiu r1, r1, -1\nbne r1, r0, loop\nhalt\n")
+    prog = _prog(src)
+    a = PipelineSimulator(_prog(src))
+    b = PipelineSimulator(prog, engine="blocks")
+    sa, sb = a.run(), b.run()
+    assert dataclasses.asdict(sa) == dataclasses.asdict(sb)
+    assert a.icache.stats == b.icache.stats
+    assert a.dcache.stats == b.dcache.stats
+    assert a.regs.snapshot() == b.regs.snapshot()

@@ -4,6 +4,9 @@ These numbers were produced by the original (pre-fast-path) simulator
 and must never drift: any change to ``PipelineSimulator`` that alters a
 single cycle, fetch, squash or stall count on these small inputs is a
 timing-model change, not an optimisation, and must be reviewed as such.
+Every lock runs under both execution engines — the block-compiled
+engine (``engine="blocks"``) must reproduce the interpreted numbers
+bit-for-bit.
 
 The inputs are deliberately small (96 PCM samples) so the whole module
 stays in tier-1.
@@ -89,7 +92,7 @@ def pcm():
     return speech_like(PCM_N, seed=PCM_SEED)
 
 
-def _run(pcm, name, pred_spec, with_asbr):
+def _run(pcm, name, pred_spec, with_asbr, engine="interp"):
     wl = get_workload(name)
     asbr = None
     if with_asbr:
@@ -101,16 +104,17 @@ def _run(pcm, name, pred_spec, with_asbr):
         asbr = ASBRUnit.from_branch_infos(sel.infos, capacity=16,
                                           bdt_update="execute")
     result = wl.run_pipeline(pcm, predictor=make_predictor(pred_spec),
-                             asbr=asbr)
+                             asbr=asbr, engine=engine)
     assert result.outputs == wl.golden_output(pcm)
     return result.stats
 
 
+@pytest.mark.parametrize("engine", ["interp", "blocks"])
 @pytest.mark.parametrize("key", sorted(GOLDEN),
                          ids=lambda k: "%s-%s-asbr%d" % (k[0], k[1], k[2]))
-def test_stats_bit_identical_to_seed(pcm, key):
+def test_stats_bit_identical_to_seed(pcm, key, engine):
     name, pred_spec, with_asbr = key
-    stats = _run(pcm, name, pred_spec, with_asbr)
+    stats = _run(pcm, name, pred_spec, with_asbr, engine=engine)
     assert dataclasses.asdict(stats) == GOLDEN[key]
 
 
