@@ -21,6 +21,7 @@ Usage (also installed as the ``repro-asbr`` console script)::
     python -m repro.cli faults report results/faults.json
     python -m repro.cli cache gc --cache-dir results/.runcache --max-bytes 64M
     python -m repro.cli cache verify --cache-dir results/.runcache
+    python -m repro.cli serve --port 8765 --workers 4 --cache-dir results/.servecache
 
 ``sim --asbr`` performs the paper's whole methodology on the program:
 profile it, select fold candidates, load the BIT, and re-simulate.
@@ -30,7 +31,11 @@ cache + pool, ``frontier``/``report`` re-render a journal without any
 simulation.  ``faults campaign`` injects seeded soft errors into the
 ASBR state and classifies every one (:mod:`repro.faults`).  ``cache
 gc`` size-caps the on-disk result cache; ``cache verify`` checks every
-entry's payload checksum and prunes corruption.
+entry's payload checksum and prunes corruption (both traverse sharded
+and flat cache layouts).  ``serve`` runs the long-lived simulation
+daemon (:mod:`repro.serve`): JSON/HTTP submission of single runs,
+sweeps and DSE jobs with request coalescing, a sharded result cache
+and streamed job progress.
 ``--trace-out`` / ``--branch-report`` / ``--json`` attach the telemetry
 layer (:mod:`repro.telemetry`) to the run; ``trace`` renders a
 previously captured JSONL event stream.
@@ -412,6 +417,29 @@ def cmd_cache_verify(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the simulation service daemon until SIGINT/SIGTERM."""
+    import asyncio
+    import logging
+
+    from repro.runner import parse_size
+    from repro.serve import ServeConfig, run_server
+
+    logging.basicConfig(
+        level=logging.INFO, stream=sys.stderr,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        shards=args.shards,
+        max_bytes=parse_size(args.max_bytes)
+        if args.max_bytes is not None else None,
+        workers=args.workers, task_timeout=args.task_timeout,
+        retries=args.retries)
+    asyncio.run(run_server(config))
+    return 0
+
+
 def cmd_faults_campaign(args) -> int:
     from repro.faults import (CampaignConfig, matrix_to_json,
                               render_matrix, render_report,
@@ -699,6 +727,34 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--keep", action="store_true",
                     help="report only; do not delete bad entries")
     sp.set_defaults(fn=cmd_cache_verify)
+
+    p = sub.add_parser("serve", help="simulation-as-a-service daemon "
+                                     "(repro.serve)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "logged on startup)")
+    p.add_argument("--workers", type=int,
+                   default=int(os.environ.get("REPRO_WORKERS", "0")),
+                   help="pool size for sweep/DSE jobs (0/1 = inline)")
+    p.add_argument("--cache-dir",
+                   default=os.environ.get("REPRO_CACHE_DIR",
+                                          "results/.servecache"),
+                   help="sharded on-disk result cache location")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a disk cache (memory only)")
+    p.add_argument("--shards", type=int, default=256,
+                   choices=(0, 16, 256, 4096),
+                   help="cache shard count (hex-prefix directories; "
+                        "0 = flat legacy layout)")
+    p.add_argument("--max-bytes",
+                   help="cache size cap, e.g. 64M (LRU gc on write)")
+    p.add_argument("--task-timeout", type=float, default=60.0,
+                   help="seconds a pooled run may go silent before it "
+                        "is failed/retried (crash detector)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries per failed/timed-out run")
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

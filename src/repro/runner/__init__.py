@@ -36,6 +36,8 @@ from repro.runner.cache import (
     VerifyResult,
     key_for_spec,
     parse_size,
+    shard_of,
+    shard_width,
 )
 from repro.runner.pool import (
     FailedResult,
@@ -62,5 +64,7 @@ __all__ = [
     "key_for_spec",
     "map_specs",
     "run_sweep",
+    "shard_of",
+    "shard_width",
     "sweep_metrics",
 ]

@@ -27,6 +27,18 @@ touch their entry) whenever a write pushes the directory over the cap.
 ``repro cache gc`` exposes the same collector for unattended caches; a
 design-space sweep (:mod:`repro.dse`) can write thousands of entries,
 so unbounded growth is no longer hypothetical.
+
+The directory can be *sharded*: ``ResultCache(root, shards=256)``
+spreads entries over ``root/<key prefix>/`` subdirectories so that
+many concurrent writers (the :mod:`repro.serve` daemon's pool workers,
+several tenants pointed at one cache volume) don't contend on a single
+directory's inode.  Keys are uniform sha256 hex, so prefix sharding is
+balanced by construction.  Opening an existing flat-layout cache with
+``shards>0`` performs a one-time migration: every flat entry is
+``os.replace``-moved into its shard (same filesystem, atomic, content and
+mtime preserved — results are byte-identical before and after).
+``gc`` and ``verify`` traverse both layouts regardless of the handle's
+own ``shards`` setting.
 """
 
 from __future__ import annotations
@@ -69,6 +81,30 @@ def parse_size(text: str) -> int:
     if value < 0:
         raise ValueError("size must be >= 0")
     return value * mult
+
+
+#: Allowed ``shards=`` values: 0 keeps the legacy flat layout, powers
+#: of 16 shard by that many hex-prefix subdirectories.
+_SHARD_WIDTH = {0: 0, 16: 1, 256: 2, 4096: 3}
+
+
+def shard_width(shards: int) -> int:
+    """Hex-prefix length of a shard directory name (0 → flat layout)."""
+    try:
+        return _SHARD_WIDTH[shards]
+    except (KeyError, TypeError):
+        raise ValueError("shards must be one of %s, got %r"
+                         % (sorted(_SHARD_WIDTH), shards))
+
+
+def shard_of(key: str, shards: int) -> str:
+    """Shard subdirectory of ``key`` (``""`` for the flat layout).
+
+    This is *the* layout function: :class:`ResultCache`, the serve
+    daemon and the wire-format property tests all resolve a key's
+    on-disk home through it, so they can never disagree.
+    """
+    return key[:shard_width(shards)]
 
 
 def _sha(*parts: str) -> str:
@@ -184,39 +220,98 @@ class ResultCache:
     the cap triggers an LRU-by-mtime collection (oldest entries deleted
     until the cap is respected again).  Reads touch the entry's mtime,
     so "least recently used" means used, not written.
+
+    With ``shards`` set (16/256/4096), entries live under a hex-prefix
+    subdirectory; opening a flat directory with sharding on migrates
+    every flat entry once, atomically, preserving content and mtime.
+    The layout is a property of the directory — point every handle at
+    one directory with the same ``shards`` value.
     """
 
     def __init__(self, root: str,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 shards: int = 0) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
         self.root = root
         self.max_bytes = max_bytes
+        self.shards = shards
+        self._shard_width = shard_width(shards)
         self.hits = 0
         self.misses = 0
         self.dropped = 0      # corrupted entries deleted on read
         self.evicted = 0      # entries removed by gc over this handle
+        self.migrated = 0     # flat entries moved into shards at open
         self._approx_bytes: Optional[int] = None   # lazy running total
+        if self._shard_width:
+            self.migrated = self._migrate_flat()
+
+    def shard_of(self, key: str) -> str:
+        """This handle's shard subdirectory for ``key`` (may be "")."""
+        return key[: self._shard_width]
 
     def _path(self, key: str) -> str:
+        if self._shard_width:
+            return os.path.join(self.root, self.shard_of(key),
+                                key + ".json")
         return os.path.join(self.root, key + ".json")
+
+    def _migrate_flat(self) -> int:
+        """Move flat-layout ``<key>.json`` entries into their shards.
+
+        ``os.replace`` within one filesystem: atomic per entry, bytes
+        and mtime untouched, safe against a concurrent migrator (the
+        loser's replace simply overwrites with identical content).
+        """
+        moved = 0
+        try:
+            names = [de.name for de in os.scandir(self.root)
+                     if de.is_file() and de.name.endswith(".json")]
+        except OSError:
+            return 0                  # no directory yet — nothing flat
+        for name in names:
+            dst = self._path(name[: -len(".json")])
+            try:
+                os.makedirs(os.path.dirname(dst), exist_ok=True)
+                os.replace(os.path.join(self.root, name), dst)
+            except OSError:
+                continue              # raced with another migrator
+            moved += 1
+        return moved
 
     # ------------------------------------------------------------------
     # size accounting and garbage collection
     # ------------------------------------------------------------------
     def _scan(self):
-        """``(mtime, size, path)`` for every entry, oldest first."""
+        """``(mtime, size, path)`` for every entry, oldest first.
+
+        Walks the flat layer *and* every shard subdirectory, whatever
+        this handle's own ``shards`` setting — so ``gc`` and ``verify``
+        (and the CLI commands over them) cover mixed and migrated
+        layouts without being told how the directory is organised.
+        """
         entries = []
+
+        def add(de) -> None:
+            try:
+                st = de.stat()
+            except OSError:
+                return                    # raced with another collector
+            entries.append((st.st_mtime, st.st_size, de.path))
+
         try:
             with os.scandir(self.root) as it:
                 for de in it:
-                    if not de.name.endswith(".json"):
-                        continue
-                    try:
-                        st = de.stat()
-                    except OSError:
-                        continue          # raced with another collector
-                    entries.append((st.st_mtime, st.st_size, de.path))
+                    if de.is_dir(follow_symlinks=False):
+                        try:
+                            with os.scandir(de.path) as sub:
+                                for se in sub:
+                                    if se.name.endswith(".json"):
+                                        add(se)
+                        except OSError:
+                            continue
+                    elif de.name.endswith(".json"):
+                        add(de)
         except OSError:
             return []                     # no directory yet
         entries.sort()
@@ -335,7 +430,9 @@ class ResultCache:
             metrics: Optional[dict] = None) -> None:
         """Atomically record ``stats`` (and optional serialised
         telemetry ``metrics``) under ``key``."""
-        os.makedirs(self.root, exist_ok=True)
+        dst = self._path(key)
+        dst_dir = os.path.dirname(dst)
+        os.makedirs(dst_dir, exist_ok=True)
         entry = {
             "version": CACHE_VERSION,
             "describe": describe,          # human breadcrumb only
@@ -344,11 +441,11 @@ class ResultCache:
         if metrics is not None:
             entry["metrics"] = metrics
         entry["sha256"] = _payload_checksum(entry)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(dir=dst_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
                 json.dump(entry, f, indent=1, sort_keys=True)
-            os.replace(tmp, self._path(key))
+            os.replace(tmp, dst)
         except BaseException:
             try:
                 os.remove(tmp)

@@ -173,30 +173,107 @@ def _run_inline(fn, spec: RunSpec, retries: int, backoff: float,
             raise
 
 
+def _pool_worker_init() -> None:
+    """Reset inherited signal state in a freshly forked worker.
+
+    A parent running an asyncio loop with ``add_signal_handler`` (the
+    serve daemon) has Python-level SIGTERM/SIGINT handlers that write
+    into the loop's wakeup pipe.  A forked worker inherits both the
+    handlers and the *shared* pipe, with two failure modes: a SIGTERM
+    aimed at the worker (``Pool.terminate``) is swallowed by the
+    inherited handler, leaving the worker alive and ``join`` wedged —
+    and the handler's write into the shared pipe makes the *parent's*
+    loop believe it received the signal and shut the daemon down.
+    Restore defaults before any task runs.
+    """
+    import signal
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
 def _try_build_pool(procs: int):
     """A worker pool, or None when one cannot be built (fd exhaustion,
     a platform without multiprocessing support, ...) — the caller then
     degrades gracefully to serial execution."""
     try:
         import multiprocessing
-        return multiprocessing.Pool(processes=procs)
+        return multiprocessing.Pool(processes=procs,
+                                    initializer=_pool_worker_init)
     except Exception:
         return None
 
 
-def _finish_inline(specs, fn, results, done, retries, backoff, on_error):
+def _shutdown_pool(pool, grace: float = 5.0) -> None:
+    """Tear a pool down without ever hanging the sweep.
+
+    ``Pool.terminate``/``join`` can deadlock: a worker killed (or
+    SIGTERMed by ``terminate`` itself) while holding the shared task
+    queue's lock leaves the pool's supervisor threads blocked on that
+    lock forever.  Every result has already been collected by the time
+    we get here, so nothing of value is at risk — run each teardown
+    step in a daemon thread with a bounded wait, escalate to
+    SIGKILLing straggler workers, and abandon the pool if it still
+    will not die.  A leaked supervisor thread beats a wedged sweep.
+    """
+    import os
+    import signal
+    import threading
+
+    def bounded(fn) -> bool:
+        t = threading.Thread(target=fn, daemon=True)
+        t.start()
+        t.join(grace)
+        return not t.is_alive()
+
+    def stuck_workers():
+        try:
+            return [p for p in (pool._pool or []) if p.is_alive()]
+        except Exception:
+            return []
+
+    if bounded(pool.terminate) and bounded(pool.join):
+        return
+    for proc in stuck_workers():
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except Exception:
+            pass
+    bounded(pool.join)
+
+
+def _notify(on_result, i: int, spec: RunSpec, result) -> None:
+    """Fire a progress callback; a broken observer never kills a sweep."""
+    if on_result is None:
+        return
+    try:
+        on_result(i, spec, result)
+    except Exception:
+        pass
+
+
+def _finish_inline(specs, fn, results, done, retries, backoff, on_error,
+                   on_result=None):
     """Serial fallback: complete every unfinished task in-process."""
     for j in range(len(specs)):
         if not done[j]:
             results[j] = _run_inline(fn, specs[j], retries, backoff,
                                      on_error)
             done[j] = True
+            _notify(on_result, j, specs[j], results[j])
     return results
 
 
 def _map_pooled(specs: List[RunSpec], fn, procs: int,
                 task_timeout: Optional[float], retries: int,
-                backoff: float, on_error: str) -> List:
+                backoff: float, on_error: str,
+                on_result=None) -> List:
     """Fan ``specs`` over a worker pool, surviving crashed workers.
 
     ``pool.map`` would hang forever on a worker killed mid-task (the
@@ -215,7 +292,7 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
     if pool is None:
         return _finish_inline(specs, fn, [None] * len(specs),
                               [False] * len(specs), retries, backoff,
-                              on_error)
+                              on_error, on_result)
     n = len(specs)
     results: List = [None] * n
     done = [False] * n
@@ -235,8 +312,7 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
         (resubmission is free — blame stays on the task that failed)."""
         nonlocal pool
         try:
-            pool.terminate()
-            pool.join()
+            _shutdown_pool(pool)
         except Exception:
             pass
         pool = _try_build_pool(procs)
@@ -260,19 +336,22 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
             if not submit(i):
                 if not rebuild():
                     return _finish_inline(specs, fn, results, done,
-                                          retries, backoff, on_error)
+                                          retries, backoff, on_error,
+                                          on_result)
                 break                 # rebuild submitted the rest too
         for i in range(n):
             while not done[i]:
                 try:
                     results[i] = handles[i].get(task_timeout)
                     done[i] = True
+                    _notify(on_result, i, specs[i], results[i])
                 except multiprocessing.TimeoutError:
                     if attempts[i] <= retries:
                         if not resubmit(i):
                             return _finish_inline(specs, fn, results,
                                                   done, retries,
-                                                  backoff, on_error)
+                                                  backoff, on_error,
+                                                  on_result)
                         continue
                     msg = ("no result within %.3gs after %d attempt(s) "
                            "(worker hung or killed)"
@@ -281,6 +360,7 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
                         results[i] = FailedResult(specs[i], msg,
                                                   "timeout", attempts[i])
                         done[i] = True
+                        _notify(on_result, i, specs[i], results[i])
                     else:
                         raise TaskTimeout("%r: %s" % (specs[i], msg))
                 except Exception as exc:
@@ -288,7 +368,8 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
                         if not resubmit(i):
                             return _finish_inline(specs, fn, results,
                                                   done, retries,
-                                                  backoff, on_error)
+                                                  backoff, on_error,
+                                                  on_result)
                         continue
                     if on_error == "return":
                         results[i] = FailedResult(
@@ -296,12 +377,12 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
                                                   exc),
                             "error", attempts[i])
                         done[i] = True
+                        _notify(on_result, i, specs[i], results[i])
                     else:
                         raise
     finally:
         try:
-            pool.terminate()
-            pool.join()
+            _shutdown_pool(pool)
         except Exception:
             pass
     return results
@@ -311,7 +392,8 @@ def map_specs(specs: Sequence[RunSpec], workers: int = 0,
               collect_metrics: bool = False,
               task_timeout: Optional[float] = None,
               retries: int = 0, backoff: float = 0.25,
-              on_error: str = "raise") -> List:
+              on_error: str = "raise",
+              on_result=None) -> List:
     """Execute every spec, returning results in input order.
 
     Each result is a ``PipelineStats``, or a ``(stats, metrics_dict)``
@@ -338,13 +420,27 @@ def map_specs(specs: Sequence[RunSpec], workers: int = 0,
 
     If the pool cannot be built or rebuilt, the remaining work degrades
     to serial in-process execution rather than failing.
+
+    ``on_result(i, spec, result)`` is a progress hook fired exactly
+    once per spec as its slot settles (a success *or* a quarantined
+    :class:`FailedResult`), on every execution path — pooled, inline
+    and serial fallback.  It runs in the submitting process; the serve
+    daemon streams these straight onto job event feeds.  Observer
+    exceptions are swallowed: progress reporting can never lose a
+    sweep.  With ``on_error="raise"`` a propagating failure means later
+    slots never fire.
     """
     if on_error not in ("raise", "return"):
         raise ValueError("on_error must be 'raise' or 'return'")
     specs = list(specs)
     fn = execute_spec_metrics if collect_metrics else execute_spec
     if workers <= 1 or len(specs) <= 1:
-        return [_run_inline(fn, s, retries, backoff, on_error)
-                for s in specs]
+        results = []
+        for i, s in enumerate(specs):
+            results.append(_run_inline(fn, s, retries, backoff,
+                                       on_error))
+            _notify(on_result, i, s, results[-1])
+        return results
     return _map_pooled(specs, fn, min(workers, len(specs)),
-                       task_timeout, retries, backoff, on_error)
+                       task_timeout, retries, backoff, on_error,
+                       on_result)

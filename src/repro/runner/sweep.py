@@ -20,7 +20,8 @@ def run_sweep(specs: Sequence[RunSpec],
               collect_metrics: bool = False,
               task_timeout: Optional[float] = None,
               retries: int = 0,
-              on_error: str = "raise") -> List:
+              on_error: str = "raise",
+              on_result=None) -> List:
     """Stats for every spec, in input order.
 
     Duplicate specs are simulated once.  With a cache, known results are
@@ -42,7 +43,24 @@ def run_sweep(specs: Sequence[RunSpec],
     a spec that exhausts its retries occupies its result slots as a
     :class:`~repro.runner.pool.FailedResult`, which is reported to the
     caller but never written to the cache.
+
+    ``on_result(spec, result, cached)`` is a progress hook fired once
+    per *distinct* spec, in the order results become available: cache
+    hits fire immediately during the lookup pass with ``cached=True``,
+    simulated specs fire as the pool settles them (``cached=False``,
+    fresh results already recorded to the cache).  The serve daemon
+    streams these events over the wire; observer exceptions are
+    swallowed so a broken stream cannot lose a sweep.
     """
+
+    def notify(spec, result, cached: bool) -> None:
+        if on_result is None:
+            return
+        try:
+            on_result(spec, result, cached)
+        except Exception:
+            pass
+
     specs = list(specs)
     resolved: Dict[RunSpec, object] = {}
     todo: List[RunSpec] = []
@@ -56,17 +74,13 @@ def run_sweep(specs: Sequence[RunSpec],
             hit = cache.get(keys[spec], with_metrics=collect_metrics)
             if hit is not None:
                 resolved[spec] = hit
+                notify(spec, hit, True)
                 continue
         else:
             keys[spec] = ""
         todo.append(spec)
 
-    results = map_specs(todo, workers=workers,
-                        collect_metrics=collect_metrics,
-                        task_timeout=task_timeout, retries=retries,
-                        on_error=on_error)
-    for spec, result in zip(todo, results):
-        resolved[spec] = result
+    def settle(_i: int, spec: RunSpec, result) -> None:
         if cache is not None and not isinstance(result, FailedResult):
             if collect_metrics:
                 stats, metrics = result
@@ -74,5 +88,13 @@ def run_sweep(specs: Sequence[RunSpec],
                 stats, metrics = result, None
             cache.put(keys[spec], stats, describe=repr(spec),
                       metrics=metrics)
+        notify(spec, result, False)
+
+    results = map_specs(todo, workers=workers,
+                        collect_metrics=collect_metrics,
+                        task_timeout=task_timeout, retries=retries,
+                        on_error=on_error, on_result=settle)
+    for spec, result in zip(todo, results):
+        resolved[spec] = result
 
     return [resolved[spec] for spec in specs]

@@ -1,0 +1,146 @@
+"""A small synchronous client for the serve daemon.
+
+``http.client`` over one keep-alive connection: enough for the CLI,
+the CI smoke driver and scripted tenants, with zero dependencies.  The
+load suite uses raw asyncio sockets instead (it needs thousands of
+concurrent requests); this client optimises for clarity.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response; carries the decoded error body."""
+
+    def __init__(self, status: int, body) -> None:
+        super().__init__("HTTP %d: %s" % (status, body))
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Talk JSON to one daemon.  Usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                obj: Optional[dict] = None) -> Tuple[int, dict]:
+        """One request/response cycle; reconnects once on a dropped
+        keep-alive connection."""
+        body = json.dumps(obj).encode("utf-8") if obj is not None \
+            else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                payload = resp.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, OSError):
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            decoded = json.loads(payload) if payload else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": payload.decode("utf-8", "replace")}
+        return resp.status, decoded
+
+    def check(self, method: str, path: str,
+              obj: Optional[dict] = None) -> dict:
+        status, decoded = self.request(method, path, obj)
+        if status >= 300:
+            raise ServeError(status, decoded)
+        return decoded
+
+    # -- convenience verbs --------------------------------------------
+    def healthz(self) -> dict:
+        return self.check("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.check("GET", "/stats")
+
+    def run(self, spec: dict, metrics: bool = False) -> dict:
+        return self.check("POST", "/run",
+                          {"spec": spec, "metrics": metrics})
+
+    def sweep(self, specs: list, metrics: bool = False) -> dict:
+        return self.check("POST", "/sweep",
+                          {"specs": specs, "metrics": metrics})["job"]
+
+    def dse(self, **body) -> dict:
+        return self.check("POST", "/dse", body)["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self.check("GET", "/jobs/%s" % job_id)["job"]
+
+    def wait_job(self, job_id: str, timeout: float = 120.0,
+                 poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError("job %s still %s after %.1fs"
+                                   % (job_id, job["state"], timeout))
+            time.sleep(poll)
+
+    def stream_events(self, job_id: str) -> Iterator[dict]:
+        """Yield a job's progress events live (chunked JSONL).
+
+        Runs on its own connection: the stream ends with the job, and
+        the daemon closes streaming connections when it is done.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", "/jobs/%s/events" % job_id)
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise ServeError(resp.status,
+                                 resp.read().decode("utf-8", "replace"))
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def shutdown(self) -> dict:
+        out = self.check("POST", "/shutdown")
+        self.close()
+        return out

@@ -1,0 +1,181 @@
+"""Job records and the in-daemon job store.
+
+A *job* is one asynchronous batch submission — a sweep or a DSE
+evaluation — executing through :func:`repro.runner.run_sweep` on a
+worker thread while the event loop keeps serving.  The record is the
+single source of truth a client can poll (``GET /jobs/<id>``) or
+stream (``GET /jobs/<id>/events``): per-spec progress events are
+appended by the runner's ``on_result`` hook as each distinct spec
+settles, and the terminal state distinguishes *done* (every spec
+produced verified stats) from *failed* (at least one spec ended as a
+quarantined :class:`~repro.runner.FailedResult` — a SIGKILLed worker,
+a hang past ``task_timeout``, a poisoned spec).  A failed job is a
+first-class record, never a hung connection: the failure rides in the
+job body with the same shape the chaos suite asserts on.
+
+Threading model: mutation happens append-only from one producer (the
+job's worker thread); readers on the event loop see a consistent
+prefix because list appends are atomic and ``state`` flips to a
+terminal value only *after* the final event is appended.  Streamers
+poll the event list — no locks shared with the simulation path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.runner import FailedResult, RunSpec
+from repro.serve.protocol import spec_to_wire
+
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+def _result_record(spec: RunSpec, result, cached: bool,
+                   collect_metrics: bool) -> dict:
+    """Wire-shaped outcome of one spec (success or quarantined)."""
+    rec = {"spec": spec_to_wire(spec), "cached": bool(cached)}
+    if isinstance(result, FailedResult):
+        rec["ok"] = False
+        rec["error"] = result.error
+        rec["fail_kind"] = result.kind
+        rec["attempts"] = result.attempts
+        return rec
+    if collect_metrics:
+        stats, metrics = result
+    else:
+        stats, metrics = result, None
+    rec["ok"] = True
+    rec["stats"] = dataclasses.asdict(stats)
+    if metrics is not None:
+        # telemetry over the wire: the run's event counters ride on
+        # every progress record (full tables stay in the result cache)
+        rec["counters"] = metrics.get("counters", {})
+    return rec
+
+
+class Job:
+    """One batch submission and its streamable progress feed."""
+
+    def __init__(self, job_id: str, kind: str, specs: List[RunSpec],
+                 collect_metrics: bool = False,
+                 meta: Optional[dict] = None) -> None:
+        self.id = job_id
+        self.kind = kind                      # "sweep" | "dse"
+        self.specs = specs                    # distinct, input order
+        self.collect_metrics = collect_metrics
+        self.meta = meta or {}
+        self.state = "pending"
+        self.submitted = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.error: Optional[str] = None      # infrastructure failure
+        self.n_total = len(specs)
+        self.n_done = 0
+        self.n_cached = 0
+        self.n_failed = 0
+        self.results: List[Optional[dict]] = [None] * len(specs)
+        self.events: List[dict] = []
+        self._index = {spec: i for i, spec in enumerate(specs)}
+
+    # -- producer side (worker thread) ---------------------------------
+    def start(self) -> None:
+        self.state = "running"
+        self.started = time.time()
+        self._emit({"kind": "start", "job": self.id,
+                    "n_specs": self.n_total})
+
+    def note_result(self, spec: RunSpec, result, cached: bool) -> None:
+        """``run_sweep`` progress hook: record + publish one outcome."""
+        i = self._index.get(spec)
+        if i is None or self.results[i] is not None:
+            return                            # unknown or duplicate fire
+        rec = _result_record(spec, result, cached, self.collect_metrics)
+        self.results[i] = rec
+        self.n_done += 1
+        self.n_cached += 1 if cached else 0
+        self.n_failed += 0 if rec["ok"] else 1
+        ev = {"kind": "result", "i": i, "ok": rec["ok"],
+              "cached": rec["cached"]}
+        if rec["ok"]:
+            ev["cycles"] = rec["stats"]["cycles"]
+            if "counters" in rec:
+                ev["counters"] = rec["counters"]
+        else:
+            ev["error"] = rec["error"]
+            ev["fail_kind"] = rec["fail_kind"]
+        self._emit(ev)
+
+    def finish(self, error: Optional[str] = None) -> None:
+        """Terminal transition; the ``end`` event precedes the flip so
+        streamers that observe a terminal state have the full feed."""
+        self.finished = time.time()
+        self.error = error
+        state = "failed" if (error or self.n_failed) else "done"
+        self._emit({"kind": "end", "state": state,
+                    "n_done": self.n_done, "n_failed": self.n_failed,
+                    "n_cached": self.n_cached, "error": error})
+        self.state = state
+
+    def _emit(self, event: dict) -> None:
+        event["seq"] = len(self.events)
+        event["t"] = round(time.time() - self.submitted, 6)
+        self.events.append(event)
+
+    # -- reader side (event loop) --------------------------------------
+    @property
+    def is_finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def summary(self) -> dict:
+        return {
+            "id": self.id, "kind": self.kind, "state": self.state,
+            "n_total": self.n_total, "n_done": self.n_done,
+            "n_cached": self.n_cached, "n_failed": self.n_failed,
+            "submitted": self.submitted, "started": self.started,
+            "finished": self.finished, "error": self.error,
+        }
+
+    def to_wire(self) -> dict:
+        out = self.summary()
+        out["meta"] = self.meta
+        out["results"] = self.results
+        return out
+
+
+class JobStore:
+    """Monotonic ids, bounded retention of finished jobs."""
+
+    def __init__(self, keep_finished: int = 1024) -> None:
+        self.keep_finished = keep_finished
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._ids = itertools.count(1)
+
+    def create(self, kind: str, specs: List[RunSpec],
+               collect_metrics: bool = False,
+               meta: Optional[dict] = None) -> Job:
+        job = Job("job-%06d" % next(self._ids), kind, specs,
+                  collect_metrics=collect_metrics, meta=meta)
+        self._jobs[job.id] = job
+        self._prune()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        counts = dict.fromkeys(JOB_STATES, 0)
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def _prune(self) -> None:
+        finished = [j for j in self._jobs.values() if j.is_finished]
+        for job in finished[: max(0, len(finished) - self.keep_finished)]:
+            self._jobs.pop(job.id, None)

@@ -1,0 +1,584 @@
+"""The simulation-as-a-service daemon: asyncio front, pool back.
+
+``repro serve`` turns the runner stack into a long-lived batch server.
+Architecture, front to back:
+
+* **HTTP layer** — a hand-rolled HTTP/1.1 loop over ``asyncio.
+  start_server`` (stdlib only; the container has no aiohttp).  Plain
+  JSON request/response bodies, keep-alive connections for load, and
+  chunked JSONL for job event streams.
+* **Hot layer** — a bounded in-memory LRU of wire-ready result
+  records.  A warm request never touches the filesystem, which is what
+  carries the ≥1000 cached requests/s load target
+  (``tests/test_serve_load.py``).
+* **Coalescing layer** — identical in-flight ``/run`` submissions are
+  folded onto one execution, keyed by the runner's content-addressed
+  spec hash ``(key, metrics?)``.  The N-1 followers await the leader's
+  future; exactly one simulation happens (locked by the load test via
+  the ``on_execute`` counter hook).
+* **Cache layer** — the shared on-disk :class:`~repro.runner.
+  ResultCache`, sharded by spec-hash prefix (``shards=256`` by
+  default) so the daemon's pool workers and any sibling tenants don't
+  contend on one directory.
+* **Execution layer** — :func:`repro.runner.run_sweep` on worker
+  threads, with the PR 4 crash machinery (``task_timeout``/
+  ``retries``/``on_error="return"``, pool rebuild, serial fallback).
+  A SIGKILLed worker therefore surfaces as a ``failed`` record inside
+  a terminal job — never as a hung connection — and the daemon keeps
+  serving throughout (``tests/test_serve_chaos.py``).
+
+Nothing here logs tracebacks: every failure is rendered as one log
+line and a structured HTTP error, which is what the CI serve-smoke
+greps for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import logging
+import multiprocessing
+import time
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple
+
+from repro.runner import ResultCache, RunSpec, run_sweep
+from repro.serve.jobs import JobStore, _result_record
+from repro.serve.protocol import (
+    WireError,
+    spec_from_wire,
+    spec_key,
+    specs_from_wire,
+)
+
+log = logging.getLogger("repro.serve")
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+#: counter keys, in render order
+COUNTER_KEYS = ("requests", "executions", "coalesced", "hot_hits",
+                "disk_hits", "jobs_submitted", "jobs_failed", "errors")
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Everything the daemon needs, in one picklable bag."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765                  # 0 = ephemeral (bound port is
+    #                                   published on Server.port)
+    cache_dir: Optional[str] = None   # None = no disk cache
+    shards: int = 256
+    max_bytes: Optional[int] = None
+    workers: int = 0                  # pool size for sweep/DSE jobs
+    task_timeout: Optional[float] = None
+    retries: int = 0
+    hot_capacity: int = 4096          # in-memory result records
+    drain_timeout: float = 10.0       # grace for jobs at shutdown
+    max_body: int = 32 << 20
+    #: test/observer hook, called with the spec list just before every
+    #: execution dispatch — the load suite counts pool executions here
+    on_execute: Optional[Callable[[List[RunSpec]], None]] = None
+
+
+class Server:
+    """One daemon instance.  ``await start()`` binds, ``await serve()``
+    runs until :meth:`request_shutdown` (signal, ``POST /shutdown`` or
+    a test harness) and then drains gracefully."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.cache = (ResultCache(cfg.cache_dir, max_bytes=cfg.max_bytes,
+                                  shards=cfg.shards)
+                      if cfg.cache_dir else None)
+        self.jobs = JobStore()
+        self.counters = dict.fromkeys(COUNTER_KEYS, 0)
+        self.port: Optional[int] = None
+        self._hot: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._inflight: dict = {}
+        self._job_tasks: set = set()
+        self._conns: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("listening on %s:%d (workers=%d, cache=%s, shards=%d)",
+                 self.config.host, self.port, self.config.workers,
+                 self.config.cache_dir or "-", self.config.shards)
+
+    async def serve(self) -> None:
+        """Run until shutdown is requested, then drain and close."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        if self._job_tasks:
+            done, pending = await asyncio.wait(
+                list(self._job_tasks), timeout=self.config.drain_timeout)
+            for task in pending:
+                task.cancel()
+        for writer in list(self._conns):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # let the handlers observe EOF and finish before asyncio.run
+        # tears the loop down — a cancelled reader would log a spurious
+        # traceback, and this daemon's log is asserted traceback-free
+        for _ in range(200):
+            if not self._conns:
+                break
+            await asyncio.sleep(0.01)
+        log.info("shutdown complete: %d requests, %d executions, "
+                 "%d coalesced, %d jobs failed",
+                 self.counters["requests"], self.counters["executions"],
+                 self.counters["coalesced"], self.counters["jobs_failed"])
+
+    def request_shutdown(self) -> None:
+        """Threadsafe + signal-safe stop trigger."""
+        loop, stopping = self._loop, self._stopping
+        if loop is None or stopping is None:
+            return
+        loop.call_soon_threadsafe(stopping.set)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                self.counters["requests"] += 1
+                keep = await self._dispatch(method, path, body, writer)
+                await writer.drain()
+                if not keep or self._stopping.is_set():
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass                      # loop teardown: exit quietly
+        except Exception as exc:
+            self.counters["errors"] += 1
+            log.error("connection handler error: %s: %s",
+                      type(exc).__name__, exc)
+        finally:
+            self._conns.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader) \
+            -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        parts = line.split()
+        if len(parts) < 2:
+            return None
+        method = parts[0].decode("latin-1").upper()
+        path = parts[1].decode("latin-1").split("?", 1)[0]
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"", b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length > self.config.max_body:
+            raise WireError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    def _send_json(self, writer, status: int, obj: dict,
+                   keep: bool = True) -> None:
+        payload = json.dumps(obj).encode("utf-8") + b"\n"
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: %s\r\n\r\n"
+                % (status, _REASONS.get(status, "OK"), len(payload),
+                   "keep-alive" if keep else "close"))
+        writer.write(head.encode("latin-1") + payload)
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        writer) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        try:
+            return await self._route(method, path, body, writer)
+        except WireError as exc:
+            self._send_json(writer, 400, {"ok": False,
+                                          "error": str(exc)})
+            return True
+        except json.JSONDecodeError as exc:
+            self._send_json(writer, 400, {"ok": False,
+                                          "error": "bad JSON: %s" % exc})
+            return True
+        except Exception as exc:
+            self.counters["errors"] += 1
+            log.error("error handling %s %s: %s: %s", method, path,
+                      type(exc).__name__, exc)
+            self._send_json(writer, 500,
+                            {"ok": False,
+                             "error": "%s: %s" % (type(exc).__name__,
+                                                  exc)})
+            return True
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer) -> bool:
+        if path == "/healthz" and method == "GET":
+            self._send_json(writer, 200, {"ok": True})
+            return True
+        if path == "/stats" and method == "GET":
+            self._send_json(writer, 200, self.stats())
+            return True
+        if path == "/run" and method == "POST":
+            return await self._handle_run(body, writer)
+        if path == "/sweep" and method == "POST":
+            return self._handle_sweep(body, writer)
+        if path == "/dse" and method == "POST":
+            return self._handle_dse(body, writer)
+        if path == "/jobs" and method == "GET":
+            self._send_json(writer, 200, {
+                "jobs": [j.summary() for j in self.jobs.list()]})
+            return True
+        if path.startswith("/jobs/"):
+            return await self._handle_job(method, path, writer)
+        if path == "/shutdown" and method == "POST":
+            self._send_json(writer, 200, {"ok": True, "stopping": True},
+                            keep=False)
+            await writer.drain()
+            self.request_shutdown()
+            return False
+        known = {"/healthz", "/stats", "/run", "/sweep", "/dse",
+                 "/jobs", "/shutdown"}
+        status = 405 if path in known else 404
+        self._send_json(writer, status,
+                        {"ok": False, "error": "%s %s" %
+                         (_REASONS[status].lower(), path)})
+        return True
+
+    # ------------------------------------------------------------------
+    # single runs: hot cache -> disk cache -> coalesce -> execute
+    # ------------------------------------------------------------------
+    async def _handle_run(self, body: bytes, writer) -> bool:
+        obj = json.loads(body or b"{}")
+        if not isinstance(obj, dict):
+            raise WireError("body must be a JSON object")
+        want_metrics = bool(obj.get("metrics", False))
+        # accept {"spec": {...}, "metrics": bool} or a bare spec body
+        wire = obj.get("spec", obj.get("run"))
+        if wire is None and "benchmark" in obj:
+            wire, want_metrics = obj, False
+        spec = spec_from_wire(wire)
+        record = await self._resolve(spec, want_metrics)
+        self._send_json(writer, 200 if record.get("ok") else 500, record)
+        return True
+
+    async def _resolve(self, spec: RunSpec, want_metrics: bool) -> dict:
+        key = spec_key(spec)
+        ckey = (key, want_metrics)
+        hot = self._hot.get(ckey)
+        if hot is not None:
+            self.counters["hot_hits"] += 1
+            self._hot.move_to_end(ckey)
+            return dict(hot, key=key, source="memory")
+        if self.cache is not None:
+            got = self.cache.get(key, with_metrics=want_metrics)
+            if got is not None:
+                record = _result_record(spec, got, True, want_metrics)
+                self._hot_put(ckey, record)
+                self.counters["disk_hits"] += 1
+                return dict(record, key=key, source="disk")
+        fut = self._inflight.get(ckey)
+        if fut is not None:
+            self.counters["coalesced"] += 1
+            record = await asyncio.shield(fut)
+            return dict(record, key=key, source="coalesced")
+        fut = self._loop.create_future()
+        self._inflight[ckey] = fut
+        self.counters["executions"] += 1
+        try:
+            record = await asyncio.to_thread(self._execute_single,
+                                             spec, want_metrics)
+            fut.set_result(record)
+        except BaseException:
+            # followers must always settle — on an unexpected
+            # cancellation they get a retryable error record
+            if not fut.done():
+                fut.set_result({"ok": False, "cached": False,
+                                "error": "execution cancelled",
+                                "fail_kind": "error"})
+            raise
+        finally:
+            self._inflight.pop(ckey, None)
+        if record.get("ok"):
+            self._hot_put(ckey, record)
+        return dict(record, key=key, source="executed")
+
+    def _execute_single(self, spec: RunSpec, want_metrics: bool) -> dict:
+        cfg = self.config
+        self._fire_on_execute([spec])
+        try:
+            (result,) = run_sweep([spec], workers=cfg.workers,
+                                  cache=self.cache,
+                                  collect_metrics=want_metrics,
+                                  task_timeout=cfg.task_timeout,
+                                  retries=cfg.retries,
+                                  on_error="return")
+        except Exception as exc:      # infrastructure, not the spec
+            return {"ok": False, "cached": False,
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                    "fail_kind": "error"}
+        return _result_record(spec, result, False, want_metrics)
+
+    def _fire_on_execute(self, specs: List[RunSpec]) -> None:
+        if self.config.on_execute is not None:
+            try:
+                self.config.on_execute(list(specs))
+            except Exception:
+                pass
+
+    def _hot_put(self, ckey, record: dict) -> None:
+        cap = self.config.hot_capacity
+        if cap <= 0 or not record.get("ok"):
+            return
+        self._hot[ckey] = record
+        self._hot.move_to_end(ckey)
+        while len(self._hot) > cap:
+            self._hot.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # batch jobs: sweeps and DSE
+    # ------------------------------------------------------------------
+    def _handle_sweep(self, body: bytes, writer) -> bool:
+        obj = json.loads(body or b"{}")
+        if not isinstance(obj, dict):
+            raise WireError("body must be a JSON object")
+        specs = specs_from_wire(obj.get("specs"))
+        job = self._submit_job("sweep", specs,
+                               bool(obj.get("metrics", False)),
+                               meta={"submitted_specs": len(specs)})
+        self._send_json(writer, 202, {"ok": True, "job": job.summary()})
+        return True
+
+    def _handle_dse(self, body: bytes, writer) -> bool:
+        obj = json.loads(body or b"{}")
+        if not isinstance(obj, dict):
+            raise WireError("body must be a JSON object")
+        specs, meta = self._dse_specs(obj)
+        job = self._submit_job("dse", specs,
+                               bool(obj.get("metrics", False)),
+                               meta=meta)
+        self._send_json(writer, 202, {"ok": True, "job": job.summary()})
+        return True
+
+    def _dse_specs(self, obj: dict) -> Tuple[List[RunSpec], dict]:
+        """A DSE submission is sugar for a sweep over a ConfigSpace.
+
+        ``space`` is a preset *name* or an inline space dict — never a
+        server-side file path; remote tenants don't get to open files.
+        """
+        import dataclasses as dc
+
+        from repro.dse import ConfigSpace
+        from repro.dse.space import default_space, paper_space
+        space_arg = obj.get("space", "paper")
+        if isinstance(space_arg, dict):
+            dims = {f.name for f in dc.fields(ConfigSpace)}
+            unknown = sorted(set(space_arg) - dims)
+            if unknown:
+                raise WireError("unknown space dimension(s): %s"
+                                % ", ".join(unknown))
+            try:
+                # omitted dimensions keep the ConfigSpace defaults
+                space = ConfigSpace(**{k: tuple(v) for k, v
+                                       in space_arg.items()})
+            except Exception as exc:
+                raise WireError("bad space: %s" % exc)
+        elif space_arg == "paper":
+            space = paper_space()
+        elif space_arg == "default":
+            space = default_space()
+        else:
+            raise WireError("space must be 'paper', 'default' or an "
+                            "inline space object")
+        probe = spec_from_wire({
+            "benchmark": obj.get("benchmark", "adpcm_enc"),
+            "n_samples": obj.get("n_samples", 600),
+            "seed": obj.get("seed", 20010618),
+            "predictor_spec": "bimodal-2048",
+            "engine": obj.get("engine", "interp"),
+        })
+        points = space.points()
+        n_points = obj.get("n_points")
+        if n_points is not None:
+            if isinstance(n_points, bool) or not isinstance(n_points,
+                                                           int) \
+                    or n_points <= 0:
+                raise WireError("n_points must be a positive integer")
+            points = space.sample(min(n_points, len(points)), probe.seed)
+        specs = [p.to_spec(probe.benchmark, probe.n_samples, probe.seed,
+                           engine=probe.engine) for p in points]
+        meta = {"space_digest": space.digest(),
+                "benchmark": probe.benchmark,
+                "n_samples": probe.n_samples, "seed": probe.seed,
+                "points": [p.key() for p in points]}
+        return specs, meta
+
+    def _submit_job(self, kind: str, specs: List[RunSpec],
+                    collect_metrics: bool, meta: Optional[dict] = None):
+        distinct = list(dict.fromkeys(specs))
+        job = self.jobs.create(kind, distinct,
+                               collect_metrics=collect_metrics,
+                               meta=meta)
+        self.counters["jobs_submitted"] += 1
+        task = self._loop.create_task(self._run_job(job))
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        return job
+
+    async def _run_job(self, job) -> None:
+        job.start()
+        try:
+            await asyncio.to_thread(self._execute_job, job)
+        except Exception as exc:      # infrastructure, not a spec
+            self.counters["jobs_failed"] += 1
+            job.finish(error="%s: %s" % (type(exc).__name__, exc))
+            log.error("job %s failed: %s: %s", job.id,
+                      type(exc).__name__, exc)
+            return
+        self.counters["executions"] += job.n_done - job.n_cached
+        job.finish()
+        if job.state == "failed":
+            self.counters["jobs_failed"] += 1
+        log.info("job %s %s: %d specs, %d cached, %d failed, %.2fs",
+                 job.id, job.state, job.n_total, job.n_cached,
+                 job.n_failed, job.finished - job.started)
+
+    def _execute_job(self, job) -> None:
+        cfg = self.config
+        self._fire_on_execute(job.specs)
+        run_sweep(job.specs, workers=cfg.workers, cache=self.cache,
+                  collect_metrics=job.collect_metrics,
+                  task_timeout=cfg.task_timeout, retries=cfg.retries,
+                  on_error="return", on_result=job.note_result)
+
+    # ------------------------------------------------------------------
+    # job introspection and event streaming
+    # ------------------------------------------------------------------
+    async def _handle_job(self, method: str, path: str, writer) -> bool:
+        parts = [p for p in path.split("/") if p]    # jobs/<id>[/events]
+        if method != "GET" or len(parts) not in (2, 3):
+            self._send_json(writer, 404, {"ok": False,
+                                          "error": "not found"})
+            return True
+        job = self.jobs.get(parts[1])
+        if job is None:
+            self._send_json(writer, 404, {"ok": False,
+                                          "error": "no such job %s"
+                                          % parts[1]})
+            return True
+        if len(parts) == 2:
+            self._send_json(writer, 200, {"ok": True,
+                                          "job": job.to_wire()})
+            return True
+        if parts[2] != "events":
+            self._send_json(writer, 404, {"ok": False,
+                                          "error": "not found"})
+            return True
+        await self._stream_events(job, writer)
+        return False                  # streams close their connection
+
+    async def _stream_events(self, job, writer) -> None:
+        """Chunked JSONL: one progress event per line, until the job's
+        terminal event has been delivered."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                line = json.dumps(job.events[sent]).encode("utf-8") \
+                    + b"\n"
+                writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+                sent += 1
+            await writer.drain()
+            if job.is_finished and sent >= len(job.events):
+                break
+            if self._stopping.is_set():
+                break
+            await asyncio.sleep(0.05)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        cache = None
+        if self.cache is not None:
+            cache = {"root": self.cache.root, "shards": self.cache.shards,
+                     "hits": self.cache.hits, "misses": self.cache.misses,
+                     "dropped": self.cache.dropped,
+                     "evicted": self.cache.evicted,
+                     "migrated": self.cache.migrated}
+        return {
+            "ok": True,
+            "uptime": round(time.time() - self._started_at, 3),
+            "counters": dict(self.counters),
+            "jobs": self.jobs.counts(),
+            "inflight": len(self._inflight),
+            "hot_entries": len(self._hot),
+            "cache": cache,
+            # live pool workers (children of this process); the chaos
+            # smoke SIGKILLs one of these mid-sweep
+            "worker_pids": sorted(p.pid for p in
+                                  multiprocessing.active_children()
+                                  if p.pid is not None),
+        }
+
+
+async def run_server(config: ServeConfig,
+                     install_signals: bool = True) -> Server:
+    """Build, bind and serve until shutdown; returns the served
+    instance (useful for post-mortem counters in tests/smoke)."""
+    import signal
+
+    server = Server(config)
+    await server.start()
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                break                 # non-main thread / platform
+    await server.serve()
+    return server

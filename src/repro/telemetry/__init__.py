@@ -28,7 +28,12 @@ from repro.telemetry.events import (
     MISS_NO_BIT_ENTRY,
     TraceEvent,
 )
-from repro.telemetry.sinks import JsonlTraceSink, RingBufferSink, read_jsonl
+from repro.telemetry.sinks import (
+    CallbackSink,
+    JsonlTraceSink,
+    RingBufferSink,
+    read_jsonl,
+)
 from repro.telemetry.metrics import (
     BranchPCStats,
     MetricsRegistry,
@@ -40,6 +45,7 @@ from repro.telemetry.timeline import lifecycle_cycles, render_pipeview
 
 __all__ = [
     "BranchPCStats",
+    "CallbackSink",
     "EVENT_KINDS",
     "FOLD_MISS_REASONS",
     "JsonlTraceSink",

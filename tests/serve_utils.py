@@ -1,0 +1,125 @@
+"""Shared harness for the serve test suites.
+
+``ServerThread`` hosts a real :class:`repro.serve.Server` — real
+sockets, real HTTP — on an ephemeral port inside a daemon thread
+running its own event loop, so synchronous pytest tests can drive it
+with :class:`repro.serve.ServeClient` or raw sockets and tear it down
+deterministically.
+
+``blast`` is the raw asyncio load client: N keep-alive connections
+each issuing a stream of requests, returning every response body.  It
+bypasses ``http.client`` so the load test measures the server, not the
+client's object churn.
+"""
+
+import asyncio
+import json
+import threading
+
+from repro.serve import ServeClient, ServeConfig, Server
+
+SPEC = {"benchmark": "adpcm_enc", "n_samples": 64, "seed": 11,
+        "predictor_spec": "not-taken"}
+
+
+def spec_wire(**overrides) -> dict:
+    wire = dict(SPEC)
+    wire.update(overrides)
+    return wire
+
+
+class ServerThread:
+    """A live daemon on 127.0.0.1:<ephemeral> for the test's duration."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        config.port = 0
+        self.server = Server(config)
+        self._ready = threading.Event()
+        self._error = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:     # surfaced by start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10) or self._error is not None:
+            raise RuntimeError("server failed to start: %r"
+                               % (self._error,))
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, timeout: float = 60.0) -> ServeClient:
+        return ServeClient(port=self.port, timeout=timeout)
+
+    def stop(self) -> None:
+        self.server.request_shutdown()
+        self._thread.join(timeout=15)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not shut down")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+async def _client_conn(port: int, payload: bytes, n_requests: int,
+                       results: list) -> None:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for _ in range(n_requests):
+            writer.write(payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.partition(b":")
+                if name.strip().lower() == b"content-length":
+                    length = int(value)
+            body = await reader.readexactly(length)
+            results.append((status, json.loads(body)))
+    finally:
+        writer.close()
+
+
+def http_payload(method: str, path: str, obj=None) -> bytes:
+    body = json.dumps(obj).encode() if obj is not None else b""
+    head = ("%s %s HTTP/1.1\r\nHost: x\r\nContent-Type: "
+            "application/json\r\nContent-Length: %d\r\n\r\n"
+            % (method, path, len(body)))
+    return head.encode() + body
+
+
+async def _blast(port: int, payload: bytes, connections: int,
+                 per_connection: int) -> list:
+    results: list = []
+    await asyncio.gather(*[
+        _client_conn(port, payload, per_connection, results)
+        for _ in range(connections)])
+    return results
+
+
+def blast(port: int, payload: bytes, connections: int,
+          per_connection: int) -> list:
+    """Fire ``connections * per_connection`` requests; returns every
+    ``(status, body)`` pair."""
+    return asyncio.run(_blast(port, payload, connections,
+                              per_connection))

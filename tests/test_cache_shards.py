@@ -1,0 +1,170 @@
+"""Sharded result-cache layout: migration, traversal, round-trips.
+
+The serve daemon points many pool workers (and potentially many
+tenants) at one cache directory, so entries are spread over hex-prefix
+shard subdirectories.  These tests lock the satellite contract:
+
+* opening a flat cache with ``shards=`` migrates every entry exactly
+  once, **byte-identically** and mtime-preserving;
+* ``gc`` and ``verify`` traverse shards (and mixed layouts) no matter
+  which ``shards=`` value the scanning handle was built with;
+* the layout function is shared (``shard_of``), so the wire protocol
+  and the cache can never disagree about an entry's home.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import ResultCache, RunSpec, key_for_spec, run_sweep, \
+    shard_of, shard_width
+from repro.sim.pipeline import PipelineStats
+
+KEYS = ["%064x" % (i * 0x1234567 + 7) for i in range(8)]
+
+
+def stats(cycles=100):
+    return PipelineStats(cycles=cycles, committed=80, fetched=90)
+
+
+def fill(cache, keys):
+    for i, key in enumerate(keys):
+        cache.put(key, stats(100 + i))
+
+
+def all_entry_paths(root):
+    out = []
+    for dirpath, _dirs, names in os.walk(root):
+        out.extend(os.path.join(dirpath, n) for n in names
+                   if n.endswith(".json"))
+    return sorted(out)
+
+
+class TestShardLayout:
+    def test_shard_width_values(self):
+        assert [shard_width(s) for s in (0, 16, 256, 4096)] == \
+            [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("bad", [-1, 1, 2, 15, 17, 512, "16", None])
+    def test_invalid_shard_counts_rejected(self, bad):
+        with pytest.raises(ValueError):
+            shard_width(bad)
+        with pytest.raises(ValueError):
+            ResultCache("unused", shards=bad)
+
+    def test_shard_of_is_the_key_prefix(self):
+        key = "abcdef" + "0" * 58
+        assert shard_of(key, 0) == ""
+        assert shard_of(key, 16) == "a"
+        assert shard_of(key, 256) == "ab"
+        assert shard_of(key, 4096) == "abc"
+
+    def test_put_lands_in_shard_subdirectory(self, tmp_path):
+        cache = ResultCache(str(tmp_path), shards=256)
+        key = KEYS[0]
+        cache.put(key, stats())
+        expect = tmp_path / key[:2] / (key + ".json")
+        assert expect.exists()
+        assert cache.get(key).cycles == 100
+
+    def test_flat_handle_keeps_flat_layout(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEYS[0], stats())
+        assert (tmp_path / (KEYS[0] + ".json")).exists()
+
+
+class TestMigration:
+    def test_flat_entries_migrate_byte_identically(self, tmp_path):
+        flat = ResultCache(str(tmp_path))
+        fill(flat, KEYS)
+        before = {os.path.basename(p): open(p, "rb").read()
+                  for p in all_entry_paths(str(tmp_path))}
+        ages = {key: os.stat(flat._path(key)).st_mtime_ns
+                for key in KEYS}
+
+        sharded = ResultCache(str(tmp_path), shards=256)
+        assert sharded.migrated == len(KEYS)
+        # no flat entries remain; every entry sits in its shard
+        assert not [n for n in os.listdir(str(tmp_path))
+                    if n.endswith(".json")]
+        for key in KEYS:
+            path = os.path.join(str(tmp_path), key[:2], key + ".json")
+            assert os.path.exists(path)
+            assert open(path, "rb").read() == before[key + ".json"]
+            assert os.stat(path).st_mtime_ns == ages[key]
+
+        # reads return the same stats, through the new layout
+        for i, key in enumerate(KEYS):
+            assert sharded.get(key).cycles == 100 + i
+        assert sharded.hits == len(KEYS)
+
+    def test_migration_happens_once(self, tmp_path):
+        fill(ResultCache(str(tmp_path)), KEYS)
+        first = ResultCache(str(tmp_path), shards=256)
+        assert first.migrated == len(KEYS)
+        again = ResultCache(str(tmp_path), shards=256)
+        assert again.migrated == 0
+        assert again.get(KEYS[0]) is not None
+
+    def test_migrated_sweep_results_identical(self, tmp_path):
+        """End-to-end: a real sweep cached flat, reread sharded."""
+        spec = RunSpec("adpcm_enc", 64, 11, "not-taken")
+        flat = ResultCache(str(tmp_path))
+        (cold,) = run_sweep([spec], cache=flat)
+        sharded = ResultCache(str(tmp_path), shards=256)
+        assert sharded.migrated == 1
+        (warm,) = run_sweep([spec], cache=sharded)
+        assert warm == cold
+        assert sharded.hits == 1 and sharded.misses == 0
+
+    def test_missing_directory_migration_is_noop(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "nope"), shards=16)
+        assert cache.migrated == 0
+
+
+class TestTraversal:
+    def test_gc_traverses_shards(self, tmp_path):
+        cache = ResultCache(str(tmp_path), shards=256)
+        fill(cache, KEYS)
+        for i, key in enumerate(KEYS):
+            os.utime(cache._path(key), (1_000_000 + i, 1_000_000 + i))
+        size = os.path.getsize(cache._path(KEYS[0]))
+        result = cache.gc(max_bytes=3 * size)
+        assert result.scanned == len(KEYS)
+        assert result.removed == len(KEYS) - 3
+        survivors = {os.path.basename(p)[:-5]
+                     for p in all_entry_paths(str(tmp_path))}
+        assert survivors == set(KEYS[-3:])   # oldest evicted first
+
+    def test_verify_traverses_shards_and_prunes(self, tmp_path):
+        cache = ResultCache(str(tmp_path), shards=16)
+        fill(cache, KEYS[:4])
+        bad = cache._path(KEYS[0])
+        entry = json.load(open(bad))
+        entry["stats"]["cycles"] += 1        # silent corruption
+        with open(bad, "w") as f:
+            json.dump(entry, f)
+        result = cache.verify()
+        assert result.scanned == 4
+        assert result.ok == 3 and result.corrupt == 1
+        assert result.pruned == 1
+        assert not os.path.exists(bad)
+
+    def test_flat_handle_scans_mixed_layout(self, tmp_path):
+        """``repro cache gc``/``verify`` default to a flat handle; they
+        must still see sharded entries left by the daemon."""
+        ResultCache(str(tmp_path), shards=256).put(KEYS[0], stats())
+        flat = ResultCache(str(tmp_path))
+        flat.put(KEYS[1], stats())
+        assert flat.gc().scanned == 2
+        assert flat.verify().ok == 2
+
+    def test_corrupt_sharded_entry_dropped_on_read(self, tmp_path):
+        cache = ResultCache(str(tmp_path), shards=256)
+        cache.put(KEYS[0], stats())
+        with open(cache._path(KEYS[0]), "w") as f:
+            f.write("{ truncated")
+        assert cache.get(KEYS[0]) is None
+        assert cache.dropped == 1
+        assert not os.path.exists(cache._path(KEYS[0]))

@@ -1,0 +1,133 @@
+"""Property tests for the service wire format and coalescing key.
+
+The serve API's whole correctness story hangs on one invariant chain:
+
+    wire JSON ──decode──> RunSpec ──hash──> spec key ──prefix──> shard
+
+* any two wire bodies that decode to equal ``RunSpec`` objects must map to
+  the same spec hash and the same shard path (so they coalesce onto
+  one execution and one cache entry);
+* a decode → encode → decode round trip through *serialised* JSON must
+  be the identity (so resubmitting a job record reuses the cache);
+* the execution engine must never enter the key (the PR 5 bit-identity
+  invariant, now locked at the API boundary).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runner import key_for_spec, shard_of
+from repro.serve import (
+    WireError,
+    shard_path,
+    spec_from_wire,
+    spec_key,
+    spec_to_wire,
+)
+
+# small input sizes keep the (memoised) input digests cheap; two real
+# benchmarks exercise distinct program digests
+wire_bodies = st.fixed_dictionaries(
+    {
+        "benchmark": st.sampled_from(["adpcm_enc", "adpcm_dec"]),
+        "n_samples": st.integers(min_value=1, max_value=48),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "predictor_spec": st.sampled_from(
+            ["not-taken", "bimodal-2048", "bimodal-512-512",
+             "gshare-2048-11"]),
+    },
+    optional={
+        "with_asbr": st.booleans(),
+        "bit_capacity": st.sampled_from([4, 8, 16, 32]),
+        "bdt_update": st.sampled_from(["commit", "mem", "execute"]),
+        "min_fold_fraction": st.floats(min_value=0.0, max_value=1.0,
+                                       allow_nan=False),
+        "min_count": st.integers(min_value=0, max_value=256),
+        "engine": st.sampled_from(["interp", "blocks"]),
+    },
+)
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(body=wire_bodies)
+@SETTINGS
+def test_wire_round_trip_is_identity(body):
+    spec = spec_from_wire(body)
+    rewired = json.loads(json.dumps(spec_to_wire(spec)))
+    again = spec_from_wire(rewired)
+    assert again == spec
+
+
+@given(body=wire_bodies)
+@SETTINGS
+def test_equal_specs_share_key_and_shard(body):
+    spec = spec_from_wire(body)
+    again = spec_from_wire(json.loads(json.dumps(spec_to_wire(spec))))
+    assert spec_key(spec) == spec_key(again)
+    for shards in (0, 16, 256, 4096):
+        assert shard_path(spec, shards) == shard_path(again, shards)
+
+
+@given(body=wire_bodies, engine_a=st.sampled_from(["interp", "blocks"]),
+       engine_b=st.sampled_from(["interp", "blocks"]))
+@SETTINGS
+def test_engine_never_enters_key_or_shard(body, engine_a, engine_b):
+    a = spec_from_wire(dict(body, engine=engine_a))
+    b = spec_from_wire(dict(body, engine=engine_b))
+    assert spec_key(a) == spec_key(b)
+    assert shard_path(a, 256) == shard_path(b, 256)
+
+
+@given(body=wire_bodies)
+@SETTINGS
+def test_spec_key_is_the_runner_cache_key(body):
+    """The service must address the *existing* cache, not a parallel
+    namespace: serve keys and runner keys are the same function."""
+    spec = spec_from_wire(body)
+    key = spec_key(spec)
+    assert key == key_for_spec(spec)
+    path = shard_path(spec, 256)
+    assert path == "%s/%s.json" % (shard_of(key, 256), key)
+
+
+# ----------------------------------------------------------------------
+# strictness (example-based: hypothesis guards the happy path above)
+# ----------------------------------------------------------------------
+VALID = {"benchmark": "adpcm_enc", "n_samples": 64, "seed": 11,
+         "predictor_spec": "not-taken"}
+
+
+@pytest.mark.parametrize("mutate", [
+    {"benchmark": "no-such-workload"},
+    {"n_samples": 0},
+    {"n_samples": True},
+    {"n_samples": "64"},
+    {"with_asbr": 1},
+    {"min_fold_fraction": "0.5"},
+    {"engine": "jit"},
+    {"bdt_update": "fetch"},
+    {"bogus_field": 1},
+])
+def test_bad_bodies_rejected(mutate):
+    with pytest.raises(WireError):
+        spec_from_wire(dict(VALID, **mutate))
+
+
+@pytest.mark.parametrize("drop", ["benchmark", "n_samples", "seed",
+                                  "predictor_spec"])
+def test_missing_required_fields_rejected(drop):
+    body = dict(VALID)
+    del body[drop]
+    with pytest.raises(WireError):
+        spec_from_wire(body)
+
+
+@pytest.mark.parametrize("body", [None, [], "spec", 7])
+def test_non_object_spec_rejected(body):
+    with pytest.raises(WireError):
+        spec_from_wire(body)
