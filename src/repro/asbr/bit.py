@@ -19,6 +19,7 @@ from repro.asbr.branch_info import BranchInfo
 from repro.isa.conditions import Condition
 from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
+from repro.tablegeom import TARGET_BITS, entry_state_bits
 
 
 class BITEntry:
@@ -46,9 +47,11 @@ class BITEntry:
                 % (self.pc, self.cond_reg, self.condition.value, self.bta))
 
 
-#: Hardware bits per BIT entry: PC tag (30) + BTA (30) + two instruction
-#: words (32 each) + DI (5-bit register + 3-bit condition) + valid bit.
-BITS_PER_ENTRY = 30 + 30 + 32 + 32 + 5 + 3 + 1
+#: Hardware bits per BIT entry, sized through the shared tagged-entry
+#: model (:func:`repro.tablegeom.entry_state_bits`): PC tag + valid
+#: around a payload of BTA (30) + two instruction words (32 each) + DI
+#: (5-bit register + 3-bit condition).
+BITS_PER_ENTRY = entry_state_bits(TARGET_BITS + 32 + 32 + 5 + 3)
 
 
 class BranchIdentificationTable:

@@ -270,7 +270,7 @@ def cmd_trace(args) -> int:
 def cmd_experiments(args) -> int:
     from repro.experiments import (ablations, dse_frontier, energy,
                                    fault_campaign, fig6, fig7, fig9,
-                                   fig10, fig11)
+                                   fig10, fig11, frontend_frontier)
     from repro.experiments.common import ExperimentSetup
     cache_dir = None if args.no_cache else args.cache_dir
     setup = ExperimentSetup(n_samples=args.samples, workers=args.workers,
@@ -280,6 +280,8 @@ def cmd_experiments(args) -> int:
         "fig10": fig10.main, "fig11": fig11.main,
         "ablations": ablations.main, "energy": energy.main,
         "dse_frontier": dse_frontier.main,
+        "frontend_frontier": lambda s: frontend_frontier.main(
+            s, quick=args.quick),
         "fault_campaign": fault_campaign.main,
     }
     names = list(drivers) if args.which == "all" else [args.which]
@@ -572,9 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate paper tables")
     p.add_argument("which", choices=("fig6", "fig7", "fig9", "fig10",
                                      "fig11", "ablations", "energy",
-                                     "dse_frontier", "fault_campaign",
-                                     "all"))
+                                     "dse_frontier", "frontend_frontier",
+                                     "fault_campaign", "all"))
     p.add_argument("--samples", type=int, default=600)
+    p.add_argument("--quick", action="store_true",
+                   help="frontend_frontier: shrink the sweep to the "
+                        "verdict-bearing corner (the CI smoke mode)")
     p.add_argument("--workers", type=int,
                    default=int(os.environ.get("REPRO_WORKERS", "0")),
                    help="simulate independent configurations on N "

@@ -30,6 +30,11 @@ from typing import Dict, Optional, Tuple
 from repro.asbr.bit import BITS_PER_ENTRY
 from repro.asbr.bdt import BranchDirectionTable
 from repro.dse.space import DesignPoint
+from repro.predictors.btb import TARGET_BITS, entry_state_bits
+
+#: FTQ entry cost: fetch pc + predicted next pc + 2 flag bits
+#: (mirrors DecoupledFrontend.state_bits).
+FTQ_ENTRY_BITS = 30 + 30 + 2
 from repro.power import estimate_energy_from_stats
 from repro.predictors import make_predictor
 from repro.sim.pipeline import PipelineStats
@@ -99,7 +104,22 @@ def table_cost_bits(point: DesignPoint) -> int:
     if point.with_asbr:
         bits += point.bit_capacity * BITS_PER_ENTRY
         bits += BranchDirectionTable().state_bits
+    bits += frontend_cost_bits(point)
     return bits
+
+
+def frontend_cost_bits(point: DesignPoint) -> int:
+    """Decoupled-frontend SRAM (BTB levels + FTQ), zero when absent.
+
+    Computed from the shared entry geometry rather than by
+    instantiating the structures, so sweeps stay cheap; the formula is
+    locked against ``DecoupledFrontend.state_bits`` by the DSE tests.
+    """
+    if not point.frontend:
+        return 0
+    entry = entry_state_bits(TARGET_BITS)
+    return ((point.btb_l1_entries + point.btb_l2_entries) * entry
+            + point.ftq_depth * FTQ_ENTRY_BITS)
 
 
 def fold_coverage(metrics: Optional[dict]) -> float:
@@ -120,9 +140,13 @@ def point_energy(point: DesignPoint, stats: PipelineStats) -> float:
         else 0
     bdt_bits = BranchDirectionTable().state_bits if point.with_asbr \
         else 0
+    # frontend SRAM rides in the predictor term: same leakage/access
+    # cost class (prediction-structure bits scanned every fetch)
+    pred_bits = (table_cost_bits(
+        DesignPoint(point.predictor_spec, with_asbr=False))
+        + frontend_cost_bits(point))
     report = estimate_energy_from_stats(
-        stats, predictor_state_bits=table_cost_bits(
-            DesignPoint(point.predictor_spec, with_asbr=False)),
+        stats, predictor_state_bits=pred_bits,
         bit_state_bits=bit_bits, bdt_state_bits=bdt_bits)
     return report.total
 

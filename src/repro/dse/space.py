@@ -33,6 +33,11 @@ BDT_UPDATES: Tuple[str, ...] = ("commit", "mem", "execute")
 _NO_ASBR = {"bit_capacity": 16, "bdt_update": "execute",
             "min_fold_fraction": 0.5, "min_count": 16}
 
+#: Canonical frontend-knob values carried by points without the
+#: decoupled front end (same dedup rule as :data:`_NO_ASBR`).
+_NO_FRONTEND = {"btb_l1_entries": 64, "btb_l2_entries": 2048,
+                "btb_l2_assoc": 4, "ftq_depth": 8, "fdip": False}
+
 
 @dataclass(frozen=True)
 class DesignPoint:
@@ -44,6 +49,12 @@ class DesignPoint:
     bdt_update: str = "execute"
     min_fold_fraction: float = 0.5
     min_count: int = 16
+    frontend: bool = False
+    btb_l1_entries: int = 64
+    btb_l2_entries: int = 2048
+    btb_l2_assoc: int = 4
+    ftq_depth: int = 8
+    fdip: bool = False
 
     def __post_init__(self) -> None:
         if self.bdt_update not in BDT_UPDATES:
@@ -59,6 +70,18 @@ class DesignPoint:
             # canonicalise: ASBR knobs are meaningless without the unit
             for name, value in _NO_ASBR.items():
                 object.__setattr__(self, name, value)
+        if self.frontend:
+            # shape validation is the frontend package's job; importing
+            # it lazily keeps repro.dse importable on its own
+            from repro.frontend import FrontendConfig
+            FrontendConfig(btb_l1_entries=self.btb_l1_entries,
+                           btb_l2_entries=self.btb_l2_entries,
+                           btb_l2_assoc=self.btb_l2_assoc,
+                           ftq_depth=self.ftq_depth,
+                           fdip=self.fdip)
+        else:
+            for name, value in _NO_FRONTEND.items():
+                object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------
     @property
@@ -69,18 +92,32 @@ class DesignPoint:
     def key(self) -> str:
         """Stable identity string (journal keys, dedup, display)."""
         if not self.with_asbr:
-            return "pred=%s" % self.predictor_spec
-        return ("pred=%s asbr bit=%d upd=%s ff=%.3f mc=%d"
-                % (self.predictor_spec, self.bit_capacity,
-                   self.bdt_update, self.min_fold_fraction,
-                   self.min_count))
+            base = "pred=%s" % self.predictor_spec
+        else:
+            base = ("pred=%s asbr bit=%d upd=%s ff=%.3f mc=%d"
+                    % (self.predictor_spec, self.bit_capacity,
+                       self.bdt_update, self.min_fold_fraction,
+                       self.min_count))
+        if self.frontend:
+            base += (" fe btb=%d/%dx%d ftq=%d fdip=%d"
+                     % (self.btb_l1_entries, self.btb_l2_entries,
+                        self.btb_l2_assoc, self.ftq_depth,
+                        int(self.fdip)))
+        return base
 
     def label(self) -> str:
         """Short human form for tables and plots."""
         if not self.with_asbr:
-            return self.predictor_spec
-        return "%s+asbr(bit%d,t%d)" % (self.predictor_spec,
-                                       self.bit_capacity, self.threshold)
+            base = self.predictor_spec
+        else:
+            base = "%s+asbr(bit%d,t%d)" % (self.predictor_spec,
+                                           self.bit_capacity,
+                                           self.threshold)
+        if self.frontend:
+            base += "+fe(btb%d/%d,ftq%d%s)" % (
+                self.btb_l1_entries, self.btb_l2_entries,
+                self.ftq_depth, ",fdip" if self.fdip else "")
+        return base
 
     def to_spec(self, benchmark: str, n_samples: int,
                 seed: int, engine: str = "interp") -> RunSpec:
@@ -96,14 +133,23 @@ class DesignPoint:
                        bdt_update=self.bdt_update,
                        min_fold_fraction=self.min_fold_fraction,
                        min_count=self.min_count,
-                       engine=engine)
+                       engine=engine,
+                       frontend=self.frontend,
+                       btb_l1_entries=self.btb_l1_entries,
+                       btb_l2_entries=self.btb_l2_entries,
+                       btb_l2_assoc=self.btb_l2_assoc,
+                       ftq_depth=self.ftq_depth,
+                       fdip=self.fdip)
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @classmethod
     def from_dict(cls, d: dict) -> "DesignPoint":
-        return cls(**{f.name: d[f.name] for f in fields(cls)})
+        # missing keys take the field default so journals written
+        # before the frontend dimensions existed still load
+        return cls(**{f.name: d.get(f.name, f.default)
+                      for f in fields(cls)})
 
 
 def _tuple(values) -> tuple:
@@ -123,11 +169,16 @@ class ConfigSpace:
     bdt_updates: Tuple[str, ...] = BDT_UPDATES
     min_fold_fractions: Tuple[float, ...] = (0.5,)
     min_counts: Tuple[int, ...] = (16,)
+    frontends: Tuple[bool, ...] = (False,)
+    btb_l1_entries: Tuple[int, ...] = (64,)
+    btb_l2_entries: Tuple[int, ...] = (2048,)
+    btb_l2_assocs: Tuple[int, ...] = (4,)
+    ftq_depths: Tuple[int, ...] = (8,)
+    fdip: Tuple[bool, ...] = (False,)
 
     def __post_init__(self) -> None:
-        for name in ("predictors", "asbr", "bit_capacities",
-                     "bdt_updates", "min_fold_fractions", "min_counts"):
-            object.__setattr__(self, name, _tuple(getattr(self, name)))
+        for f in fields(self):
+            object.__setattr__(self, f.name, _tuple(getattr(self, f.name)))
         for upd in self.bdt_updates:
             if upd not in BDT_UPDATES:
                 raise ValueError("unknown bdt_update %r" % (upd,))
@@ -136,11 +187,14 @@ class ConfigSpace:
     def points(self) -> List[DesignPoint]:
         """Every distinct point, in deterministic order.
 
-        Non-ASBR points collapse the ASBR dimensions (one point per
-        predictor), so the grid never multiplies meaningless variants.
+        Non-ASBR points collapse the ASBR dimensions and non-frontend
+        points collapse the frontend dimensions (one point per
+        remaining combination), so the grid never multiplies
+        meaningless variants.
         """
         out: List[DesignPoint] = []
         seen = set()
+        defaults = DesignPoint()
         for pred in self.predictors:
             for with_asbr in self.asbr:
                 caps = self.bit_capacities if with_asbr else (None,)
@@ -151,14 +205,41 @@ class ConfigSpace:
                     for upd in upds:
                         for ff in ffs:
                             for mc in mcs:
-                                if with_asbr:
-                                    p = DesignPoint(pred, True, cap, upd,
-                                                    ff, mc)
-                                else:
-                                    p = DesignPoint(pred, False)
-                                if p not in seen:
-                                    seen.add(p)
-                                    out.append(p)
+                                for fe in self._frontend_variants():
+                                    if with_asbr:
+                                        p = DesignPoint(pred, True, cap,
+                                                        upd, ff, mc, **fe)
+                                    else:
+                                        p = DesignPoint(pred, False,
+                                                        defaults.bit_capacity,
+                                                        defaults.bdt_update,
+                                                        defaults.min_fold_fraction,
+                                                        defaults.min_count,
+                                                        **fe)
+                                    if p not in seen:
+                                        seen.add(p)
+                                        out.append(p)
+        return out
+
+    def _frontend_variants(self) -> List[dict]:
+        """Keyword dicts for the frontend sub-grid (collapsed when the
+        front end is absent)."""
+        out: List[dict] = []
+        for frontend in self.frontends:
+            if not frontend:
+                out.append({"frontend": False})
+                continue
+            for l1 in self.btb_l1_entries:
+                for l2 in self.btb_l2_entries:
+                    for assoc in self.btb_l2_assocs:
+                        for depth in self.ftq_depths:
+                            for fdip in self.fdip:
+                                out.append({"frontend": True,
+                                            "btb_l1_entries": l1,
+                                            "btb_l2_entries": l2,
+                                            "btb_l2_assoc": assoc,
+                                            "ftq_depth": depth,
+                                            "fdip": fdip})
         return out
 
     @property
@@ -178,7 +259,10 @@ class ConfigSpace:
 
     @classmethod
     def from_dict(cls, d: dict) -> "ConfigSpace":
-        return cls(**{f.name: tuple(d[f.name]) for f in fields(cls)})
+        # frontend dimensions default when absent (pre-frontend files)
+        return cls(**{f.name: tuple(d[f.name]) if f.name in d
+                      else f.default
+                      for f in fields(cls)})
 
     def digest(self) -> str:
         """Content hash pinning a journal to this exact space."""

@@ -12,6 +12,9 @@
   and predictor-area studies backing the paper's design-choice claims.
 * :mod:`repro.experiments.dse_frontier` — the paper space as a computed
   speedup/cost/energy Pareto frontier (:mod:`repro.dse`).
+* :mod:`repro.experiments.frontend_frontier` — ASBR folding vs a
+  decoupled BTB/FTQ/FDIP front end (:mod:`repro.frontend`) on the same
+  frontier.
 * :mod:`repro.experiments.fault_campaign` — soft-error vulnerability of
   the ASBR state under none/parity/ECC protection (:mod:`repro.faults`).
 
@@ -36,6 +39,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    frontend_frontier,
     paper_data,
 )
 
@@ -51,6 +55,7 @@ __all__ = [
     "ablations",
     "dse_frontier",
     "energy",
+    "frontend_frontier",
     "fault_campaign",
     "paper_data",
 ]

@@ -1,0 +1,34 @@
+"""Decoupled front end: two-level BTB, fetch target queue, FDIP.
+
+The modern alternative to the paper's fetch-stage branch folding: a
+branch-prediction unit that runs *ahead* of fetch, feeding a fetch
+target queue whose entries drive fetch-directed instruction prefetching
+into the I-cache.  See PAPERS.md ("Fetch-Directed Instruction
+Prefetching Revisited"; "Micro BTB") and the ``frontend_frontier``
+experiment for the question this package exists to answer: does ASBR
+folding still earn its table bits once the front end prefetches and
+predicts ahead?
+
+Attach via ``PipelineSimulator(..., frontend=FrontendConfig(...))`` —
+default off; a ``frontend=None`` run is bit-identical to the seed
+simulator (locked by the golden-stats suite).
+"""
+
+from repro.frontend.btb import TwoLevelBTB
+from repro.frontend.core import (
+    DecoupledFrontend,
+    FrontendConfig,
+    FrontendStats,
+    attach_frontend,
+)
+from repro.frontend.ftq import FetchTargetQueue, FTQEntry
+
+__all__ = [
+    "DecoupledFrontend",
+    "FetchTargetQueue",
+    "FTQEntry",
+    "FrontendConfig",
+    "FrontendStats",
+    "TwoLevelBTB",
+    "attach_frontend",
+]

@@ -1,0 +1,116 @@
+"""Two-level BTB hierarchy: small direct-mapped L1, big set-associative L2.
+
+The organisation follows "Micro BTB" (Gupta & Panda, PAPERS.md): a tiny
+first-level table answers in the fetch-critical path, backed by a large
+set-associative last level.  Movement between the levels is two-way:
+
+* **upward promotion** — a last-level hit copies the entry into L1 so
+  the next lookup of a hot branch is a first-level hit;
+* **victim fill** — whatever L1 evicts (on an insert *or* a promotion)
+  is demoted into the last level instead of being dropped.
+
+Together these give the invariant the hypothesis suite locks: promotion
+never loses a target — any PC→target mapping present before a lookup is
+still resolvable after it.
+
+Tag/index math and per-entry sizing come from the shared helpers in
+:mod:`repro.predictors.btb`; a plain direct-mapped
+:class:`~repro.predictors.btb.BranchTargetBuffer` serves as the L1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.predictors.btb import (
+    TARGET_BITS,
+    BranchTargetBuffer,
+    entry_state_bits,
+    pc_index,
+)
+
+
+class TwoLevelBTB:
+    """Decoupled-frontend BTB hierarchy (L1 direct + set-assoc L2)."""
+
+    def __init__(self, l1_entries: int = 64, l2_entries: int = 2048,
+                 l2_assoc: int = 4) -> None:
+        if l2_assoc <= 0 or l2_assoc & (l2_assoc - 1):
+            raise ValueError("L2 associativity must be a power of two")
+        if l2_entries <= 0 or l2_entries & (l2_entries - 1):
+            raise ValueError("L2 entries must be a power of two")
+        if l2_entries % l2_assoc:
+            raise ValueError("L2 entries must be a multiple of the "
+                             "associativity")
+        self.l1 = BranchTargetBuffer(l1_entries)
+        self.l2_entries = l2_entries
+        self.l2_assoc = l2_assoc
+        self._l2_sets = l2_entries // l2_assoc
+        self._l2_mask = self._l2_sets - 1
+        # per-set: OrderedDict pc -> target; order = LRU (oldest first)
+        self._l2: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(self._l2_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Tuple[Optional[int], int]:
+        """``(target, level)`` for ``pc`` — level 1, 2, or ``(None, 0)``.
+
+        A last-level hit promotes the entry to L1; the L1 victim (if
+        any) is demoted into the last level, so the pair behaves like an
+        exclusive hierarchy and no target is lost to promotion.
+        """
+        target = self.l1.lookup(pc)
+        if target is not None:
+            return target, 1
+        way = self._l2[pc_index(pc, self._l2_mask)]
+        target = way.get(pc)
+        if target is None:
+            return None, 0
+        del way[pc]                      # exclusive: moves up, not copies
+        self._fill_l1(pc, target)
+        return target, 2
+
+    def insert(self, pc: int, target: int) -> None:
+        """Train with a resolved taken target (new entries enter L1)."""
+        self._fill_l1(pc, target)
+
+    # ------------------------------------------------------------------
+    def _fill_l1(self, pc: int, target: int) -> None:
+        l1 = self.l1
+        i = pc_index(pc, l1._mask)
+        victim_pc = l1._tags[i]
+        if victim_pc is not None and victim_pc != pc:
+            self._fill_l2(victim_pc, l1._targets[i])
+        l1._tags[i] = pc
+        l1._targets[i] = target
+
+    def _fill_l2(self, pc: int, target: int) -> None:
+        way = self._l2[pc_index(pc, self._l2_mask)]
+        if pc in way:
+            way.move_to_end(pc)
+            way[pc] = target
+            return
+        if len(way) >= self.l2_assoc:
+            way.popitem(last=False)      # true capacity loss, not promotion
+        way[pc] = target
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.l1.reset()
+        for way in self._l2:
+            way.clear()
+
+    def __len__(self) -> int:
+        l1_live = sum(1 for t in self.l1._tags if t is not None)
+        return l1_live + sum(len(way) for way in self._l2)
+
+    @property
+    def state_bits(self) -> int:
+        per_entry = entry_state_bits(TARGET_BITS)
+        return (self.l1.entries + self.l2_entries) * per_entry
+
+    def __repr__(self) -> str:
+        return ("TwoLevelBTB(l1=%d, l2=%dx%d-way)"
+                % (self.l1.entries, self._l2_sets, self.l2_assoc))

@@ -46,6 +46,7 @@ class CacheStats:
     accesses: int = 0
     misses: int = 0
     writebacks: int = 0
+    prefetch_fills: int = 0   # blocks installed via the prefetch port
 
     @property
     def hits(self) -> int:
@@ -59,6 +60,7 @@ class CacheStats:
         self.accesses = 0
         self.misses = 0
         self.writebacks = 0
+        self.prefetch_fills = 0
 
 
 class Cache:
@@ -104,6 +106,30 @@ class Cache:
                 penalty += self.config.writeback_penalty
         way[tag] = is_write
         return penalty
+
+    def prefetch(self, addr: int) -> bool:
+        """Install the block holding ``addr`` without demand accounting.
+
+        The fill obeys normal placement (LRU victim, dirty writeback
+        still charged to ``stats.writebacks``) but touches neither the
+        demand ``accesses`` nor ``misses`` counters — a prefetcher
+        (:mod:`repro.frontend`) must not launder its traffic into the
+        demand miss rate.  The block is installed clean and in MRU
+        position.  Returns True when a fill happened, False when the
+        block was already resident (the resident block's LRU state is
+        left untouched, like :meth:`contains`).
+        """
+        tag = addr >> self._block_shift
+        way = self._sets[tag & self._set_mask]
+        if tag in way:
+            return False
+        if len(way) >= self.config.assoc:
+            _victim, dirty = way.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+        way[tag] = False
+        self.stats.prefetch_fills += 1
+        return True
 
     def contains(self, addr: int) -> bool:
         """True if the block holding ``addr`` is resident (no LRU update)."""

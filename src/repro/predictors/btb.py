@@ -1,13 +1,28 @@
-"""Branch target buffer.
+"""Branch target buffer, and the tag/index math every PC-keyed table shares.
 
 A direct-mapped, tagged table mapping branch PC to its taken-target
 address.  Direction predictors pair with one of these: a taken
 prediction can only redirect fetch when the BTB holds the target.
+
+The *shared entry model* for PC-keyed prediction structures —
+word-granular slot indexing (:func:`pc_index`) and per-entry SRAM
+sizing (:func:`entry_state_bits`) — lives in the dependency-leaf module
+:mod:`repro.tablegeom` and is re-exported here.  The ASBR Branch
+Identification Table (:mod:`repro.asbr.bit`) and the two-level BTB
+hierarchy (:mod:`repro.frontend.btb`) size and index their entries
+through the same helpers instead of duplicating the tag math.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
+
+from repro.tablegeom import (  # noqa: F401  (re-exported API)
+    PC_TAG_BITS,
+    TARGET_BITS,
+    entry_state_bits,
+    pc_index,
+)
 
 
 class BranchTargetBuffer:
@@ -22,16 +37,16 @@ class BranchTargetBuffer:
         self._targets: List[int] = [0] * entries
 
     def _index(self, pc: int) -> int:
-        return (pc >> 2) & self._mask
+        return pc_index(pc, self._mask)
 
     def lookup(self, pc: int) -> Optional[int]:
         """Target address for the branch at ``pc``, or None on miss."""
-        i = self._index(pc)
+        i = pc_index(pc, self._mask)
         return self._targets[i] if self._tags[i] == pc else None
 
     def insert(self, pc: int, target: int) -> None:
         """Record (or overwrite) the target of a taken branch."""
-        i = self._index(pc)
+        i = pc_index(pc, self._mask)
         self._tags[i] = pc
         self._targets[i] = target
 
@@ -41,5 +56,8 @@ class BranchTargetBuffer:
 
     @property
     def state_bits(self) -> int:
-        # tag (30 significant PC bits) + target (30) + valid, per entry
-        return self.entries * (30 + 30 + 1)
+        return self.entries * entry_state_bits(TARGET_BITS)
+
+
+#: Deprecation-free short alias (kept stable; both names are public).
+BTB = BranchTargetBuffer

@@ -58,8 +58,10 @@ from repro.sim.pipeline import PipelineStats
 #: when the entry schema changes.  v2 added the optional ``metrics``
 #: block (serialised telemetry tables riding alongside the stats); v3
 #: added the selection-policy knobs to the config digest; v4 added the
-#: in-entry payload checksum (``sha256``), verified on every read.
-CACHE_VERSION = 4
+#: in-entry payload checksum (``sha256``), verified on every read; v5
+#: added the decoupled-frontend knobs (frontend/BTB/FTQ/FDIP) to the
+#: config digest.
+CACHE_VERSION = 5
 
 _digest_memo: Dict[tuple, str] = {}
 
@@ -153,7 +155,10 @@ def config_digest(spec: RunSpec) -> str:
     return _sha("config", "v%d" % CACHE_VERSION, SELECTION_BASELINE,
                 spec.predictor_spec, str(spec.with_asbr),
                 str(spec.bit_capacity), spec.bdt_update,
-                repr(spec.min_fold_fraction), str(spec.min_count))
+                repr(spec.min_fold_fraction), str(spec.min_count),
+                str(spec.frontend), str(spec.btb_l1_entries),
+                str(spec.btb_l2_entries), str(spec.btb_l2_assoc),
+                str(spec.ftq_depth), str(spec.fdip))
 
 
 def key_for_spec(spec: RunSpec) -> str:

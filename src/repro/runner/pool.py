@@ -51,6 +51,17 @@ class RunSpec:
     #: execution engine ("interp" | "blocks"); never part of the result
     #: cache key — both engines are bit-identical by construction
     engine: str = "interp"
+    #: decoupled front end (:mod:`repro.frontend`); off by default so
+    #: legacy specs keep their exact seed timing.  The five knobs below
+    #: only matter when ``frontend`` is set but, like the ASBR selection
+    #: knobs, are part of every spec's identity so DSE sweeps them
+    #: through the same cache and pool.
+    frontend: bool = False
+    btb_l1_entries: int = 64
+    btb_l2_entries: int = 2048
+    btb_l2_assoc: int = 4
+    ftq_depth: int = 8
+    fdip: bool = False
 
 
 def _execute(spec: RunSpec, trace=None) -> PipelineStats:
@@ -87,10 +98,19 @@ def _execute(spec: RunSpec, trace=None) -> PipelineStats:
         asbr = ASBRUnit.from_branch_infos(sel.infos,
                                           capacity=spec.bit_capacity,
                                           bdt_update=spec.bdt_update)
+    frontend = None
+    if getattr(spec, "frontend", False):
+        from repro.frontend import FrontendConfig
+        frontend = FrontendConfig(btb_l1_entries=spec.btb_l1_entries,
+                                  btb_l2_entries=spec.btb_l2_entries,
+                                  btb_l2_assoc=spec.btb_l2_assoc,
+                                  ftq_depth=spec.ftq_depth,
+                                  fdip=spec.fdip)
     result = wl.run_pipeline(pcm,
                              predictor=make_predictor(spec.predictor_spec),
                              asbr=asbr, trace=trace,
-                             engine=getattr(spec, "engine", "interp"))
+                             engine=getattr(spec, "engine", "interp"),
+                             frontend=frontend)
     if result.outputs != wl.golden_output(pcm):
         raise AssertionError(
             "%s produced wrong output under %s (asbr=%s)"

@@ -427,7 +427,8 @@ class PipelineSimulator:
                  asbr: Optional[ASBRUnit] = None,
                  config: Optional[PipelineConfig] = None,
                  fold_unconditional: bool = False,
-                 trace=None, engine: str = "interp") -> None:
+                 trace=None, engine: str = "interp",
+                 frontend=None) -> None:
         """``fold_unconditional`` enables CRISP-style folding of
         statically-unconditional control transfers (``j`` and
         ``beq r0, r0``) at fetch — the classic scheme of Ditzel &
@@ -447,7 +448,17 @@ class PipelineSimulator:
         block-compiled fast loop (:mod:`repro.sim.blocks`) with
         bit-identical statistics.  When telemetry is attached or
         ``tick`` has been rebound on the instance (fault injection),
-        ``run`` transparently falls back to the interpreted loop."""
+        ``run`` transparently falls back to the interpreted loop.
+
+        ``frontend`` attaches the decoupled front end
+        (:mod:`repro.frontend`): pass a
+        :class:`~repro.frontend.FrontendConfig` (or ``True`` for the
+        defaults) to replace the coupled fetch stage with a BPU+FTQ
+        running ahead of fetch and — when configured — FDIP I-cache
+        prefetching.  Default None keeps the seed fetch path untouched
+        (bit-identical stats, golden-locked); like telemetry, an
+        attached frontend makes the blocks engine fall back to the
+        interpreted loop."""
         if engine not in ("interp", "blocks"):
             raise ValueError(
                 "unknown engine %r (expected 'interp' or 'blocks')"
@@ -517,6 +528,12 @@ class PipelineSimulator:
         self._foreign: Dict[tuple, _Decoded] = {}
         self._foreign_pin: List[Instruction] = []
 
+        # ---- decoupled front end (opt-in; default path untouched) -------
+        self.frontend = None
+        if frontend is not None:
+            from repro.frontend import attach_frontend
+            attach_frontend(self, frontend)
+
         # ---- telemetry (the one and only disabled-path hook check) ------
         self.trace = None
         if trace is not None:
@@ -548,6 +565,7 @@ class PipelineSimulator:
     def run(self) -> PipelineStats:
         """Simulate until the program's ``halt`` commits."""
         if (self.engine == "blocks" and self.trace is None
+                and self.frontend is None
                 and type(self) is PipelineSimulator
                 and "tick" not in self.__dict__):
             # telemetry attach and fault injection both rebind methods
@@ -630,16 +648,29 @@ class PipelineSimulator:
                 # stop fetching down this path; an EX redirect re-enables
                 self._fetch_halted = True
             elif d.is_jump:
-                # target known after decode: redirect next cycle's fetch
-                self._squash(self.s_if)
-                self.s_if = None
-                self.if_wait = 0
-                self.fetch_pc = d.jump_target
-                self._suppress_fetch = True
-                stats.jump_bubbles += 1
+                fe = self.frontend
+                if fe is not None and did.pred_next_pc == d.jump_target:
+                    # the FTQ already steered fetch through the target
+                    fe.stats.jumps_steered += 1
+                else:
+                    # target known after decode: redirect next cycle
+                    self._squash(self.s_if)
+                    self.s_if = None
+                    self.if_wait = 0
+                    self.fetch_pc = d.jump_target
+                    self._suppress_fetch = True
+                    stats.jump_bubbles += 1
+                    if fe is not None:
+                        fe.jump_resolved(did.pc, d.jump_target)
 
         # ---- IF: start a new fetch --------------------------------------
-        if (self.s_if is None and not self._suppress_fetch
+        fe = self.frontend
+        if fe is not None:
+            fe.begin_cycle()
+            if (self.s_if is None and not self._suppress_fetch
+                    and not self._fetch_halted):
+                self._frontend_fetch(fe)
+        elif (self.s_if is None and not self._suppress_fetch
                 and not self._fetch_halted):
             self._start_fetch()
 
@@ -740,6 +771,8 @@ class PipelineSimulator:
         self.fetch_pc = new_pc
         self._suppress_fetch = True
         self._fetch_halted = False   # any halt seen downstream was wrong-path
+        if self.frontend is not None:
+            self.frontend.redirect(new_pc)
 
     def _squash(self, slot: Optional[_Slot]) -> None:
         if slot is None:
@@ -803,4 +836,64 @@ class PipelineSimulator:
         self.s_if = _Slot(d, pc)
         stats.fetched += 1
         self.fetch_pc = d.pc4
+
+    def _frontend_fetch(self, fe) -> None:
+        """Fetch-stage work in frontend mode: pop one FTQ entry.
+
+        The BPU already did direction prediction and BTB target lookup
+        at push time; here the entry is turned into a pipeline slot.
+        ASBR folding still happens *now* — the BDT is a timed structure,
+        so the fold decision cannot be taken ahead of fetch — and the
+        FTQ is realigned (or re-steered) around the consumed
+        instruction via ``fe.fold_consumed``.  An empty queue is a
+        fetch bubble (counted in ``fe.stats.ftq_empty_cycles``).
+
+        Entry PCs are in-text by construction: the BPU refuses to run
+        past the text segment (it marks the FTQ unresolved instead).
+        """
+        entry = fe.fetch_entry()
+        if entry is None:
+            return
+        stats = self.stats
+        extra = fe.demand_access(entry.fetch_addr)
+        self.if_wait = extra
+        if extra:
+            stats.icache_miss_stalls += extra
+        d = self._dec[(entry.pc - self._text_base) >> 2]
+
+        if entry.uncond_fold:
+            slot = _Slot(d, entry.pc)
+            slot.uncond_folded = True
+            slot.pred_next_pc = entry.pred_next_pc
+            self.s_if = slot
+            stats.fetched += 1
+            slot.seq = stats.fetched - 1
+            fe.note_uncond_fetch(entry.pc, slot.seq, entry.fetch_addr)
+            self.fetch_pc = entry.pred_next_pc
+            return
+
+        if d.is_branch and self.asbr is not None:
+            fold = self.asbr.try_fold(entry.pc)
+            if fold is not None:
+                fd = self._foreign_decode(fold.instr, fold.instr_pc)
+                slot = _Slot(fd, fold.instr_pc)
+                slot.folded = True
+                slot.fold_pc = entry.pc
+                slot.fold_taken = fold.taken
+                self.s_if = slot
+                stats.fetched += 1
+                slot.seq = stats.fetched - 1
+                fe.note_fold_hit(fold, entry.pc, slot.seq)
+                self.fetch_pc = fold.next_pc
+                fe.fold_consumed(fold)
+                return
+            fe.note_fold_miss(entry.pc, self.asbr)
+
+        slot = _Slot(d, entry.pc)
+        slot.pred_next_pc = entry.pred_next_pc
+        self.s_if = slot
+        stats.fetched += 1
+        slot.seq = stats.fetched - 1
+        fe.note_fetch(entry.pc, slot.seq)
+        self.fetch_pc = entry.pred_next_pc
 

@@ -1,0 +1,39 @@
+"""Shared tag/index geometry of PC-keyed prediction tables.
+
+Every PC-keyed hardware structure in the repo — the branch target
+buffer (:mod:`repro.predictors.btb`), the ASBR Branch Identification
+Table (:mod:`repro.asbr.bit`) and the two-level BTB hierarchy
+(:mod:`repro.frontend.btb`) — sizes and indexes its entries through
+these helpers instead of duplicating the tag math.
+
+This module is a dependency *leaf* on purpose: :mod:`repro.asbr.bit`
+needs the entry model at import time, but importing anything under
+``repro.predictors`` from there would close an import cycle through
+``repro.sim.pipeline`` (predictors ``__init__`` → evaluate → sim →
+asbr).  ``repro.predictors.btb`` re-exports everything here, so code
+that can afford the predictors package keeps importing from there.
+"""
+
+from __future__ import annotations
+
+#: Significant PC bits stored as a tag: 32-bit PCs are word-aligned, so
+#: the two low bits are implied.
+PC_TAG_BITS = 30
+
+#: Significant bits of a stored branch/jump target (same alignment).
+TARGET_BITS = 30
+
+
+def pc_index(pc: int, mask: int) -> int:
+    """Word-granular slot/set index of ``pc`` in a power-of-two table.
+
+    ``mask`` is ``entries - 1`` (or ``sets - 1``).  Every PC-keyed
+    structure in the repo indexes this way so aliasing behaviour is
+    consistent across the BTB, the BTB hierarchy and the BIT banks.
+    """
+    return (pc >> 2) & mask
+
+
+def entry_state_bits(payload_bits: int = TARGET_BITS) -> int:
+    """SRAM bits of one tagged entry: PC tag + payload + valid bit."""
+    return PC_TAG_BITS + payload_bits + 1

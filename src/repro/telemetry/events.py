@@ -40,6 +40,19 @@ kind           meaning / payload (``data`` keys)
                observed the fault-free value.
 ``truncated``  sentinel appended by a size-bounded JSONL sink;
                ``data["dropped"]`` counts the lost events.
+``btb_hit``    the decoupled front end (:mod:`repro.frontend`) found a
+               target in the BTB hierarchy; ``data["level"]`` is 1
+               (L1) or 2 (last level — the hit also promotes).
+``btb_miss``   no BTB level held a target for a control instruction
+               scanned by the branch-prediction unit.
+``ftq_occupancy``  per-cycle fetch-target-queue depth sample:
+               ``data["occ"]`` entries of ``data["depth"]``.
+``prefetch_issue``  FDIP issued an I-cache prefetch for the block
+               holding ``pc``.
+``prefetch_useful``  a demand fetch hit a prefetched block (or merged
+               with one still in flight — ``data["late"]`` true).
+``prefetch_useless``  a prefetched block was evicted before any demand
+               fetch used it.
 =============  =====================================================
 
 ``seq`` is the dynamic fetch sequence number (the value of
@@ -71,10 +84,18 @@ FAULT_INJECT = "fault_inject"
 FAULT_DETECT = "fault_detect"
 FAULT_CORRECT = "fault_correct"
 TRUNCATED = "truncated"
+BTB_HIT = "btb_hit"
+BTB_MISS = "btb_miss"
+FTQ_OCCUPANCY = "ftq_occupancy"
+PREFETCH_ISSUE = "prefetch_issue"
+PREFETCH_USEFUL = "prefetch_useful"
+PREFETCH_USELESS = "prefetch_useless"
 
 EVENT_KINDS = (FETCH, DECODE, ISSUE, COMMIT, BRANCH, FOLD_HIT, FOLD_MISS,
                BDT_UPDATE, SQUASH, REDIRECT, RETIRE, FAULT_INJECT,
-               FAULT_DETECT, FAULT_CORRECT, TRUNCATED)
+               FAULT_DETECT, FAULT_CORRECT, TRUNCATED, BTB_HIT, BTB_MISS,
+               FTQ_OCCUPANCY, PREFETCH_ISSUE, PREFETCH_USEFUL,
+               PREFETCH_USELESS)
 
 #: Shared payload for events that carry none — emit sites pass it so the
 #: hot tracing path never allocates an empty dict per event.

@@ -55,6 +55,11 @@ def attach(sim, tracer) -> None:
     sim._start_fetch = MethodType(_start_fetch_traced, sim)
     sim._squash = MethodType(_squash_traced, sim)
     sim._redirect = MethodType(_redirect_traced, sim)
+    fe = getattr(sim, "frontend", None)
+    if fe is not None:
+        # the decoupled front end guards its emit sites itself (it only
+        # exists in opted-in runs); no method rebinding needed there
+        fe._emit = tracer.emit
 
 
 # ======================================================================
@@ -145,17 +150,29 @@ def _tick_traced(self) -> None:
         if d.is_halt:
             self._fetch_halted = True
         elif d.is_jump:
-            self._squash(self.s_if)
-            self.s_if = None
-            self.if_wait = 0
-            self.fetch_pc = d.jump_target
-            self._suppress_fetch = True
-            stats.jump_bubbles += 1
-            emit(TraceEvent(cycle, REDIRECT, d.jump_target,  # [trace]
-                            data={"why": "jump"}))
+            fe = self.frontend
+            if fe is not None and did.pred_next_pc == d.jump_target:
+                fe.stats.jumps_steered += 1
+            else:
+                self._squash(self.s_if)
+                self.s_if = None
+                self.if_wait = 0
+                self.fetch_pc = d.jump_target
+                self._suppress_fetch = True
+                stats.jump_bubbles += 1
+                if fe is not None:
+                    fe.jump_resolved(did.pc, d.jump_target)
+                emit(TraceEvent(cycle, REDIRECT, d.jump_target,  # [trace]
+                                data={"why": "jump"}))
 
     # ---- IF: start a new fetch --------------------------------------
-    if (self.s_if is None and not self._suppress_fetch
+    fe = self.frontend
+    if fe is not None:
+        fe.begin_cycle()
+        if (self.s_if is None and not self._suppress_fetch
+                and not self._fetch_halted):
+            self._frontend_fetch(fe)
+    elif (self.s_if is None and not self._suppress_fetch
             and not self._fetch_halted):
         self._start_fetch()
 
@@ -296,6 +313,8 @@ def _redirect_traced(self, new_pc: int) -> None:
     self.fetch_pc = new_pc
     self._suppress_fetch = True
     self._fetch_halted = False
+    if self.frontend is not None:
+        self.frontend.redirect(new_pc)
     self._emit(TraceEvent(self.stats.cycles, REDIRECT, new_pc,  # [trace]
                           data={"why": "ex"}))
 

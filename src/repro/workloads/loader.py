@@ -149,9 +149,13 @@ class Workload:
     def run_pipeline(self, pcm: Sequence[int], predictor=None, asbr=None,
                      config: Optional[PipelineConfig] = None,
                      trace=None, on_sim=None,
-                     engine: str = "interp") -> WorkloadResult:
+                     engine: str = "interp",
+                     frontend=None) -> WorkloadResult:
         """``trace`` (a :class:`repro.telemetry.Tracer`) enables the
         pipeline's telemetry hooks for this run; None costs nothing.
+
+        ``frontend`` (a :class:`repro.frontend.FrontendConfig` or None)
+        attaches the decoupled front end for this run.
 
         ``on_sim`` is called with the constructed simulator before the
         run starts — the instrumentation window for layers that rebind
@@ -163,7 +167,8 @@ class Workload:
         sim = PipelineSimulator(self.program,
                                 self.build_memory(stream, count),
                                 predictor=predictor, asbr=asbr,
-                                config=config, trace=trace, engine=engine)
+                                config=config, trace=trace, engine=engine,
+                                frontend=frontend)
         if on_sim is not None:
             on_sim(sim)
         stats = sim.run()

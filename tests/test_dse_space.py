@@ -118,3 +118,64 @@ class TestGetSpace:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown space"):
             get_space("nope")
+
+
+class TestFrontendDimensions:
+    """The decoupled-frontend knobs as design-space dimensions."""
+
+    def test_non_frontend_point_canonicalises_knobs(self):
+        a = DesignPoint(frontend=False, fdip=True, ftq_depth=4,
+                        btb_l1_entries=16)
+        b = DesignPoint(frontend=False)
+        assert a == b, "frontend knobs leaked into a frontend-less point"
+
+    def test_frontend_knobs_distinguish_points(self):
+        base = DesignPoint(frontend=True)
+        assert DesignPoint(frontend=True, fdip=True) != base
+        assert DesignPoint(frontend=True, ftq_depth=4) != base
+        assert DesignPoint(frontend=True, btb_l1_entries=16) != base
+        assert base.key() != DesignPoint().key()
+
+    def test_frontend_point_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            DesignPoint(frontend=True, btb_l2_assoc=3)
+        with pytest.raises(ValueError):
+            DesignPoint(frontend=True, ftq_depth=0)
+
+    def test_grid_collapses_frontend_dims_when_off(self):
+        space = ConfigSpace(predictors=("bimodal-512-512",),
+                            asbr=(False,), frontends=(False,),
+                            ftq_depths=(4, 8), fdip=(False, True))
+        assert len(space.points()) == 1
+
+    def test_grid_expands_frontend_dims_when_on(self):
+        space = ConfigSpace(predictors=("bimodal-512-512",),
+                            asbr=(False,), frontends=(False, True),
+                            ftq_depths=(4, 8), fdip=(False, True))
+        # 1 frontend-less + 2 depths x 2 fdip
+        assert len(space.points()) == 5
+
+    def test_to_spec_carries_frontend_knobs(self):
+        p = DesignPoint(frontend=True, fdip=True, ftq_depth=4)
+        spec = p.to_spec("adpcm_enc", 64, 1)
+        assert (spec.frontend, spec.fdip, spec.ftq_depth) == (True, True, 4)
+
+    def test_from_dict_tolerates_pre_frontend_journals(self):
+        d = DesignPoint().to_dict()
+        for name in ("frontend", "btb_l1_entries", "btb_l2_entries",
+                     "btb_l2_assoc", "ftq_depth", "fdip"):
+            del d[name]
+        assert DesignPoint.from_dict(d) == DesignPoint()
+
+    def test_cost_formula_matches_structures(self):
+        from repro.dse.objectives import (FTQ_ENTRY_BITS,
+                                          frontend_cost_bits)
+        from repro.frontend import FetchTargetQueue, TwoLevelBTB
+
+        p = DesignPoint(frontend=True, btb_l1_entries=16,
+                        btb_l2_entries=512, btb_l2_assoc=2, ftq_depth=4)
+        btb = TwoLevelBTB(p.btb_l1_entries, p.btb_l2_entries,
+                          p.btb_l2_assoc)
+        assert frontend_cost_bits(p) == (btb.state_bits
+                                         + p.ftq_depth * FTQ_ENTRY_BITS)
+        assert frontend_cost_bits(DesignPoint(frontend=False)) == 0

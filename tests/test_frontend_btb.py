@@ -1,0 +1,127 @@
+"""Property-based locks on the two-level BTB hierarchy.
+
+The two invariants the frontend's design leans on:
+
+* **promotion never loses a target** — the hierarchy is exclusive
+  (an L2 hit moves the entry up, the L1 victim moves down), so a
+  mapping that just produced a hit is still resolvable immediately
+  after, and any hit returns the *latest* trained target, never a
+  stale shadow copy;
+* **capacity/associativity bounds** — L1 never holds more than its
+  entry count, no L2 set ever exceeds the associativity, drops only
+  happen as true capacity evictions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import TwoLevelBTB
+
+# Small geometry + few distinct PCs = constant aliasing pressure, which
+# is where promotion/demotion bugs live.
+L1_ENTRIES, L2_ENTRIES, L2_ASSOC = 4, 16, 2
+
+_pcs = st.integers(min_value=0, max_value=31).map(lambda i: 0x400 + i * 4)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), _pcs, st.integers(0, 2 ** 20)
+                  .map(lambda t: t * 4)),
+        st.tuples(st.just("lookup"), _pcs),
+    ),
+    max_size=200,
+)
+
+
+def _l1_live(btb):
+    return sum(1 for t in btb.l1._tags if t is not None)
+
+
+@given(ops=_ops)
+@settings(max_examples=200, deadline=None)
+def test_hits_return_latest_target_and_bounds_hold(ops):
+    btb = TwoLevelBTB(L1_ENTRIES, L2_ENTRIES, L2_ASSOC)
+    latest = {}
+    for op in ops:
+        if op[0] == "insert":
+            _, pc, target = op
+            btb.insert(pc, target)
+            latest[pc] = target
+        else:
+            _, pc = op
+            target, level = btb.lookup(pc)
+            if target is None:
+                assert level == 0
+            else:
+                assert level in (1, 2)
+                assert target == latest[pc], \
+                    "hit returned a stale target"
+        # capacity / associativity bounds after every operation
+        assert _l1_live(btb) <= L1_ENTRIES
+        assert all(len(way) <= L2_ASSOC for way in btb._l2)
+        assert len(btb) <= L1_ENTRIES + L2_ENTRIES
+
+
+@given(ops=_ops)
+@settings(max_examples=200, deadline=None)
+def test_promotion_never_loses_a_target(ops):
+    btb = TwoLevelBTB(L1_ENTRIES, L2_ENTRIES, L2_ASSOC)
+    for op in ops:
+        if op[0] == "insert":
+            btb.insert(op[1], op[2])
+        else:
+            target, level = btb.lookup(op[1])
+            if target is not None:
+                # the lookup itself (an L2 hit promotes, possibly
+                # demoting an L1 victim) must not drop the mapping
+                again, again_level = btb.lookup(op[1])
+                assert again == target
+                assert again_level == 1, "promoted entry not in L1"
+
+
+def test_l2_hit_promotes_exclusively():
+    btb = TwoLevelBTB(L1_ENTRIES, L2_ENTRIES, L2_ASSOC)
+    btb.insert(0x400, 0x800)
+    # alias 0x400's L1 slot (stride = entries * 4) to demote it
+    btb.insert(0x400 + L1_ENTRIES * 4, 0x900)
+    t, level = btb.lookup(0x400)
+    assert (t, level) == (0x800, 2)
+    # promoted: now an L1 hit, and the L2 copy is gone (exclusive)
+    t, level = btb.lookup(0x400)
+    assert (t, level) == (0x800, 1)
+    assert all(0x400 not in way for way in btb._l2)
+
+
+def test_insert_updates_existing_target():
+    btb = TwoLevelBTB(L1_ENTRIES, L2_ENTRIES, L2_ASSOC)
+    btb.insert(0x400, 0x800)
+    btb.insert(0x400, 0xA00)
+    assert btb.lookup(0x400) == (0xA00, 1)
+    assert len(btb) == 1
+
+
+def test_reset_clears_both_levels():
+    btb = TwoLevelBTB(L1_ENTRIES, L2_ENTRIES, L2_ASSOC)
+    for i in range(12):
+        btb.insert(0x400 + i * 4, 0x800)
+    btb.reset()
+    assert len(btb) == 0
+    assert btb.lookup(0x400) == (None, 0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"l2_assoc": 3},                      # not a power of two
+    {"l2_entries": 24},                   # not a power of two
+    {"l2_entries": 2, "l2_assoc": 4},     # entries not multiple of assoc
+])
+def test_rejects_bad_geometry(kwargs):
+    args = {"l1_entries": 4, "l2_entries": 16, "l2_assoc": 2}
+    args.update(kwargs)
+    with pytest.raises(ValueError):
+        TwoLevelBTB(**args)
+
+
+def test_state_bits_cover_both_levels():
+    btb = TwoLevelBTB(64, 2048, 4)
+    # 61 bits per tagged target entry (30 tag + 30 target + valid)
+    assert btb.state_bits == (64 + 2048) * 61

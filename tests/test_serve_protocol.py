@@ -47,6 +47,12 @@ wire_bodies = st.fixed_dictionaries(
                                        allow_nan=False),
         "min_count": st.integers(min_value=0, max_value=256),
         "engine": st.sampled_from(["interp", "blocks"]),
+        "frontend": st.booleans(),
+        "btb_l1_entries": st.sampled_from([16, 64, 256]),
+        "btb_l2_entries": st.sampled_from([512, 2048]),
+        "btb_l2_assoc": st.sampled_from([2, 4]),
+        "ftq_depth": st.integers(min_value=1, max_value=16),
+        "fdip": st.booleans(),
     },
 )
 
@@ -81,6 +87,21 @@ def test_engine_never_enters_key_or_shard(body, engine_a, engine_b):
     b = spec_from_wire(dict(body, engine=engine_b))
     assert spec_key(a) == spec_key(b)
     assert shard_path(a, 256) == shard_path(b, 256)
+
+
+@given(body=wire_bodies)
+@SETTINGS
+def test_frontend_knobs_enter_the_key(body):
+    """Unlike the engine, every decoupled-frontend knob is part of the
+    run's identity: flipping one must change the coalescing key."""
+    pinned = dict(body, frontend=True, fdip=False,
+                  btb_l1_entries=64, ftq_depth=8)
+    base = spec_from_wire(pinned)
+    for mutate in ({"frontend": False}, {"fdip": True},
+                   {"btb_l1_entries": 16}, {"ftq_depth": 4}):
+        other = spec_from_wire({**pinned, **mutate})
+        assert spec_key(other) != spec_key(base), \
+            "knob %r did not enter the key" % (mutate,)
 
 
 @given(body=wire_bodies)
