@@ -10,6 +10,7 @@ from repro.asbr import ASBRUnit, extract_branch_info
 from repro.asm import assemble
 from repro.predictors import BimodalPredictor, GSharePredictor
 from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import OoOConfig, OoOSimulator
 from repro.sim.pipeline import PipelineSimulator
 from repro.workloads import get_workload
 from repro.workloads.inputs import speech_like
@@ -105,14 +106,30 @@ def test_pipeline_blocks_speed(benchmark):
     assert cycles > 5000
 
 
+def test_ooo_sim_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    mem = wl.build_memory(_PCM)
+
+    def run():
+        sim = OoOSimulator(wl.program, mem.copy())
+        return sim.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 2500
+
+
 def test_sim_speed_summary(save_table):
     """Record simulator × engine throughput (ops/sec) under results/.
 
-    Best-of-3 wall-clock on the adpcm_enc workload for the interpreted
-    fast path and the block-compiled engine (see DESIGN.md), plus a
-    machine-readable ``BENCH_sim_speed.json`` so the perf trajectory is
-    tracked across PRs.  A long input (not the micro-benchmarks'
-    ``_PCM``) keeps per-run setup out of the measured ratio.
+    Best-of-3 wall-clock on the adpcm_enc workload: a 6-way matrix of
+    the interpreted fast path and the block-compiled engine on both
+    classic simulators (see DESIGN.md), plus the out-of-order backend
+    at 1- and 2-wide (``engine`` column carries the width — the OoO
+    machine has no blocks variant; its speedup column is vs its own
+    1-wide row).  A machine-readable ``BENCH_sim_speed.json`` tracks
+    the perf trajectory across PRs.  A long input (not the
+    micro-benchmarks' ``_PCM``) keeps per-run setup out of the
+    measured ratio.
     """
     import json
     import os
@@ -136,6 +153,14 @@ def test_sim_speed_summary(save_table):
                 sim.run()
                 dt = time.perf_counter() - t0
                 ops, unit = sim.instructions_retired, "instructions/s"
+            elif simulator == "ooo":
+                width = int(engine[1:])            # "w1" / "w2"
+                sim = OoOSimulator(wl.program, mem,
+                                   config=OoOConfig(issue_width=width))
+                t0 = time.perf_counter()
+                stats = sim.run()
+                dt = time.perf_counter() - t0
+                ops, unit = stats.cycles, "cycles/s"
             else:
                 sim = PipelineSimulator(wl.program, mem, engine=engine)
                 t0 = time.perf_counter()
@@ -147,12 +172,15 @@ def test_sim_speed_summary(save_table):
         assert best > 0
         return best, work, unit
 
+    matrix = (("functional", ("interp", "blocks")),
+              ("pipeline", ("interp", "blocks")),
+              ("ooo", ("w1", "w2")))
     rates = {}
-    for simulator in ("functional", "pipeline"):
-        for engine in ("interp", "blocks"):
+    for simulator, engines in matrix:
+        for engine in engines:
             rate, work, unit = measure(simulator, engine)
             rates[(simulator, engine)] = rate
-            speedup = rate / rates[(simulator, "interp")]
+            speedup = rate / rates[(simulator, engines[0])]
             rows.append([simulator, engine, unit,
                          "{:,.0f}".format(rate), "{:,}".format(work),
                          "%.2fx" % speedup])

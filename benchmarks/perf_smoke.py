@@ -20,6 +20,7 @@ from repro.asbr import ASBRUnit
 from repro.predictors import make_predictor
 from repro.profiling import BranchProfiler, select_branches
 from repro.sim.functional import FunctionalSimulator
+from repro.sim.ooo import OoOConfig, OoOSimulator
 from repro.sim.pipeline import PipelineSimulator
 from repro.workloads import get_workload
 from repro.workloads.inputs import speech_like
@@ -65,7 +66,26 @@ def check_equivalence() -> None:
         b = one(pred_spec, with_asbr, "blocks")
         assert a == b, ("pipeline stats diverged under %s asbr=%s:\n%r\n%r"
                         % (pred_spec, with_asbr, a, b))
-    print("equivalence: OK (%s, %d samples, 3 pipeline configs)"
+
+    # out-of-order backend: architectural state and the retirement
+    # ledger must match the functional model, folding on and off
+    for width, with_asbr in ((1, True), (2, True), (2, False)):
+        asbr = (ASBRUnit.from_branch_infos(sel.infos, capacity=16,
+                                           bdt_update="execute")
+                if with_asbr else None)
+        sim = OoOSimulator(wl.program, wl.build_memory(stream),
+                           predictor=make_predictor("bimodal-512-512"),
+                           asbr=asbr,
+                           config=OoOConfig(issue_width=width))
+        stats = sim.run()
+        assert sim.regs.snapshot() == ref.regs.snapshot(), \
+            "ooo registers diverged (w%d)" % width
+        assert sim.memory.snapshot() == ref.memory.snapshot(), \
+            "ooo memory diverged (w%d)" % width
+        assert stats.committed + stats.folds_committed \
+            + stats.uncond_folds_committed == retired, \
+            "ooo retirement ledger diverged (w%d)" % width
+    print("equivalence: OK (%s, %d samples, 3 pipeline + 3 ooo configs)"
           % (WORKLOAD, EQUIV_SAMPLES))
 
 

@@ -270,7 +270,8 @@ def cmd_trace(args) -> int:
 def cmd_experiments(args) -> int:
     from repro.experiments import (ablations, dse_frontier, energy,
                                    fault_campaign, fig6, fig7, fig9,
-                                   fig10, fig11, frontend_frontier)
+                                   fig10, fig11, frontend_frontier,
+                                   ooo_fold_sensitivity)
     from repro.experiments.common import ExperimentSetup
     cache_dir = None if args.no_cache else args.cache_dir
     setup = ExperimentSetup(n_samples=args.samples, workers=args.workers,
@@ -281,6 +282,8 @@ def cmd_experiments(args) -> int:
         "ablations": ablations.main, "energy": energy.main,
         "dse_frontier": dse_frontier.main,
         "frontend_frontier": lambda s: frontend_frontier.main(
+            s, quick=args.quick),
+        "ooo_fold_sensitivity": lambda s: ooo_fold_sensitivity.main(
             s, quick=args.quick),
         "fault_campaign": fault_campaign.main,
     }
@@ -575,11 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("which", choices=("fig6", "fig7", "fig9", "fig10",
                                      "fig11", "ablations", "energy",
                                      "dse_frontier", "frontend_frontier",
+                                     "ooo_fold_sensitivity",
                                      "fault_campaign", "all"))
     p.add_argument("--samples", type=int, default=600)
     p.add_argument("--quick", action="store_true",
-                   help="frontend_frontier: shrink the sweep to the "
-                        "verdict-bearing corner (the CI smoke mode)")
+                   help="frontend_frontier / ooo_fold_sensitivity: "
+                        "shrink the sweep to the verdict-bearing corner "
+                        "(the CI smoke mode)")
     p.add_argument("--workers", type=int,
                    default=int(os.environ.get("REPRO_WORKERS", "0")),
                    help="simulate independent configurations on N "

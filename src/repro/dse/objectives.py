@@ -105,6 +105,7 @@ def table_cost_bits(point: DesignPoint) -> int:
         bits += point.bit_capacity * BITS_PER_ENTRY
         bits += BranchDirectionTable().state_bits
     bits += frontend_cost_bits(point)
+    bits += ooo_cost_bits(point)
     return bits
 
 
@@ -120,6 +121,27 @@ def frontend_cost_bits(point: DesignPoint) -> int:
     entry = entry_state_bits(TARGET_BITS)
     return ((point.btb_l1_entries + point.btb_l2_entries) * entry
             + point.ftq_depth * FTQ_ENTRY_BITS)
+
+
+def ooo_cost_bits(point: DesignPoint) -> int:
+    """Out-of-order machine SRAM/CAM state, zero for in-order points.
+
+    R10000-style accounting: the rename registers beyond the 32
+    architectural ones, the map table and free list (physical tags),
+    the active list (pc + new/old tag + flag bits per entry) and the
+    issue queue (pc + dest/src tags + decoded-control bits per entry).
+    A first-order area proxy — enough to price ROB/IQ/PRF depth against
+    the fetch-side tables on one axis, not a layout model.
+    """
+    if point.backend != "ooo":
+        return 0
+    tag = (point.phys_regs - 1).bit_length()
+    prf = (point.phys_regs - 32) * 32
+    map_table = 32 * tag
+    free_list = point.phys_regs * tag
+    rob = point.rob_size * (30 + 2 * tag + 8)
+    iq = point.iq_size * (30 + 3 * tag + 16)
+    return prf + map_table + free_list + rob + iq
 
 
 def fold_coverage(metrics: Optional[dict]) -> float:
@@ -140,11 +162,12 @@ def point_energy(point: DesignPoint, stats: PipelineStats) -> float:
         else 0
     bdt_bits = BranchDirectionTable().state_bits if point.with_asbr \
         else 0
-    # frontend SRAM rides in the predictor term: same leakage/access
-    # cost class (prediction-structure bits scanned every fetch)
+    # frontend and OoO SRAM ride in the predictor term: same
+    # leakage/access cost class (machine-structure bits cycled every
+    # fetch/issue)
     pred_bits = (table_cost_bits(
         DesignPoint(point.predictor_spec, with_asbr=False))
-        + frontend_cost_bits(point))
+        + frontend_cost_bits(point) + ooo_cost_bits(point))
     report = estimate_energy_from_stats(
         stats, predictor_state_bits=pred_bits,
         bit_state_bits=bit_bits, bdt_state_bits=bdt_bits)

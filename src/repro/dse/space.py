@@ -38,6 +38,13 @@ _NO_ASBR = {"bit_capacity": 16, "bdt_update": "execute",
 _NO_FRONTEND = {"btb_l1_entries": 64, "btb_l2_entries": 2048,
                 "btb_l2_assoc": 4, "ftq_depth": 8, "fdip": False}
 
+BACKENDS: Tuple[str, ...] = ("inorder", "ooo")
+
+#: Canonical out-of-order machine knobs carried by in-order points
+#: (same dedup rule as :data:`_NO_ASBR` / :data:`_NO_FRONTEND`).
+_NO_OOO = {"issue_width": 2, "rob_size": 32, "iq_size": 16,
+           "phys_regs": 64}
+
 
 @dataclass(frozen=True)
 class DesignPoint:
@@ -55,6 +62,11 @@ class DesignPoint:
     btb_l2_assoc: int = 4
     ftq_depth: int = 8
     fdip: bool = False
+    backend: str = "inorder"
+    issue_width: int = 2
+    rob_size: int = 32
+    iq_size: int = 16
+    phys_regs: int = 64
 
     def __post_init__(self) -> None:
         if self.bdt_update not in BDT_UPDATES:
@@ -82,6 +94,20 @@ class DesignPoint:
         else:
             for name, value in _NO_FRONTEND.items():
                 object.__setattr__(self, name, value)
+        if self.backend not in BACKENDS:
+            raise ValueError("unknown backend %r (have %s)"
+                             % (self.backend, ", ".join(BACKENDS)))
+        if self.backend == "ooo":
+            # shape validation lives with the machine; lazy import for
+            # the same reason as the frontend above
+            from repro.sim.ooo import OoOConfig
+            OoOConfig(issue_width=self.issue_width,
+                      rob_size=self.rob_size,
+                      iq_size=self.iq_size,
+                      phys_regs=self.phys_regs)
+        else:
+            for name, value in _NO_OOO.items():
+                object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +129,10 @@ class DesignPoint:
                      % (self.btb_l1_entries, self.btb_l2_entries,
                         self.btb_l2_assoc, self.ftq_depth,
                         int(self.fdip)))
+        if self.backend == "ooo":
+            base += (" ooo w=%d rob=%d iq=%d preg=%d"
+                     % (self.issue_width, self.rob_size,
+                        self.iq_size, self.phys_regs))
         return base
 
     def label(self) -> str:
@@ -117,6 +147,9 @@ class DesignPoint:
             base += "+fe(btb%d/%d,ftq%d%s)" % (
                 self.btb_l1_entries, self.btb_l2_entries,
                 self.ftq_depth, ",fdip" if self.fdip else "")
+        if self.backend == "ooo":
+            base += "+ooo(w%d,rob%d)" % (self.issue_width,
+                                         self.rob_size)
         return base
 
     def to_spec(self, benchmark: str, n_samples: int,
@@ -139,7 +172,12 @@ class DesignPoint:
                        btb_l2_entries=self.btb_l2_entries,
                        btb_l2_assoc=self.btb_l2_assoc,
                        ftq_depth=self.ftq_depth,
-                       fdip=self.fdip)
+                       fdip=self.fdip,
+                       backend=self.backend,
+                       issue_width=self.issue_width,
+                       rob_size=self.rob_size,
+                       iq_size=self.iq_size,
+                       phys_regs=self.phys_regs)
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -175,6 +213,11 @@ class ConfigSpace:
     btb_l2_assocs: Tuple[int, ...] = (4,)
     ftq_depths: Tuple[int, ...] = (8,)
     fdip: Tuple[bool, ...] = (False,)
+    backends: Tuple[str, ...] = ("inorder",)
+    issue_widths: Tuple[int, ...] = (2,)
+    rob_sizes: Tuple[int, ...] = (32,)
+    iq_sizes: Tuple[int, ...] = (16,)
+    phys_regs: Tuple[int, ...] = (64,)
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -182,6 +225,9 @@ class ConfigSpace:
         for upd in self.bdt_updates:
             if upd not in BDT_UPDATES:
                 raise ValueError("unknown bdt_update %r" % (upd,))
+        for be in self.backends:
+            if be not in BACKENDS:
+                raise ValueError("unknown backend %r" % (be,))
 
     # ------------------------------------------------------------------
     def points(self) -> List[DesignPoint]:
@@ -206,19 +252,24 @@ class ConfigSpace:
                         for ff in ffs:
                             for mc in mcs:
                                 for fe in self._frontend_variants():
-                                    if with_asbr:
-                                        p = DesignPoint(pred, True, cap,
-                                                        upd, ff, mc, **fe)
-                                    else:
-                                        p = DesignPoint(pred, False,
-                                                        defaults.bit_capacity,
-                                                        defaults.bdt_update,
-                                                        defaults.min_fold_fraction,
-                                                        defaults.min_count,
-                                                        **fe)
-                                    if p not in seen:
-                                        seen.add(p)
-                                        out.append(p)
+                                    for be in self._backend_variants():
+                                        kw = dict(fe)
+                                        kw.update(be)
+                                        if with_asbr:
+                                            p = DesignPoint(pred, True,
+                                                            cap, upd, ff,
+                                                            mc, **kw)
+                                        else:
+                                            p = DesignPoint(
+                                                pred, False,
+                                                defaults.bit_capacity,
+                                                defaults.bdt_update,
+                                                defaults.min_fold_fraction,
+                                                defaults.min_count,
+                                                **kw)
+                                        if p not in seen:
+                                            seen.add(p)
+                                            out.append(p)
         return out
 
     def _frontend_variants(self) -> List[dict]:
@@ -240,6 +291,25 @@ class ConfigSpace:
                                             "btb_l2_assoc": assoc,
                                             "ftq_depth": depth,
                                             "fdip": fdip})
+        return out
+
+    def _backend_variants(self) -> List[dict]:
+        """Keyword dicts for the backend sub-grid (the OoO machine
+        knobs collapse when the backend is in-order)."""
+        out: List[dict] = []
+        for backend in self.backends:
+            if backend != "ooo":
+                out.append({"backend": backend})
+                continue
+            for w in self.issue_widths:
+                for rob in self.rob_sizes:
+                    for iq in self.iq_sizes:
+                        for preg in self.phys_regs:
+                            out.append({"backend": "ooo",
+                                        "issue_width": w,
+                                        "rob_size": rob,
+                                        "iq_size": iq,
+                                        "phys_regs": preg})
         return out
 
     @property

@@ -15,6 +15,9 @@
 * :mod:`repro.experiments.frontend_frontier` — ASBR folding vs a
   decoupled BTB/FTQ/FDIP front end (:mod:`repro.frontend`) on the same
   frontier.
+* :mod:`repro.experiments.ooo_fold_sensitivity` — the fold-win curve
+  across in-order and 1/2/4-wide out-of-order backends
+  (:mod:`repro.sim.ooo`) at several active-list depths.
 * :mod:`repro.experiments.fault_campaign` — soft-error vulnerability of
   the ASBR state under none/parity/ECC protection (:mod:`repro.faults`).
 
@@ -40,6 +43,7 @@ from repro.experiments import (
     fig10,
     fig11,
     frontend_frontier,
+    ooo_fold_sensitivity,
     paper_data,
 )
 
@@ -56,6 +60,7 @@ __all__ = [
     "dse_frontier",
     "energy",
     "frontend_frontier",
+    "ooo_fold_sensitivity",
     "fault_campaign",
     "paper_data",
 ]

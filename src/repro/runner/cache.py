@@ -51,6 +51,7 @@ import tempfile
 from typing import Dict, Optional
 
 from repro.runner.pool import SELECTION_BASELINE, RunSpec
+from repro.sim.ooo import OoOStats
 from repro.sim.pipeline import PipelineStats
 
 #: Bump when a change alters cycle-accurate timing without changing
@@ -60,8 +61,28 @@ from repro.sim.pipeline import PipelineStats
 #: added the selection-policy knobs to the config digest; v4 added the
 #: in-entry payload checksum (``sha256``), verified on every read; v5
 #: added the decoupled-frontend knobs (frontend/BTB/FTQ/FDIP) to the
-#: config digest.
-CACHE_VERSION = 5
+#: config digest; v6 added the out-of-order backend knobs
+#: (backend/issue_width/rob_size/iq_size/phys_regs) and the per-entry
+#: stats kind (``"pipeline"`` | ``"ooo"``).
+CACHE_VERSION = 6
+
+#: Entry ``kind`` → stats dataclass; entries written before v6 carry no
+#: kind and default to the in-order shape.
+_STATS_TYPES = {"pipeline": PipelineStats, "ooo": OoOStats}
+
+
+def _stats_from_entry(entry: dict):
+    """Rebuild the stats dataclass recorded in ``entry``.
+
+    Raises ``KeyError``/``TypeError`` on an unknown kind or mismatched
+    field set — both are treated as corruption by the callers.
+    """
+    cls = _STATS_TYPES[entry.get("kind", "pipeline")]
+    return cls(**entry["stats"])
+
+
+def _stats_kind(stats) -> str:
+    return "ooo" if isinstance(stats, OoOStats) else "pipeline"
 
 _digest_memo: Dict[tuple, str] = {}
 
@@ -158,7 +179,10 @@ def config_digest(spec: RunSpec) -> str:
                 repr(spec.min_fold_fraction), str(spec.min_count),
                 str(spec.frontend), str(spec.btb_l1_entries),
                 str(spec.btb_l2_entries), str(spec.btb_l2_assoc),
-                str(spec.ftq_depth), str(spec.fdip))
+                str(spec.ftq_depth), str(spec.fdip),
+                spec.backend, str(spec.issue_width),
+                str(spec.rob_size), str(spec.iq_size),
+                str(spec.phys_regs))
 
 
 def key_for_spec(spec: RunSpec) -> str:
@@ -367,7 +391,7 @@ class ResultCache:
                 elif entry.get("sha256") != _payload_checksum(entry):
                     raise ValueError("payload checksum mismatch")
                 else:
-                    PipelineStats(**entry["stats"])
+                    _stats_from_entry(entry)
             except (ValueError, KeyError, TypeError, OSError):
                 bad = "corrupt"
             if bad is None:
@@ -398,7 +422,7 @@ class ResultCache:
                 raise ValueError("cache version mismatch")
             if entry.get("sha256") != _payload_checksum(entry):
                 raise ValueError("payload checksum mismatch")
-            stats = PipelineStats(**entry["stats"])
+            stats = _stats_from_entry(entry)
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -431,9 +455,10 @@ class ResultCache:
         except OSError:
             pass
 
-    def put(self, key: str, stats: PipelineStats, describe: str = "",
+    def put(self, key: str, stats, describe: str = "",
             metrics: Optional[dict] = None) -> None:
-        """Atomically record ``stats`` (and optional serialised
+        """Atomically record ``stats`` (a :class:`PipelineStats` or
+        :class:`~repro.sim.ooo.OoOStats`, plus optional serialised
         telemetry ``metrics``) under ``key``."""
         dst = self._path(key)
         dst_dir = os.path.dirname(dst)
@@ -441,6 +466,7 @@ class ResultCache:
         entry = {
             "version": CACHE_VERSION,
             "describe": describe,          # human breadcrumb only
+            "kind": _stats_kind(stats),
             "stats": dataclasses.asdict(stats),
         }
         if metrics is not None:

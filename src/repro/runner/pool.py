@@ -62,6 +62,15 @@ class RunSpec:
     btb_l2_assoc: int = 4
     ftq_depth: int = 8
     fdip: bool = False
+    #: execution backend ("inorder" | "ooo").  The four machine knobs
+    #: below only matter for the out-of-order backend
+    #: (:mod:`repro.sim.ooo`) but are part of every spec's identity for
+    #: the same reason as the frontend knobs above.
+    backend: str = "inorder"
+    issue_width: int = 2
+    rob_size: int = 32
+    iq_size: int = 16
+    phys_regs: int = 64
 
 
 def _execute(spec: RunSpec, trace=None) -> PipelineStats:
@@ -106,11 +115,23 @@ def _execute(spec: RunSpec, trace=None) -> PipelineStats:
                                   btb_l2_assoc=spec.btb_l2_assoc,
                                   ftq_depth=spec.ftq_depth,
                                   fdip=spec.fdip)
-    result = wl.run_pipeline(pcm,
-                             predictor=make_predictor(spec.predictor_spec),
-                             asbr=asbr, trace=trace,
-                             engine=getattr(spec, "engine", "interp"),
-                             frontend=frontend)
+    if getattr(spec, "backend", "inorder") == "ooo":
+        from repro.sim.ooo import OoOConfig
+        config = OoOConfig(issue_width=spec.issue_width,
+                           rob_size=spec.rob_size,
+                           iq_size=spec.iq_size,
+                           phys_regs=spec.phys_regs)
+        result = wl.run_ooo(pcm,
+                            predictor=make_predictor(spec.predictor_spec),
+                            asbr=asbr, trace=trace, config=config,
+                            frontend=frontend)
+    else:
+        result = wl.run_pipeline(pcm,
+                                 predictor=make_predictor(
+                                     spec.predictor_spec),
+                                 asbr=asbr, trace=trace,
+                                 engine=getattr(spec, "engine", "interp"),
+                                 frontend=frontend)
     if result.outputs != wl.golden_output(pcm):
         raise AssertionError(
             "%s produced wrong output under %s (asbr=%s)"

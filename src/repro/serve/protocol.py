@@ -27,6 +27,7 @@ from repro.workloads import WORKLOAD_NAMES
 _REQUIRED = ("benchmark", "n_samples", "seed", "predictor_spec")
 _ENGINES = ("interp", "blocks")
 _BDT_UPDATES = ("commit", "mem", "execute")
+_BACKENDS = ("inorder", "ooo")
 
 
 class WireError(ValueError):
@@ -91,6 +92,9 @@ def spec_from_wire(obj) -> RunSpec:
     if kwargs.get("bdt_update", "execute") not in _BDT_UPDATES:
         raise WireError("bdt_update must be one of: %s"
                         % ", ".join(_BDT_UPDATES))
+    if kwargs.get("backend", "inorder") not in _BACKENDS:
+        raise WireError("backend must be one of: %s"
+                        % ", ".join(_BACKENDS))
     return RunSpec(**kwargs)
 
 

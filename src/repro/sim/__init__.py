@@ -10,6 +10,10 @@
   ``engine="blocks"`` on both simulators: basic blocks are compiled to
   specialized Python functions (content-addressed, memoised on disk),
   bit-identical to the interpreted paths.
+* :class:`~repro.sim.ooo.OoOSimulator` — cycle-accurate R10000-style
+  out-of-order backend (rename, issue queue, active list, checkpoint
+  recovery) sharing the in-order machine's fetch-side mechanisms
+  (ASBR folding, decoupled front end) and architectural semantics.
 """
 
 from repro.sim.blocks import BlockCache, CompiledBlocks, compile_blocks
@@ -19,6 +23,7 @@ from repro.sim.functional import (
     BranchRecord,
     collect_branch_trace,
 )
+from repro.sim.ooo import OoOConfig, OoOSimulator, OoOStats
 from repro.sim.pipeline import PipelineConfig, PipelineSimulator, PipelineStats
 
 __all__ = [
@@ -29,6 +34,9 @@ __all__ = [
     "PipelineConfig",
     "PipelineSimulator",
     "PipelineStats",
+    "OoOConfig",
+    "OoOSimulator",
+    "OoOStats",
     "BlockCache",
     "CompiledBlocks",
     "compile_blocks",

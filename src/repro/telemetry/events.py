@@ -53,6 +53,16 @@ kind           meaning / payload (``data`` keys)
                with one still in flight — ``data["late"]`` true).
 ``prefetch_useless``  a prefetched block was evicted before any demand
                fetch used it.
+``rename_alloc``  the out-of-order machine (:mod:`repro.sim.ooo`)
+               renamed a destination: ``dest`` (architectural),
+               ``new``/``old`` (physical registers).
+``iq_wakeup``  a completing op broadcast its result: ``data["preg"]``
+               turned ready, waking issue-queue dependants.
+``checkpoint_restore``  misprediction recovery restored the map-table
+               checkpoint of the branch at ``pc``; ``data["depth"]``
+               counts the squashed ops.
+``squash_depth``  companion sample to ``checkpoint_restore`` for
+               recovery-depth histograms (``data["depth"]``).
 =============  =====================================================
 
 ``seq`` is the dynamic fetch sequence number (the value of
@@ -90,12 +100,17 @@ FTQ_OCCUPANCY = "ftq_occupancy"
 PREFETCH_ISSUE = "prefetch_issue"
 PREFETCH_USEFUL = "prefetch_useful"
 PREFETCH_USELESS = "prefetch_useless"
+RENAME_ALLOC = "rename_alloc"
+IQ_WAKEUP = "iq_wakeup"
+CHECKPOINT_RESTORE = "checkpoint_restore"
+SQUASH_DEPTH = "squash_depth"
 
 EVENT_KINDS = (FETCH, DECODE, ISSUE, COMMIT, BRANCH, FOLD_HIT, FOLD_MISS,
                BDT_UPDATE, SQUASH, REDIRECT, RETIRE, FAULT_INJECT,
                FAULT_DETECT, FAULT_CORRECT, TRUNCATED, BTB_HIT, BTB_MISS,
                FTQ_OCCUPANCY, PREFETCH_ISSUE, PREFETCH_USEFUL,
-               PREFETCH_USELESS)
+               PREFETCH_USELESS, RENAME_ALLOC, IQ_WAKEUP,
+               CHECKPOINT_RESTORE, SQUASH_DEPTH)
 
 #: Shared payload for events that carry none — emit sites pass it so the
 #: hot tracing path never allocates an empty dict per event.

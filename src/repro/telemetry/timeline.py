@@ -22,6 +22,14 @@ cycle before its issue event, in EX at the issue cycle, in MEM until
 the cycle before commit, and in WB at the commit cycle.  This is exact
 for the 5-stage in-order pipeline because every stage latches at end of
 cycle and each stage's first-cycle work fires exactly once.
+
+The same lifecycle shape covers the out-of-order backend
+(:mod:`repro.sim.ooo`): there ``decode`` is the rename cycle, ``issue``
+the wakeup/select grant and the D span the instruction's wait in the
+issue queue.  A row whose issue grant lands *earlier* than an older
+row's is flagged ``<ooo`` — dynamic scheduling made visible against the
+strictly in-order W column (commit order never inverts; the in-order
+machines never trigger the flag).
 """
 
 from __future__ import annotations
@@ -104,8 +112,26 @@ def _stage_chars(r: _Row, c0: int, c1: int) -> str:
     return "".join(chars)
 
 
-def _note(r: _Row) -> str:
+def ooo_issued_seqs(rows: Iterable[_Row]) -> set:
+    """Seqs whose issue grant precedes an older row's — the rows where
+    the machine visibly scheduled out of program order.  Empty for any
+    in-order event stream (issue cycles are monotone in seq there)."""
+    out = set()
+    max_issue = None
+    for r in sorted(rows, key=lambda r: r.seq):
+        if r.issue is None:
+            continue
+        if max_issue is not None and r.issue < max_issue:
+            out.add(r.seq)
+        if max_issue is None or r.issue > max_issue:
+            max_issue = r.issue
+    return out
+
+
+def _note(r: _Row, ooo: bool = False) -> str:
     parts = []
+    if ooo:
+        parts.append("<ooo")
     if r.fold is not None:
         kind = r.fold.get("fold")
         parts.append("folds %s 0x%x"
@@ -125,9 +151,12 @@ def render_pipeview(events: Iterable, limit: int = 64, skip: int = 0,
     """Render up to ``limit`` instructions (after skipping ``skip``)
     as an ASCII timeline; the cycle axis is clipped to ``max_cycles``
     columns starting at the first shown instruction's fetch."""
-    rows = [r for _, r in sorted(_collect(events).items())
-            if r.fetch is not None]
-    rows = rows[skip:skip + limit] if limit else rows[skip:]
+    all_rows = [r for _, r in sorted(_collect(events).items())
+                if r.fetch is not None]
+    # computed over the full stream so windowing never hides an
+    # inversion against an older, skipped row
+    ooo_seqs = ooo_issued_seqs(all_rows)
+    rows = all_rows[skip:skip + limit] if limit else all_rows[skip:]
     if not rows:
         return "(no instruction events)"
 
@@ -143,7 +172,8 @@ def render_pipeview(events: Iterable, limit: int = 64, skip: int = 0,
              "%4s %-10s %s" % ("seq", "pc", ruler)]
     for r in rows:
         line = ("%4d 0x%08x %s  %s"
-                % (r.seq, r.pc, _stage_chars(r, c0, c1), _note(r)))
+                % (r.seq, r.pc, _stage_chars(r, c0, c1),
+                   _note(r, ooo=r.seq in ooo_seqs)))
         lines.append(line.rstrip())
     return "\n".join(lines)
 

@@ -175,6 +175,30 @@ class Workload:
         return WorkloadResult(self.read_output(sim.memory, count),
                               stats=stats, instructions=stats.committed)
 
+    def run_ooo(self, pcm: Sequence[int], predictor=None, asbr=None,
+                config=None, trace=None, on_sim=None,
+                frontend=None) -> WorkloadResult:
+        """Run on the out-of-order backend (:mod:`repro.sim.ooo`).
+
+        Same contract as :meth:`run_pipeline`; ``config`` is an
+        :class:`repro.sim.ooo.OoOConfig` and ``frontend`` a
+        :class:`repro.frontend.FrontendConfig` — the decoupled front
+        end attaches to the OoO machine through the same interface.
+        """
+        from repro.sim.ooo import OoOSimulator
+        stream = self.prepare_input(pcm)
+        count = self._count(pcm, stream)
+        sim = OoOSimulator(self.program,
+                           self.build_memory(stream, count),
+                           predictor=predictor, asbr=asbr,
+                           config=config, trace=trace,
+                           frontend=frontend)
+        if on_sim is not None:
+            on_sim(sim)
+        stats = sim.run()
+        return WorkloadResult(self.read_output(sim.memory, count),
+                              stats=stats, instructions=stats.committed)
+
     def input_stream(self, pcm: Sequence[int]) -> List[int]:
         """The program-level input stream for raw PCM stimulus."""
         return self.prepare_input(pcm)

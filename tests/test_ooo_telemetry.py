@@ -1,0 +1,103 @@
+"""Telemetry contracts of the out-of-order backend.
+
+Two locks, mirroring the in-order pipeline's telemetry tests:
+
+* **traced ≡ plain** — attaching a :class:`Tracer` must not perturb a
+  single stats field, so cached metric-less results and traced reruns
+  stay interchangeable;
+* the event stream must carry the OoO lifecycle (rename_alloc,
+  iq_wakeup, issue, commit, checkpoint_restore, squash_depth) with
+  cycles/seqs consistent enough for the ASCII pipeview to reconstruct
+  out-of-order issue against in-order commit.
+"""
+
+import dataclasses
+
+from repro.asbr import ASBRUnit, FoldabilityError, extract_branch_info
+from repro.sim.ooo import OoOConfig, OoOSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.telemetry import Tracer
+from repro.telemetry import events as ev
+from repro.telemetry.sinks import RingBufferSink
+from repro.telemetry.timeline import lifecycle_cycles, render_pipeview
+from repro.testing import random_program
+
+
+def _asbr_for(prog, update="execute"):
+    infos = []
+    for i, ins in enumerate(prog.instrs):
+        if ins.is_branch:
+            try:
+                infos.append(extract_branch_info(prog, prog.pc_of(i)))
+            except FoldabilityError:
+                pass
+    return ASBRUnit.from_branch_infos(infos[:16], bdt_update=update)
+
+
+def _traced_run(seed, frontend=None, width=2):
+    prog = random_program(seed, units=14)
+    ring = RingBufferSink(capacity=1_000_000)
+    sim = OoOSimulator(prog, asbr=_asbr_for(prog),
+                       config=OoOConfig(issue_width=width),
+                       trace=Tracer(ring), frontend=frontend)
+    stats = sim.run()
+    return stats, ring.events
+
+
+def test_traced_equals_plain():
+    for seed in range(6):
+        prog = random_program(seed, units=14)
+        plain = OoOSimulator(prog, asbr=_asbr_for(prog)).run()
+        traced, _events = _traced_run(seed)
+        assert dataclasses.asdict(traced) == dataclasses.asdict(plain), \
+            "tracing perturbed the machine (seed %d)" % seed
+
+
+def test_traced_equals_plain_with_frontend():
+    from repro.frontend import FrontendConfig
+
+    prog = random_program(2, units=14)
+    plain = OoOSimulator(prog, asbr=_asbr_for(prog),
+                         frontend=FrontendConfig(fdip=True)).run()
+    traced, events = _traced_run(2, frontend=FrontendConfig(fdip=True))
+    assert dataclasses.asdict(traced) == dataclasses.asdict(plain)
+    kinds = set(e.kind for e in events)
+    assert ev.BTB_HIT in kinds or ev.BTB_MISS in kinds
+
+
+def test_event_stream_carries_ooo_lifecycle():
+    stats, events = _traced_run(0)
+    kinds = set(e.kind for e in events)
+    for want in (ev.FETCH, ev.DECODE, ev.RENAME_ALLOC, ev.ISSUE,
+                 ev.IQ_WAKEUP, ev.COMMIT, ev.BRANCH, ev.SQUASH,
+                 ev.CHECKPOINT_RESTORE, ev.SQUASH_DEPTH):
+        assert want in kinds, "missing %s events" % want
+    restores = [e for e in events if e.kind == ev.CHECKPOINT_RESTORE]
+    assert len(restores) == stats.checkpoint_restores
+    assert sum(e.data["depth"] for e in restores) \
+        == stats.squash_depth_sum
+
+
+def test_commit_in_order_issue_out_of_order():
+    _stats, events = _traced_run(0, width=4)
+    rows = lifecycle_cycles(events)
+    commits = [(seq, c) for seq, _f, _d, i, c, _s in rows
+               if c is not None]
+    # commit cycles never invert in seq order (the active list is the
+    # paper-facing guarantee: folding's precision argument survives)
+    assert all(a[1] <= b[1] for a, b in zip(commits, commits[1:]))
+    issues = [(seq, i) for seq, _f, _d, i, c, _s in rows
+              if i is not None and c is not None]
+    assert any(a[1] > b[1] for a, b in zip(issues, issues[1:])), \
+        "4-wide machine never issued out of order"
+
+
+def test_pipeview_flags_ooo_issue():
+    _stats, events = _traced_run(0, width=4)
+    view = render_pipeview(events, limit=200)
+    assert "<ooo" in view
+    # the in-order pipeline must never trip the flag
+    prog = random_program(0, units=14)
+    ring = RingBufferSink(capacity=1_000_000)
+    PipelineSimulator(prog, trace=Tracer(ring)).run()
+    assert "<ooo" not in render_pipeview(ring.events, limit=200)
