@@ -35,7 +35,8 @@ entry's payload checksum and prunes corruption (both traverse sharded
 and flat cache layouts).  ``serve`` runs the long-lived simulation
 daemon (:mod:`repro.serve`): JSON/HTTP submission of single runs,
 sweeps and DSE jobs with request coalescing, a sharded result cache
-and streamed job progress.
+and streamed job progress; with ``--state-dir`` every job journals to
+a write-ahead log and a restarted daemon resumes unfinished work.
 ``--trace-out`` / ``--branch-report`` / ``--json`` attach the telemetry
 layer (:mod:`repro.telemetry`) to the run; ``trace`` renders a
 previously captured JSONL event stream.
@@ -440,7 +441,12 @@ def cmd_serve(args) -> int:
         max_bytes=parse_size(args.max_bytes)
         if args.max_bytes is not None else None,
         workers=args.workers, task_timeout=args.task_timeout,
-        retries=args.retries)
+        retries=args.retries,
+        state_dir=args.state_dir,
+        max_active_jobs=args.max_active_jobs,
+        max_queued_jobs=args.max_queued_jobs,
+        max_inflight_runs=args.max_inflight,
+        retry_after=args.retry_after)
     asyncio.run(run_server(config))
     return 0
 
@@ -764,6 +770,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "is failed/retried (crash detector)")
     p.add_argument("--retries", type=int, default=0,
                    help="retries per failed/timed-out run")
+    p.add_argument("--state-dir", default=None,
+                   help="job WAL directory; restart on the same dir "
+                        "replays every job's journal and resumes "
+                        "unfinished work (omit = in-memory jobs)")
+    p.add_argument("--max-active-jobs", type=int, default=4,
+                   help="sweep/DSE jobs executing concurrently")
+    p.add_argument("--max-queued-jobs", type=int, default=16,
+                   help="jobs waiting beyond the active bound before "
+                        "submissions shed with 429")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="distinct uncached /run executions in flight "
+                        "before submissions shed with 429")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint (seconds) on 429/503")
     p.set_defaults(fn=cmd_serve)
     return parser
 

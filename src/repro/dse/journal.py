@@ -15,16 +15,20 @@ the simulator, even across processes.  The runner's content-addressed
 cache (:mod:`repro.runner.cache`) sits underneath for the raw run
 results; the journal adds the *derived* objectives and the search
 position, which the cache alone cannot restore.
+
+The file-level mechanics (fsync'd append, torn-tail drop on load,
+tail repair before append) live in the shared :mod:`repro.wal`
+helpers, which the serve daemon's durable job store reuses — one
+crash-safety argument, tested once, shared by both subsystems.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Dict, Iterator, Optional
 
 from repro.dse.objectives import ObjectiveVector
 from repro.dse.space import DesignPoint
+from repro.wal import JsonlWal, load_jsonl
 
 JOURNAL_VERSION = 1
 
@@ -48,7 +52,7 @@ class Journal:
         self.records: Dict[str, dict] = {}   # eval_key -> eval record
         self.failures: Dict[str, dict] = {}  # eval_key -> failed record
         self.dropped = 0                     # corrupt/truncated lines
-        self._fh = None
+        self._wal: Optional[JsonlWal] = None
 
     # ------------------------------------------------------------------
     # loading
@@ -58,24 +62,10 @@ class Journal:
         self.meta = None
         self.records = {}
         self.failures = {}
-        self.dropped = 0
-        try:
-            with open(self.path) as f:
-                raw = f.read()
-        except FileNotFoundError:
-            return self
-        lines = raw.split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
-        elif lines:
-            # no trailing newline: the writer died mid-record
-            self.dropped += 1
-            lines.pop()
-        for line in lines:
-            try:
-                rec = json.loads(line)
-                kind = rec["kind"]
-            except (ValueError, KeyError, TypeError):
+        records, self.dropped = load_jsonl(self.path)
+        for rec in records:
+            kind = rec.get("kind")
+            if kind is None:
                 self.dropped += 1
                 continue
             if kind == "meta" and self.meta is None:
@@ -111,33 +101,16 @@ class Journal:
                         "journal %s was recorded with %s=%r, "
                         "this run wants %r — use a fresh journal"
                         % (self.path, k, old, v))
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        self._repair_tail()
-        self._fh = open(self.path, "a")
+        self._wal = JsonlWal(self.path).open()
         if self.meta is None:
             self.meta = dict(meta, kind="meta", version=JOURNAL_VERSION)
             self._write(self.meta)
         return self
 
-    def _repair_tail(self) -> None:
-        """Chop a half-written final record off the file, so appended
-        records never concatenate onto a crashed writer's tail."""
-        try:
-            with open(self.path, "rb+") as f:
-                data = f.read()
-                if data and not data.endswith(b"\n"):
-                    f.truncate(data.rfind(b"\n") + 1)
-        except FileNotFoundError:
-            pass
-
     def _write(self, record: dict) -> None:
-        if self._fh is None:
+        if self._wal is None:
             raise RuntimeError("journal not open for writing")
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self._wal.append(record)
 
     def record_eval(self, point: DesignPoint, benchmark: str,
                     n_samples: int, seed: int,
@@ -184,9 +157,9 @@ class Journal:
         return rec
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     # ------------------------------------------------------------------
     # queries

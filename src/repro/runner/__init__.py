@@ -40,6 +40,7 @@ from repro.runner.cache import (
     shard_width,
 )
 from repro.runner.pool import (
+    DeadlineExpired,
     FailedResult,
     RunSpec,
     TaskTimeout,
@@ -51,6 +52,7 @@ from repro.runner.sweep import run_sweep
 
 __all__ = [
     "CACHE_VERSION",
+    "DeadlineExpired",
     "FailedResult",
     "GCResult",
     "ResultCache",

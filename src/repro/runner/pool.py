@@ -170,10 +170,12 @@ class FailedResult:
     quarantined instead of aborting its 75 healthy neighbours.
 
     ``kind`` is ``"error"`` (the run raised — the message carries the
-    exception) or ``"timeout"`` (no result arrived within
+    exception), ``"timeout"`` (no result arrived within
     ``task_timeout`` — a hung run or a killed worker; the pool cannot
-    tell those apart from the outside).  ``attempts`` counts the tries
-    that were spent before giving up.
+    tell those apart from the outside) or ``"deadline"`` (the sweep's
+    end-to-end ``deadline`` passed before this spec produced a result —
+    expired work is settled, never waited on).  ``attempts`` counts the
+    tries that were spent before giving up.
     """
 
     spec: RunSpec
@@ -191,6 +193,21 @@ class TaskTimeout(RuntimeError):
     with ``on_error="raise"``; otherwise a :class:`FailedResult`)."""
 
 
+class DeadlineExpired(RuntimeError):
+    """The sweep's end-to-end ``deadline`` passed with work pending
+    (raised only with ``on_error="raise"``; otherwise each expired
+    spec settles as a ``kind="deadline"`` :class:`FailedResult`)."""
+
+
+def _deadline_passed(deadline: Optional[float]) -> bool:
+    return deadline is not None and time.monotonic() >= deadline
+
+
+def _deadline_failed(spec: RunSpec, attempts: int) -> FailedResult:
+    return FailedResult(spec, "deadline expired before a result was "
+                        "produced", "deadline", attempts)
+
+
 def _backoff_sleep(backoff: float, attempt: int) -> None:
     """Exponential backoff before retry ``attempt + 1``."""
     if backoff > 0:
@@ -198,9 +215,19 @@ def _backoff_sleep(backoff: float, attempt: int) -> None:
 
 
 def _run_inline(fn, spec: RunSpec, retries: int, backoff: float,
-                on_error: str):
-    """Execute one spec in this process, with bounded retries."""
+                on_error: str, deadline: Optional[float] = None):
+    """Execute one spec in this process, with bounded retries.
+
+    The ``deadline`` (absolute ``time.monotonic()`` value) is checked
+    before each attempt — inline execution cannot be interrupted
+    mid-run, so an expired deadline stops *starting* work rather than
+    aborting it.
+    """
     for attempt in range(1, retries + 2):
+        if _deadline_passed(deadline):
+            if on_error == "return":
+                return _deadline_failed(spec, attempt - 1)
+            raise DeadlineExpired("%r: deadline expired" % (spec,))
         try:
             return fn(spec)
         except Exception as exc:
@@ -300,12 +327,12 @@ def _notify(on_result, i: int, spec: RunSpec, result) -> None:
 
 
 def _finish_inline(specs, fn, results, done, retries, backoff, on_error,
-                   on_result=None):
+                   on_result=None, deadline=None):
     """Serial fallback: complete every unfinished task in-process."""
     for j in range(len(specs)):
         if not done[j]:
             results[j] = _run_inline(fn, specs[j], retries, backoff,
-                                     on_error)
+                                     on_error, deadline)
             done[j] = True
             _notify(on_result, j, specs[j], results[j])
     return results
@@ -314,7 +341,7 @@ def _finish_inline(specs, fn, results, done, retries, backoff, on_error,
 def _map_pooled(specs: List[RunSpec], fn, procs: int,
                 task_timeout: Optional[float], retries: int,
                 backoff: float, on_error: str,
-                on_result=None) -> List:
+                on_result=None, deadline: Optional[float] = None) -> List:
     """Fan ``specs`` over a worker pool, surviving crashed workers.
 
     ``pool.map`` would hang forever on a worker killed mid-task (the
@@ -333,7 +360,7 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
     if pool is None:
         return _finish_inline(specs, fn, [None] * len(specs),
                               [False] * len(specs), retries, backoff,
-                              on_error, on_result)
+                              on_error, on_result, deadline)
     n = len(specs)
     results: List = [None] * n
     done = [False] * n
@@ -378,25 +405,43 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
                 if not rebuild():
                     return _finish_inline(specs, fn, results, done,
                                           retries, backoff, on_error,
-                                          on_result)
+                                          on_result, deadline)
                 break                 # rebuild submitted the rest too
         for i in range(n):
             while not done[i]:
+                if _deadline_passed(deadline):
+                    # end-to-end deadline: settle, don't wait — the
+                    # in-flight pool task is abandoned (its eventual
+                    # result is discarded by the pool teardown)
+                    if on_error != "return":
+                        raise DeadlineExpired(
+                            "%r: deadline expired" % (specs[i],))
+                    results[i] = _deadline_failed(specs[i], attempts[i])
+                    done[i] = True
+                    _notify(on_result, i, specs[i], results[i])
+                    continue
+                wait = task_timeout
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    wait = remaining if wait is None \
+                        else min(wait, remaining)
                 try:
-                    results[i] = handles[i].get(task_timeout)
+                    results[i] = handles[i].get(wait)
                     done[i] = True
                     _notify(on_result, i, specs[i], results[i])
                 except multiprocessing.TimeoutError:
+                    if _deadline_passed(deadline):
+                        continue      # loop top settles it as deadline
                     if attempts[i] <= retries:
                         if not resubmit(i):
                             return _finish_inline(specs, fn, results,
                                                   done, retries,
                                                   backoff, on_error,
-                                                  on_result)
+                                                  on_result, deadline)
                         continue
                     msg = ("no result within %.3gs after %d attempt(s) "
                            "(worker hung or killed)"
-                           % (task_timeout, attempts[i]))
+                           % (wait, attempts[i]))
                     if on_error == "return":
                         results[i] = FailedResult(specs[i], msg,
                                                   "timeout", attempts[i])
@@ -410,7 +455,7 @@ def _map_pooled(specs: List[RunSpec], fn, procs: int,
                             return _finish_inline(specs, fn, results,
                                                   done, retries,
                                                   backoff, on_error,
-                                                  on_result)
+                                                  on_result, deadline)
                         continue
                     if on_error == "return":
                         results[i] = FailedResult(
@@ -434,7 +479,8 @@ def map_specs(specs: Sequence[RunSpec], workers: int = 0,
               task_timeout: Optional[float] = None,
               retries: int = 0, backoff: float = 0.25,
               on_error: str = "raise",
-              on_result=None) -> List:
+              on_result=None,
+              deadline: Optional[float] = None) -> List:
     """Execute every spec, returning results in input order.
 
     Each result is a ``PipelineStats``, or a ``(stats, metrics_dict)``
@@ -458,6 +504,14 @@ def map_specs(specs: Sequence[RunSpec], workers: int = 0,
       :class:`FailedResult` in its slot instead of raising, so one
       poisoned spec cannot abort the sweep.  ``"raise"`` (default)
       propagates the worker's exception / :class:`TaskTimeout`.
+    * ``deadline`` — an absolute ``time.monotonic()`` instant bounding
+      the *whole call* end to end (the serve daemon propagates a
+      request's ``deadline_ms`` here).  Specs without a result when it
+      passes settle as ``kind="deadline"`` :class:`FailedResult`\\ s
+      (or raise :class:`DeadlineExpired` with ``on_error="raise"``):
+      pooled waits are clipped to the remaining budget, and the
+      inline/serial paths stop starting new work.  Expired work is
+      never waited on and never cached.
 
     If the pool cannot be built or rebuilt, the remaining work degrades
     to serial in-process execution rather than failing.
@@ -479,9 +533,9 @@ def map_specs(specs: Sequence[RunSpec], workers: int = 0,
         results = []
         for i, s in enumerate(specs):
             results.append(_run_inline(fn, s, retries, backoff,
-                                       on_error))
+                                       on_error, deadline))
             _notify(on_result, i, s, results[-1])
         return results
     return _map_pooled(specs, fn, min(workers, len(specs)),
                        task_timeout, retries, backoff, on_error,
-                       on_result)
+                       on_result, deadline)

@@ -21,7 +21,8 @@ def run_sweep(specs: Sequence[RunSpec],
               task_timeout: Optional[float] = None,
               retries: int = 0,
               on_error: str = "raise",
-              on_result=None) -> List:
+              on_result=None,
+              deadline: Optional[float] = None) -> List:
     """Stats for every spec, in input order.
 
     Duplicate specs are simulated once.  With a cache, known results are
@@ -38,11 +39,13 @@ def run_sweep(specs: Sequence[RunSpec],
     metric sweep costs one file read per configuration.  Cache entries
     recorded without metrics are upgraded in place by the refill.
 
-    ``task_timeout`` / ``retries`` / ``on_error`` pass straight through
-    to :func:`~repro.runner.pool.map_specs`; with ``on_error="return"``
-    a spec that exhausts its retries occupies its result slots as a
+    ``task_timeout`` / ``retries`` / ``on_error`` / ``deadline`` pass
+    straight through to :func:`~repro.runner.pool.map_specs`; with
+    ``on_error="return"`` a spec that exhausts its retries (or the
+    end-to-end ``deadline``) occupies its result slots as a
     :class:`~repro.runner.pool.FailedResult`, which is reported to the
-    caller but never written to the cache.
+    caller but never written to the cache.  Cache hits settle before
+    the deadline is consulted — known answers are never expired.
 
     ``on_result(spec, result, cached)`` is a progress hook fired once
     per *distinct* spec, in the order results become available: cache
@@ -93,7 +96,8 @@ def run_sweep(specs: Sequence[RunSpec],
     results = map_specs(todo, workers=workers,
                         collect_metrics=collect_metrics,
                         task_timeout=task_timeout, retries=retries,
-                        on_error=on_error, on_result=settle)
+                        on_error=on_error, on_result=settle,
+                        deadline=deadline)
     for spec, result in zip(todo, results):
         resolved[spec] = result
 

@@ -4,14 +4,33 @@
 the CI smoke driver and scripted tenants, with zero dependencies.  The
 load suite uses raw asyncio sockets instead (it needs thousands of
 concurrent requests); this client optimises for clarity.
+
+PR 9 makes the client a well-behaved tenant of a daemon that sheds:
+
+* **Retries** — connection errors and shed responses (429/503 bearing
+  ``Retry-After``) are retried with capped exponential backoff plus
+  full jitter, honouring the server's ``Retry-After`` as a floor.
+  Retrying is safe because the service is idempotent under the
+  cache/coalescing key: a resubmitted run lands on the same in-flight
+  slot or cache entry, never a second simulation.
+* **No busy-polling** — :meth:`wait_job` subscribes to the job's
+  chunked event stream and returns when the terminal event arrives;
+  polling survives only as the fallback when streaming is unavailable
+  (old daemon, stream cut mid-drain).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Iterator, Optional, Tuple
+
+#: statuses the daemon uses for load shedding; retryable only when the
+#: response carries a ``Retry-After`` (a bare 503 — e.g. ``/readyz``
+#: before recovery finishes — is a state report, not an invitation)
+SHED_STATUSES = (429, 503)
 
 
 class ServeError(RuntimeError):
@@ -24,13 +43,23 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talk JSON to one daemon.  Usable as a context manager."""
+    """Talk JSON to one daemon.  Usable as a context manager.
+
+    ``retries`` bounds how many times a retryable failure (connection
+    error / shed response) is retried per request; ``backoff`` and
+    ``backoff_cap`` shape the capped exponential backoff between
+    attempts.  ``retries=0`` restores fail-fast behaviour.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, retries: int = 4,
+                 backoff: float = 0.1, backoff_cap: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
         self._conn: Optional[http.client.HTTPConnection] = None
 
     def _connection(self) -> http.client.HTTPConnection:
@@ -50,30 +79,62 @@ class ServeClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- retry plumbing -----------------------------------------------
+    def _retry_sleep(self, attempt: int,
+                     retry_after: Optional[float]) -> None:
+        """Capped exponential backoff with full jitter; the server's
+        ``Retry-After`` hint is a floor, never ignored downward."""
+        wait = min(self.backoff_cap, self.backoff * (2 ** (attempt - 1)))
+        wait *= random.random()       # full jitter: desynchronise tenants
+        if retry_after:
+            wait = max(wait, retry_after)
+        if wait > 0:
+            time.sleep(wait)
+
     def request(self, method: str, path: str,
-                obj: Optional[dict] = None) -> Tuple[int, dict]:
-        """One request/response cycle; reconnects once on a dropped
-        keep-alive connection."""
+                obj: Optional[dict] = None,
+                retry: bool = True) -> Tuple[int, dict]:
+        """One request/response cycle.
+
+        With ``retry`` (default), connection errors and shed responses
+        (429/503 carrying ``Retry-After``) are retried up to
+        ``self.retries`` times with backoff; the final shed response is
+        returned (not raised) so callers still see the real status.
+        ``retry=False`` gives the raw single-attempt behaviour.
+        """
         body = json.dumps(obj).encode("utf-8") if obj is not None \
             else None
         headers = {"Content-Type": "application/json"} if body else {}
-        for attempt in (1, 2):
+        budget = self.retries if retry else 0
+        attempt = 0
+        while True:
+            attempt += 1
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 resp = conn.getresponse()
                 payload = resp.read()
-                break
             except (http.client.HTTPException, ConnectionError,
                     BrokenPipeError, OSError):
                 self.close()
-                if attempt == 2:
+                if attempt > budget:
                     raise
-        try:
-            decoded = json.loads(payload) if payload else {}
-        except json.JSONDecodeError:
-            decoded = {"raw": payload.decode("utf-8", "replace")}
-        return resp.status, decoded
+                self._retry_sleep(attempt, None)
+                continue
+            try:
+                decoded = json.loads(payload) if payload else {}
+            except json.JSONDecodeError:
+                decoded = {"raw": payload.decode("utf-8", "replace")}
+            retry_after = resp.getheader("Retry-After")
+            if resp.status in SHED_STATUSES and retry_after is not None \
+                    and attempt <= budget:
+                try:
+                    floor = float(retry_after)
+                except ValueError:
+                    floor = None
+                self._retry_sleep(attempt, floor)
+                continue
+            return resp.status, decoded
 
     def check(self, method: str, path: str,
               obj: Optional[dict] = None) -> dict:
@@ -86,16 +147,27 @@ class ServeClient:
     def healthz(self) -> dict:
         return self.check("GET", "/healthz")
 
+    def readyz(self) -> Tuple[bool, dict]:
+        """(ready, body) without raising — 503 is an answer here."""
+        status, decoded = self.request("GET", "/readyz", retry=False)
+        return status == 200, decoded
+
     def stats(self) -> dict:
         return self.check("GET", "/stats")
 
-    def run(self, spec: dict, metrics: bool = False) -> dict:
-        return self.check("POST", "/run",
-                          {"spec": spec, "metrics": metrics})
+    def run(self, spec: dict, metrics: bool = False,
+            deadline_ms: Optional[float] = None) -> dict:
+        body = {"spec": spec, "metrics": metrics}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self.check("POST", "/run", body)
 
-    def sweep(self, specs: list, metrics: bool = False) -> dict:
-        return self.check("POST", "/sweep",
-                          {"specs": specs, "metrics": metrics})["job"]
+    def sweep(self, specs: list, metrics: bool = False,
+              deadline_ms: Optional[float] = None) -> dict:
+        body = {"specs": specs, "metrics": metrics}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self.check("POST", "/sweep", body)["job"]
 
     def dse(self, **body) -> dict:
         return self.check("POST", "/dse", body)["job"]
@@ -104,16 +176,37 @@ class ServeClient:
         return self.check("GET", "/jobs/%s" % job_id)["job"]
 
     def wait_job(self, job_id: str, timeout: float = 120.0,
-                 poll: float = 0.1) -> dict:
-        """Poll until the job reaches a terminal state."""
+                 poll: float = 0.5) -> dict:
+        """Block until the job is terminal, without busy-polling.
+
+        Subscribes to the job's chunked event stream and returns once
+        the ``end`` event arrives (one long-lived connection, zero
+        request churn).  If the stream is unavailable or is cut before
+        the terminal event (daemon draining, old server), degrades to
+        polling ``GET /jobs/<id>`` at ``poll`` intervals.
+        """
         deadline = time.monotonic() + timeout
+
+        def remaining() -> float:
+            left = deadline - time.monotonic()
+            if left <= 0:
+                raise TimeoutError("job %s not terminal after %.1fs"
+                                   % (job_id, timeout))
+            return left
+
+        try:
+            for event in self.stream_events(job_id):
+                remaining()
+                if event.get("kind") == "end":
+                    return self.job(job_id)
+        except (ServeError, OSError, http.client.HTTPException,
+                json.JSONDecodeError):
+            pass                      # stream unavailable: fall back
         while True:
             job = self.job(job_id)
             if job["state"] in ("done", "failed"):
                 return job
-            if time.monotonic() > deadline:
-                raise TimeoutError("job %s still %s after %.1fs"
-                                   % (job_id, job["state"], timeout))
+            remaining()
             time.sleep(poll)
 
     def stream_events(self, job_id: str) -> Iterator[dict]:

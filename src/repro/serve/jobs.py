@@ -1,4 +1,4 @@
-"""Job records and the in-daemon job store.
+"""Job records, the in-daemon job store, and its write-ahead log.
 
 A *job* is one asynchronous batch submission — a sweep or a DSE
 evaluation — executing through :func:`repro.runner.run_sweep` on a
@@ -9,9 +9,31 @@ appended by the runner's ``on_result`` hook as each distinct spec
 settles, and the terminal state distinguishes *done* (every spec
 produced verified stats) from *failed* (at least one spec ended as a
 quarantined :class:`~repro.runner.FailedResult` — a SIGKILLed worker,
-a hang past ``task_timeout``, a poisoned spec).  A failed job is a
-first-class record, never a hung connection: the failure rides in the
-job body with the same shape the chaos suite asserts on.
+a hang past ``task_timeout``, an expired deadline, a poisoned spec).
+A failed job is a first-class record, never a hung connection: the
+failure rides in the job body with the same shape the chaos suite
+asserts on.
+
+**Durability** (PR 9): with a ``state_dir`` every job owns an
+append-only fsync'd JSONL write-ahead log (the shared
+:mod:`repro.wal` helpers, extracted from the PR 3 DSE journal).
+Three record kinds::
+
+    {"kind": "meta",   ...job identity: specs, deadline, metadata...}
+    {"kind": "result", "i": <spec index>, "rec": <wire-shaped outcome>}
+    {"kind": "end",    "state": "done"|"failed", "error": ...}
+
+Every ``result`` is on disk *before* the in-memory record updates, so
+a crashed daemon loses at most the one record that was mid-write (the
+WAL's torn tail, dropped and repaired on load).  :meth:`JobStore.
+recover` replays each log into a job: settled specs — successes *and*
+quarantined failures — keep their outcome and are never re-executed
+or re-journaled (a failed spec settles as exactly one ``failed``
+record, across any number of restarts), while unsettled specs are
+re-enqueued through :meth:`Job.pending_specs`.  Because the result
+cache sits underneath, the re-enqueued specs that finished before the
+crash but after their journal write resolve as cache hits — restart
+completes a job with zero recomputation.
 
 Threading model: mutation happens append-only from one producer (the
 job's worker thread); readers on the event loop see a consistent
@@ -24,14 +46,24 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import logging
+import os
+import re
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.runner import FailedResult, RunSpec
-from repro.serve.protocol import spec_to_wire
+from repro.serve.protocol import spec_from_wire, spec_to_wire
+from repro.wal import JsonlWal
+
+log = logging.getLogger("repro.serve")
 
 JOB_STATES = ("pending", "running", "done", "failed")
+
+JOB_WAL_VERSION = 1
+
+_ID_RE = re.compile(r"^job-(\d{6,})$")
 
 
 def _result_record(spec: RunSpec, result, cached: bool,
@@ -62,7 +94,9 @@ class Job:
 
     def __init__(self, job_id: str, kind: str, specs: List[RunSpec],
                  collect_metrics: bool = False,
-                 meta: Optional[dict] = None) -> None:
+                 meta: Optional[dict] = None,
+                 wal: Optional[JsonlWal] = None,
+                 deadline_at: Optional[float] = None) -> None:
         self.id = job_id
         self.kind = kind                      # "sweep" | "dse"
         self.specs = specs                    # distinct, input order
@@ -73,13 +107,71 @@ class Job:
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
         self.error: Optional[str] = None      # infrastructure failure
+        #: wall-clock instant after which pending work expires
+        #: (``deadline_ms`` on the submission); wall time so the
+        #: deadline survives a restart
+        self.deadline_at = deadline_at
         self.n_total = len(specs)
         self.n_done = 0
         self.n_cached = 0
         self.n_failed = 0
+        self.n_deadline = 0                   # fail_kind == "deadline"
+        self.n_recovered = 0                  # results replayed from WAL
         self.results: List[Optional[dict]] = [None] * len(specs)
         self.events: List[dict] = []
         self._index = {spec: i for i, spec in enumerate(specs)}
+        self._wal = wal
+
+    # -- durability -----------------------------------------------------
+    def wal_meta(self) -> dict:
+        """The WAL's first record: everything replay needs."""
+        return {
+            "kind": "meta", "version": JOB_WAL_VERSION,
+            "job": self.id, "job_kind": self.kind,
+            "specs": [spec_to_wire(s) for s in self.specs],
+            "collect_metrics": self.collect_metrics,
+            "meta": self.meta, "submitted": self.submitted,
+            "deadline_at": self.deadline_at,
+        }
+
+    def _journal(self, record: dict) -> None:
+        """Durably append one WAL record; a sick disk degrades the job
+        to in-memory-only (logged once) rather than failing the sweep."""
+        if self._wal is None:
+            return
+        try:
+            self._wal.append(record)
+        except Exception as exc:
+            log.error("job %s WAL write failed (%s: %s); continuing "
+                      "without durability", self.id,
+                      type(exc).__name__, exc)
+            self._wal = None
+
+    def close_wal(self) -> None:
+        if self._wal is not None:
+            try:
+                self._wal.close()
+            except Exception:
+                pass
+            self._wal = None
+
+    def monotonic_deadline(self) -> Optional[float]:
+        """The job deadline as an absolute ``time.monotonic()`` value
+        for :func:`repro.runner.map_specs` — computed at call time so
+        it stays correct across a restart (wall clock is the durable
+        representation)."""
+        if self.deadline_at is None:
+            return None
+        return time.monotonic() + (self.deadline_at - time.time())
+
+    def deadline_expired(self) -> bool:
+        return self.deadline_at is not None \
+            and time.time() >= self.deadline_at
+
+    def pending_specs(self) -> List[RunSpec]:
+        """Specs without a settled outcome — the unit of resumption."""
+        return [spec for i, spec in enumerate(self.specs)
+                if self.results[i] is None]
 
     # -- producer side (worker thread) ---------------------------------
     def start(self) -> None:
@@ -88,18 +180,53 @@ class Job:
         self._emit({"kind": "start", "job": self.id,
                     "n_specs": self.n_total})
 
+    def resume(self) -> None:
+        """Continue a WAL-recovered job: the replayed results stay
+        settled; only :meth:`pending_specs` re-enter the pool."""
+        self.state = "running"
+        self.started = time.time()
+        self._emit({"kind": "resume", "job": self.id,
+                    "recovered": self.n_done,
+                    "pending": self.n_total - self.n_done})
+
     def note_result(self, spec: RunSpec, result, cached: bool) -> None:
-        """``run_sweep`` progress hook: record + publish one outcome."""
+        """``run_sweep`` progress hook: journal, record + publish one
+        outcome.  The WAL write precedes the in-memory update — a
+        result the feed shows is a result a restart will replay."""
         i = self._index.get(spec)
         if i is None or self.results[i] is not None:
             return                            # unknown or duplicate fire
         rec = _result_record(spec, result, cached, self.collect_metrics)
+        self._journal({"kind": "result", "i": i, "rec": rec})
+        self._settle(i, rec)
+
+    def expire_pending(self) -> int:
+        """Settle every pending spec as a journaled ``deadline``
+        failure (the job's deadline passed before they could run);
+        returns how many were expired."""
+        expired = 0
+        for i, spec in enumerate(self.specs):
+            if self.results[i] is None:
+                self.note_result(
+                    spec,
+                    FailedResult(spec, "deadline expired before "
+                                 "execution", "deadline", 0),
+                    False)
+                expired += 1
+        return expired
+
+    def _settle(self, i: int, rec: dict,
+                recovered: bool = False) -> None:
         self.results[i] = rec
         self.n_done += 1
-        self.n_cached += 1 if cached else 0
+        self.n_cached += 1 if rec["cached"] else 0
         self.n_failed += 0 if rec["ok"] else 1
+        if not rec["ok"] and rec.get("fail_kind") == "deadline":
+            self.n_deadline += 1
         ev = {"kind": "result", "i": i, "ok": rec["ok"],
               "cached": rec["cached"]}
+        if recovered:
+            ev["recovered"] = True
         if rec["ok"]:
             ev["cycles"] = rec["stats"]["cycles"]
             if "counters" in rec:
@@ -115,6 +242,8 @@ class Job:
         self.finished = time.time()
         self.error = error
         state = "failed" if (error or self.n_failed) else "done"
+        self._journal({"kind": "end", "state": state, "error": error})
+        self.close_wal()
         self._emit({"kind": "end", "state": state,
                     "n_done": self.n_done, "n_failed": self.n_failed,
                     "n_cached": self.n_cached, "error": error})
@@ -124,6 +253,70 @@ class Job:
         event["seq"] = len(self.events)
         event["t"] = round(time.time() - self.submitted, 6)
         self.events.append(event)
+
+    # -- recovery -------------------------------------------------------
+    @classmethod
+    def replay(cls, records: List[dict],
+               wal: Optional[JsonlWal] = None) -> Optional["Job"]:
+        """Rebuild a job from its WAL records (as loaded by
+        :func:`repro.wal.load_jsonl`); None when the log holds no
+        usable ``meta`` record.
+
+        Replay is idempotent and side-effect free: nothing is
+        re-journaled (a settled spec — success or failure — keeps its
+        exactly-one record across any number of restarts) and the
+        event feed is rebuilt deterministically with ``recovered``
+        markers.  Event timestamps are rebuilt relative to *this*
+        process; the WAL persists outcomes, not the original feed.
+        """
+        meta_rec = None
+        for rec in records:
+            if rec.get("kind") == "meta":
+                meta_rec = rec
+                break
+        if meta_rec is None:
+            return None
+        try:
+            specs = [spec_from_wire(w) for w in meta_rec["specs"]]
+        except Exception:
+            return None
+        job = cls(meta_rec["job"], meta_rec.get("job_kind", "sweep"),
+                  specs,
+                  collect_metrics=bool(meta_rec.get("collect_metrics")),
+                  meta=meta_rec.get("meta") or {},
+                  wal=wal,
+                  deadline_at=meta_rec.get("deadline_at"))
+        job.submitted = meta_rec.get("submitted", job.submitted)
+        job._emit({"kind": "start", "job": job.id,
+                   "n_specs": job.n_total})
+        end_rec = None
+        for rec in records:
+            kind = rec.get("kind")
+            if kind == "result":
+                i = rec.get("i")
+                payload = rec.get("rec")
+                if not isinstance(i, int) or not 0 <= i < job.n_total \
+                        or not isinstance(payload, dict) \
+                        or job.results[i] is not None:
+                    continue          # corrupt or duplicate: skip
+                job._settle(i, payload, recovered=True)
+                job.n_recovered += 1
+            elif kind == "end":
+                end_rec = rec
+        if end_rec is not None:
+            job.finished = time.time()
+            job.error = end_rec.get("error")
+            state = end_rec.get("state")
+            if state not in ("done", "failed"):
+                state = "failed" if (job.error or job.n_failed) \
+                    else "done"
+            job._emit({"kind": "end", "state": state,
+                       "n_done": job.n_done, "n_failed": job.n_failed,
+                       "n_cached": job.n_cached, "error": job.error,
+                       "recovered": True})
+            job.state = state
+            job.close_wal()
+        return job
 
     # -- reader side (event loop) --------------------------------------
     @property
@@ -135,6 +328,8 @@ class Job:
             "id": self.id, "kind": self.kind, "state": self.state,
             "n_total": self.n_total, "n_done": self.n_done,
             "n_cached": self.n_cached, "n_failed": self.n_failed,
+            "n_recovered": self.n_recovered,
+            "deadline_at": self.deadline_at,
             "submitted": self.submitted, "started": self.started,
             "finished": self.finished, "error": self.error,
         }
@@ -147,21 +342,97 @@ class Job:
 
 
 class JobStore:
-    """Monotonic ids, bounded retention of finished jobs."""
+    """Monotonic ids, bounded retention of finished jobs, and (with a
+    ``state_dir``) one write-ahead log per job under
+    ``<state_dir>/jobs/``."""
 
-    def __init__(self, keep_finished: int = 1024) -> None:
+    def __init__(self, state_dir: Optional[str] = None,
+                 keep_finished: int = 1024) -> None:
+        self.state_dir = state_dir
         self.keep_finished = keep_finished
+        self.wal_dropped = 0          # torn/corrupt WAL lines at recover
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._ids = itertools.count(1)
 
+    def _jobs_dir(self) -> str:
+        return os.path.join(self.state_dir, "jobs")
+
+    def _wal_path(self, job_id: str) -> str:
+        return os.path.join(self._jobs_dir(), job_id + ".jsonl")
+
     def create(self, kind: str, specs: List[RunSpec],
                collect_metrics: bool = False,
-               meta: Optional[dict] = None) -> Job:
-        job = Job("job-%06d" % next(self._ids), kind, specs,
-                  collect_metrics=collect_metrics, meta=meta)
+               meta: Optional[dict] = None,
+               deadline_at: Optional[float] = None) -> Job:
+        job_id = "job-%06d" % next(self._ids)
+        wal = None
+        if self.state_dir is not None:
+            try:
+                wal = JsonlWal(self._wal_path(job_id)).open()
+            except Exception as exc:
+                log.error("job %s WAL open failed (%s: %s); job is "
+                          "in-memory only", job_id,
+                          type(exc).__name__, exc)
+                wal = None
+        job = Job(job_id, kind, specs, collect_metrics=collect_metrics,
+                  meta=meta, wal=wal, deadline_at=deadline_at)
+        if wal is not None:
+            job._journal(job.wal_meta())
         self._jobs[job.id] = job
         self._prune()
         return job
+
+    def recover(self) -> List[Job]:
+        """Replay every WAL under the state dir into the store.
+
+        Returns the jobs that are *not* terminal — the server
+        re-enqueues their :meth:`Job.pending_specs`.  Idempotent by
+        construction: replay appends nothing, so a second recovery
+        (double restart) reads byte-identical logs and rebuilds the
+        same jobs.  Torn tails are counted in :attr:`wal_dropped` and
+        repaired before the job's WAL reopens for append.
+        """
+        if self.state_dir is None:
+            return []
+        try:
+            names = sorted(os.listdir(self._jobs_dir()))
+        except FileNotFoundError:
+            return []
+        unfinished: List[Job] = []
+        max_id = 0
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            job_id = name[:-len(".jsonl")]
+            m = _ID_RE.match(job_id)
+            if m:
+                max_id = max(max_id, int(m.group(1)))
+            wal = JsonlWal(self._wal_path(job_id))
+            records = wal.load()
+            self.wal_dropped += wal.dropped
+            terminal = any(r.get("kind") == "end" for r in records)
+            if not terminal:
+                # reopen for append (repairs the torn tail) so the
+                # resumed job journals onto its own log
+                try:
+                    wal.open()
+                except Exception:
+                    wal = None
+            job = Job.replay(records, wal=None if terminal else wal)
+            if job is None:
+                if wal is not None and wal.is_open:
+                    wal.close()
+                log.error("state dir WAL %s is unreadable; skipped",
+                          name)
+                continue
+            self._jobs[job.id] = job
+            if not job.is_finished:
+                unfinished.append(job)
+        # ids keep counting past everything ever journaled, so a
+        # recovered job and a fresh submission can never collide
+        self._ids = itertools.count(max_id + 1)
+        self._prune()
+        return unfinished
 
     def get(self, job_id: str) -> Optional[Job]:
         return self._jobs.get(job_id)
@@ -175,7 +446,20 @@ class JobStore:
             counts[job.state] += 1
         return counts
 
+    def close(self) -> None:
+        """Release every open WAL handle (drain/shutdown path); all
+        records are already fsynced, so this loses nothing."""
+        for job in self._jobs.values():
+            job.close_wal()
+
     def _prune(self) -> None:
         finished = [j for j in self._jobs.values() if j.is_finished]
         for job in finished[: max(0, len(finished) - self.keep_finished)]:
             self._jobs.pop(job.id, None)
+            if self.state_dir is not None:
+                # retention is the contract: a pruned job's WAL goes
+                # too, keeping the state dir bounded
+                try:
+                    os.remove(self._wal_path(job.id))
+                except OSError:
+                    pass

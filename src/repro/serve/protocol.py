@@ -111,6 +111,24 @@ def specs_from_wire(objs) -> List[RunSpec]:
     return out
 
 
+def deadline_from_wire(obj: dict) -> float:
+    """Decode a request body's optional ``deadline_ms`` into seconds.
+
+    ``deadline_ms`` is *request-level*, not spec-level: it bounds how
+    long the caller will wait, so it must never enter the spec — two
+    tenants asking for the same point with different patience share
+    one cache entry and one execution.  Returns 0.0 when absent.
+    """
+    value = obj.get("deadline_ms")
+    if value is None:
+        return 0.0
+    if isinstance(value, bool) or not isinstance(value, (int, float)) \
+            or value <= 0:
+        raise WireError("deadline_ms must be a positive number of "
+                        "milliseconds")
+    return float(value) / 1000.0
+
+
 def spec_key(spec: RunSpec) -> str:
     """The service's coalescing/cache key — the runner's, verbatim."""
     return key_for_spec(spec)

@@ -27,6 +27,29 @@ Architecture, front to back:
   a terminal job — never as a hung connection — and the daemon keeps
   serving throughout (``tests/test_serve_chaos.py``).
 
+PR 9 adds the layers that make the daemon itself expendable:
+
+* **Durability** — with ``--state-dir`` every job owns a fsync'd
+  write-ahead log (:mod:`repro.serve.jobs`, on the shared
+  :mod:`repro.wal` helpers).  Startup replays the logs *after* the
+  listener binds (``/readyz`` answers ``ready: false`` meanwhile) and
+  re-enqueues only the unsettled specs of unfinished jobs; settled
+  specs replay from the WAL and anything that completed between its
+  journal write and the crash resolves from the result cache —
+  restart finishes a job with zero recomputation
+  (``tests/test_serve_durability.py``, ``benchmarks/
+  serve_restart_smoke.py``).
+* **Admission control** — in-flight ``/run`` executions and
+  active+queued jobs are bounded; a saturated daemon sheds with
+  ``429`` + ``Retry-After`` and a draining one (SIGTERM, ``POST
+  /shutdown``) with ``503``, instead of building an unbounded backlog
+  it cannot drain (``tests/test_serve_admission.py``).
+* **Deadlines** — a request's ``deadline_ms`` flows request → job →
+  ``map_specs(deadline=)``; pending work past the deadline settles as
+  journaled ``fail_kind="deadline"`` records, never a hung
+  connection, and the deadline itself is wall-clock so it survives a
+  restart.
+
 Nothing here logs tracebacks: every failure is rendered as one log
 line and a structured HTTP error, which is what the CI serve-smoke
 greps for.
@@ -47,20 +70,42 @@ from repro.runner import ResultCache, RunSpec, run_sweep
 from repro.serve.jobs import JobStore, _result_record
 from repro.serve.protocol import (
     WireError,
+    deadline_from_wire,
     spec_from_wire,
     spec_key,
     specs_from_wire,
+)
+from repro.telemetry.events import (
+    SERVE_DEADLINE,
+    SERVE_DRAIN,
+    SERVE_RECOVER,
+    SERVE_SHED,
+    TraceEvent,
 )
 
 log = logging.getLogger("repro.serve")
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
-            413: "Payload Too Large", 500: "Internal Server Error"}
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
 
 #: counter keys, in render order
 COUNTER_KEYS = ("requests", "executions", "coalesced", "hot_hits",
-                "disk_hits", "jobs_submitted", "jobs_failed", "errors")
+                "disk_hits", "jobs_submitted", "jobs_failed",
+                "jobs_recovered", "shed_requests", "deadline_expired",
+                "errors")
+
+
+class Shed(Exception):
+    """Admission control rejected this request (429 saturated / 503
+    draining); carries the status and a client-safe reason."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
 
 
 @dataclasses.dataclass
@@ -79,6 +124,23 @@ class ServeConfig:
     hot_capacity: int = 4096          # in-memory result records
     drain_timeout: float = 10.0       # grace for jobs at shutdown
     max_body: int = 32 << 20
+    #: job WAL directory; None = in-memory jobs only (pre-PR 9
+    #: behaviour).  With a state dir the daemon is crash-recoverable:
+    #: restart on the same dir replays every job's journal.
+    state_dir: Optional[str] = None
+    #: admission control: jobs executing concurrently / waiting beyond
+    #: that / distinct uncached ``/run`` executions in flight.  Beyond
+    #: these the daemon sheds with 429 + ``Retry-After`` rather than
+    #: queueing unboundedly.
+    max_active_jobs: int = 4
+    max_queued_jobs: int = 16
+    max_inflight_runs: int = 64
+    retry_after: float = 1.0          # Retry-After hint on 429/503
+    #: optional telemetry sink (e.g. :class:`~repro.telemetry.
+    #: JsonlTraceSink`) receiving serve lifecycle TraceEvents
+    #: (``serve_recover``/``serve_shed``/``serve_deadline``/
+    #: ``serve_drain``)
+    lifecycle_sink: Optional[object] = None
     #: test/observer hook, called with the spec list just before every
     #: execution dispatch — the load suite counts pool executions here
     on_execute: Optional[Callable[[List[RunSpec]], None]] = None
@@ -95,7 +157,7 @@ class Server:
         self.cache = (ResultCache(cfg.cache_dir, max_bytes=cfg.max_bytes,
                                   shards=cfg.shards)
                       if cfg.cache_dir else None)
-        self.jobs = JobStore()
+        self.jobs = JobStore(state_dir=cfg.state_dir)
         self.counters = dict.fromkeys(COUNTER_KEYS, 0)
         self.port: Optional[int] = None
         self._hot: "OrderedDict[tuple, dict]" = OrderedDict()
@@ -105,7 +167,21 @@ class Server:
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopping: Optional[asyncio.Event] = None
+        self._ready_event: Optional[asyncio.Event] = None
+        self._job_sem: Optional[asyncio.Semaphore] = None
+        self._active_jobs = 0
+        self._waiting_jobs = 0
         self._started_at = time.time()
+
+    @property
+    def draining(self) -> bool:
+        return self._stopping is not None and self._stopping.is_set()
+
+    @property
+    def ready(self) -> bool:
+        """True once WAL replay has finished and until drain begins."""
+        return (self._ready_event is not None
+                and self._ready_event.is_set() and not self.draining)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -113,18 +189,65 @@ class Server:
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
+        self._ready_event = asyncio.Event()
+        self._job_sem = asyncio.Semaphore(
+            max(1, self.config.max_active_jobs))
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
-        log.info("listening on %s:%d (workers=%d, cache=%s, shards=%d)",
+        log.info("listening on %s:%d (workers=%d, cache=%s, shards=%d, "
+                 "state=%s)",
                  self.config.host, self.port, self.config.workers,
-                 self.config.cache_dir or "-", self.config.shards)
+                 self.config.cache_dir or "-", self.config.shards,
+                 self.config.state_dir or "-")
+        # recovery runs *after* the listener binds so /healthz and
+        # /readyz are observable during replay; work submission stays
+        # 503 until the WALs have been replayed
+        task = self._loop.create_task(self._recover_state())
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+
+    async def _recover_state(self) -> None:
+        """Replay job WALs, resume unfinished jobs, then go ready."""
+        try:
+            if self.jobs.state_dir is not None:
+                unfinished = await asyncio.to_thread(self.jobs.recover)
+                recovered = [j for j in self.jobs.list()
+                             if j.n_recovered or j in unfinished]
+                self.counters["jobs_recovered"] += len(recovered)
+                for job in recovered:
+                    self._lifecycle(SERVE_RECOVER, job=job.id,
+                                    settled=job.n_done,
+                                    pending=job.n_total - job.n_done)
+                if recovered or self.jobs.wal_dropped:
+                    log.info("recovered %d job(s) from %s (%d resumed, "
+                             "%d torn WAL line(s) dropped)",
+                             len(recovered), self.jobs.state_dir,
+                             len(unfinished), self.jobs.wal_dropped)
+                for job in unfinished:
+                    self._spawn_job(job, resume=True)
+        except Exception as exc:
+            # an unreadable state dir must not kill the daemon: log,
+            # serve fresh work, leave the WALs untouched for forensics
+            self.counters["errors"] += 1
+            log.error("state recovery failed: %s: %s",
+                      type(exc).__name__, exc)
+        finally:
+            self._ready_event.set()
+
+    async def wait_ready(self) -> None:
+        await self._ready_event.wait()
 
     async def serve(self) -> None:
         """Run until shutdown is requested, then drain and close."""
         if self._server is None:
             await self.start()
         await self._stopping.wait()
+        self._lifecycle(SERVE_DRAIN,
+                        active_jobs=self._active_jobs,
+                        waiting_jobs=self._waiting_jobs)
+        log.info("draining: %d active job(s), %d waiting",
+                 self._active_jobs, self._waiting_jobs)
         self._server.close()
         await self._server.wait_closed()
         if self._job_tasks:
@@ -144,6 +267,8 @@ class Server:
             if not self._conns:
                 break
             await asyncio.sleep(0.01)
+        # every WAL record is already fsynced; this just drops handles
+        self.jobs.close()
         log.info("shutdown complete: %d requests, %d executions, "
                  "%d coalesced, %d jobs failed",
                  self.counters["requests"], self.counters["executions"],
@@ -216,14 +341,18 @@ class Server:
         return method, path, body
 
     def _send_json(self, writer, status: int, obj: dict,
-                   keep: bool = True) -> None:
+                   keep: bool = True,
+                   headers: Optional[dict] = None) -> None:
         payload = json.dumps(obj).encode("utf-8") + b"\n"
+        extra = "".join("%s: %s\r\n" % kv
+                        for kv in (headers or {}).items())
         head = ("HTTP/1.1 %d %s\r\n"
                 "Content-Type: application/json\r\n"
                 "Content-Length: %d\r\n"
+                "%s"
                 "Connection: %s\r\n\r\n"
                 % (status, _REASONS.get(status, "OK"), len(payload),
-                   "keep-alive" if keep else "close"))
+                   extra, "keep-alive" if keep else "close"))
         writer.write(head.encode("latin-1") + payload)
 
     async def _dispatch(self, method: str, path: str, body: bytes,
@@ -231,6 +360,15 @@ class Server:
         """Route one request; returns whether to keep the connection."""
         try:
             return await self._route(method, path, body, writer)
+        except Shed as exc:
+            self.counters["shed_requests"] += 1
+            self._lifecycle(SERVE_SHED, path=path, reason=exc.reason)
+            retry_after = max(1, int(round(self.config.retry_after)))
+            self._send_json(writer, exc.status,
+                            {"ok": False, "error": exc.reason,
+                             "shed": True, "retry_after": retry_after},
+                            headers={"Retry-After": str(retry_after)})
+            return True
         except WireError as exc:
             self._send_json(writer, 400, {"ok": False,
                                           "error": str(exc)})
@@ -252,11 +390,29 @@ class Server:
     async def _route(self, method: str, path: str, body: bytes,
                      writer) -> bool:
         if path == "/healthz" and method == "GET":
+            # liveness: the process is up and the loop is turning —
+            # true even while replaying WALs or draining
             self._send_json(writer, 200, {"ok": True})
+            return True
+        if path == "/readyz" and method == "GET":
+            # readiness: false while WAL replay runs and once draining
+            # begins, so a balancer stops routing before SIGTERM bites
+            if self.ready:
+                self._send_json(writer, 200, {"ok": True, "ready": True})
+            else:
+                self._send_json(writer, 503, {
+                    "ok": False, "ready": False,
+                    "recovering": (self._ready_event is None
+                                   or not self._ready_event.is_set()),
+                    "draining": self.draining})
             return True
         if path == "/stats" and method == "GET":
             self._send_json(writer, 200, self.stats())
             return True
+        if method == "POST" and path in ("/run", "/sweep", "/dse") \
+                and not self.ready:
+            raise Shed(503, "draining" if self.draining
+                       else "recovering")
         if path == "/run" and method == "POST":
             return await self._handle_run(body, writer)
         if path == "/sweep" and method == "POST":
@@ -275,8 +431,8 @@ class Server:
             await writer.drain()
             self.request_shutdown()
             return False
-        known = {"/healthz", "/stats", "/run", "/sweep", "/dse",
-                 "/jobs", "/shutdown"}
+        known = {"/healthz", "/readyz", "/stats", "/run", "/sweep",
+                 "/dse", "/jobs", "/shutdown"}
         status = 405 if path in known else 404
         self._send_json(writer, status,
                         {"ok": False, "error": "%s %s" %
@@ -291,16 +447,26 @@ class Server:
         if not isinstance(obj, dict):
             raise WireError("body must be a JSON object")
         want_metrics = bool(obj.get("metrics", False))
+        deadline_s = deadline_from_wire(obj)
         # accept {"spec": {...}, "metrics": bool} or a bare spec body
         wire = obj.get("spec", obj.get("run"))
         if wire is None and "benchmark" in obj:
             wire, want_metrics = obj, False
         spec = spec_from_wire(wire)
-        record = await self._resolve(spec, want_metrics)
-        self._send_json(writer, 200 if record.get("ok") else 500, record)
+        record = await self._resolve(spec, want_metrics, deadline_s)
+        if record.get("ok"):
+            status = 200
+        elif record.get("fail_kind") == "deadline":
+            status = 504
+            self.counters["deadline_expired"] += 1
+            self._lifecycle(SERVE_DEADLINE, path="/run", expired=1)
+        else:
+            status = 500
+        self._send_json(writer, status, record)
         return True
 
-    async def _resolve(self, spec: RunSpec, want_metrics: bool) -> dict:
+    async def _resolve(self, spec: RunSpec, want_metrics: bool,
+                       deadline_s: float = 0.0) -> dict:
         key = spec_key(spec)
         ckey = (key, want_metrics)
         hot = self._hot.get(ckey)
@@ -317,15 +483,20 @@ class Server:
                 return dict(record, key=key, source="disk")
         fut = self._inflight.get(ckey)
         if fut is not None:
+            # followers join the leader's future; they neither count
+            # against admission nor shorten the leader's deadline
             self.counters["coalesced"] += 1
             record = await asyncio.shield(fut)
             return dict(record, key=key, source="coalesced")
+        if len(self._inflight) >= self.config.max_inflight_runs:
+            raise Shed(429, "saturated")
         fut = self._loop.create_future()
         self._inflight[ckey] = fut
         self.counters["executions"] += 1
         try:
             record = await asyncio.to_thread(self._execute_single,
-                                             spec, want_metrics)
+                                             spec, want_metrics,
+                                             deadline_s)
             fut.set_result(record)
         except BaseException:
             # followers must always settle — on an unexpected
@@ -341,21 +512,35 @@ class Server:
             self._hot_put(ckey, record)
         return dict(record, key=key, source="executed")
 
-    def _execute_single(self, spec: RunSpec, want_metrics: bool) -> dict:
+    def _execute_single(self, spec: RunSpec, want_metrics: bool,
+                        deadline_s: float = 0.0) -> dict:
         cfg = self.config
         self._fire_on_execute([spec])
+        deadline = (time.monotonic() + deadline_s) if deadline_s else None
         try:
             (result,) = run_sweep([spec], workers=cfg.workers,
                                   cache=self.cache,
                                   collect_metrics=want_metrics,
                                   task_timeout=cfg.task_timeout,
                                   retries=cfg.retries,
-                                  on_error="return")
+                                  on_error="return",
+                                  deadline=deadline)
         except Exception as exc:      # infrastructure, not the spec
             return {"ok": False, "cached": False,
                     "error": "%s: %s" % (type(exc).__name__, exc),
                     "fail_kind": "error"}
         return _result_record(spec, result, False, want_metrics)
+
+    def _lifecycle(self, kind: str, **data) -> None:
+        """Emit one serve lifecycle TraceEvent onto the configured
+        sink (cycle 0: these describe the service, not a machine)."""
+        sink = self.config.lifecycle_sink
+        if sink is None:
+            return
+        try:
+            sink.emit(TraceEvent(0, kind, data=data))
+        except Exception:
+            pass                      # telemetry must never shed work
 
     def _fire_on_execute(self, specs: List[RunSpec]) -> None:
         if self.config.on_execute is not None:
@@ -376,14 +561,25 @@ class Server:
     # ------------------------------------------------------------------
     # batch jobs: sweeps and DSE
     # ------------------------------------------------------------------
+    def _admit_job(self) -> None:
+        """429 when the executing set is full *and* the wait queue is
+        too — a bounded backlog is useful, an unbounded one is a slow
+        outage."""
+        if (self._active_jobs >= self.config.max_active_jobs
+                and self._waiting_jobs >= self.config.max_queued_jobs):
+            raise Shed(429, "saturated")
+
     def _handle_sweep(self, body: bytes, writer) -> bool:
         obj = json.loads(body or b"{}")
         if not isinstance(obj, dict):
             raise WireError("body must be a JSON object")
+        self._admit_job()
+        deadline_s = deadline_from_wire(obj)
         specs = specs_from_wire(obj.get("specs"))
         job = self._submit_job("sweep", specs,
                                bool(obj.get("metrics", False)),
-                               meta={"submitted_specs": len(specs)})
+                               meta={"submitted_specs": len(specs)},
+                               deadline_s=deadline_s)
         self._send_json(writer, 202, {"ok": True, "job": job.summary()})
         return True
 
@@ -391,10 +587,12 @@ class Server:
         obj = json.loads(body or b"{}")
         if not isinstance(obj, dict):
             raise WireError("body must be a JSON object")
+        self._admit_job()
+        deadline_s = deadline_from_wire(obj)
         specs, meta = self._dse_specs(obj)
         job = self._submit_job("dse", specs,
                                bool(obj.get("metrics", False)),
-                               meta=meta)
+                               meta=meta, deadline_s=deadline_s)
         self._send_json(writer, 202, {"ok": True, "job": job.summary()})
         return True
 
@@ -452,19 +650,43 @@ class Server:
         return specs, meta
 
     def _submit_job(self, kind: str, specs: List[RunSpec],
-                    collect_metrics: bool, meta: Optional[dict] = None):
+                    collect_metrics: bool, meta: Optional[dict] = None,
+                    deadline_s: float = 0.0):
         distinct = list(dict.fromkeys(specs))
+        deadline_at = (time.time() + deadline_s) if deadline_s else None
         job = self.jobs.create(kind, distinct,
                                collect_metrics=collect_metrics,
-                               meta=meta)
+                               meta=meta, deadline_at=deadline_at)
         self.counters["jobs_submitted"] += 1
-        task = self._loop.create_task(self._run_job(job))
-        self._job_tasks.add(task)
-        task.add_done_callback(self._job_tasks.discard)
+        self._spawn_job(job)
         return job
 
-    async def _run_job(self, job) -> None:
-        job.start()
+    def _spawn_job(self, job, resume: bool = False) -> None:
+        task = self._loop.create_task(self._run_job(job, resume=resume))
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, job, resume: bool = False) -> None:
+        # waiting/active accounting feeds _admit_job and /stats; the
+        # semaphore bounds concurrent pool sweeps, not submissions
+        self._waiting_jobs += 1
+        await self._job_sem.acquire()
+        self._waiting_jobs -= 1
+        self._active_jobs += 1
+        try:
+            await self._run_job_held(job, resume)
+        finally:
+            self._active_jobs -= 1
+            self._job_sem.release()
+
+    async def _run_job_held(self, job, resume: bool) -> None:
+        if resume:
+            job.resume()
+        else:
+            job.start()
+        before_done = job.n_done
+        before_cached = job.n_cached
+        before_deadline = job.n_deadline
         try:
             await asyncio.to_thread(self._execute_job, job)
         except Exception as exc:      # infrastructure, not a spec
@@ -473,7 +695,12 @@ class Server:
             log.error("job %s failed: %s: %s", job.id,
                       type(exc).__name__, exc)
             return
-        self.counters["executions"] += job.n_done - job.n_cached
+        self.counters["executions"] += \
+            (job.n_done - before_done) - (job.n_cached - before_cached)
+        expired = job.n_deadline - before_deadline
+        if expired:
+            self.counters["deadline_expired"] += expired
+            self._lifecycle(SERVE_DEADLINE, job=job.id, expired=expired)
         job.finish()
         if job.state == "failed":
             self.counters["jobs_failed"] += 1
@@ -483,11 +710,20 @@ class Server:
 
     def _execute_job(self, job) -> None:
         cfg = self.config
-        self._fire_on_execute(job.specs)
-        run_sweep(job.specs, workers=cfg.workers, cache=self.cache,
+        pending = job.pending_specs()
+        if not pending:
+            return                    # fully replayed from the WAL
+        if job.deadline_expired():
+            # already past deadline: settle pending without touching
+            # the pool (journaled as fail_kind="deadline" records)
+            job.expire_pending()
+            return
+        self._fire_on_execute(pending)
+        run_sweep(pending, workers=cfg.workers, cache=self.cache,
                   collect_metrics=job.collect_metrics,
                   task_timeout=cfg.task_timeout, retries=cfg.retries,
-                  on_error="return", on_result=job.note_result)
+                  on_error="return", on_result=job.note_result,
+                  deadline=job.monotonic_deadline())
 
     # ------------------------------------------------------------------
     # job introspection and event streaming
@@ -552,8 +788,13 @@ class Server:
         return {
             "ok": True,
             "uptime": round(time.time() - self._started_at, 3),
+            "ready": self.ready,
+            "draining": self.draining,
+            "state_dir": self.config.state_dir,
             "counters": dict(self.counters),
             "jobs": self.jobs.counts(),
+            "active_jobs": self._active_jobs,
+            "waiting_jobs": self._waiting_jobs,
             "inflight": len(self._inflight),
             "hot_entries": len(self._hot),
             "cache": cache,

@@ -26,6 +26,7 @@ from repro.telemetry.events import (
     FOLD_MISS_REASONS,
     MISS_BDT_BUSY,
     MISS_NO_BIT_ENTRY,
+    SERVE_EVENT_KINDS,
     TraceEvent,
 )
 from repro.telemetry.sinks import (
@@ -47,6 +48,7 @@ __all__ = [
     "BranchPCStats",
     "CallbackSink",
     "EVENT_KINDS",
+    "SERVE_EVENT_KINDS",
     "FOLD_MISS_REASONS",
     "JsonlTraceSink",
     "MetricsRegistry",

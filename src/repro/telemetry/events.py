@@ -63,6 +63,22 @@ kind           meaning / payload (``data`` keys)
                counts the squashed ops.
 ``squash_depth``  companion sample to ``checkpoint_restore`` for
                recovery-depth histograms (``data["depth"]``).
+``serve_recover``  the serve daemon rebuilt a job from its WAL at
+               startup (:mod:`repro.serve`); ``data`` holds ``job``,
+               ``settled`` (replayed results) and ``pending``
+               (re-enqueued specs).  Lifecycle events use
+               ``cycle == 0`` — they describe the *service*, not a
+               simulated machine.
+``serve_shed`` admission control rejected work (HTTP 429/503);
+               ``data`` holds ``path`` and ``reason``
+               ("saturated" or "draining").
+``serve_deadline``  a request/job deadline expired pending work into
+               journaled ``fail_kind="deadline"`` records; ``data``
+               holds ``job`` (or ``path`` for single runs) and
+               ``expired`` (spec count).
+``serve_drain``  the daemon began draining (SIGTERM, ``POST
+               /shutdown``); in-flight jobs keep journaling, new work
+               is shed until exit.
 =============  =====================================================
 
 ``seq`` is the dynamic fetch sequence number (the value of
@@ -104,13 +120,23 @@ RENAME_ALLOC = "rename_alloc"
 IQ_WAKEUP = "iq_wakeup"
 CHECKPOINT_RESTORE = "checkpoint_restore"
 SQUASH_DEPTH = "squash_depth"
+SERVE_RECOVER = "serve_recover"
+SERVE_SHED = "serve_shed"
+SERVE_DEADLINE = "serve_deadline"
+SERVE_DRAIN = "serve_drain"
 
 EVENT_KINDS = (FETCH, DECODE, ISSUE, COMMIT, BRANCH, FOLD_HIT, FOLD_MISS,
                BDT_UPDATE, SQUASH, REDIRECT, RETIRE, FAULT_INJECT,
                FAULT_DETECT, FAULT_CORRECT, TRUNCATED, BTB_HIT, BTB_MISS,
                FTQ_OCCUPANCY, PREFETCH_ISSUE, PREFETCH_USEFUL,
                PREFETCH_USELESS, RENAME_ALLOC, IQ_WAKEUP,
-               CHECKPOINT_RESTORE, SQUASH_DEPTH)
+               CHECKPOINT_RESTORE, SQUASH_DEPTH, SERVE_RECOVER,
+               SERVE_SHED, SERVE_DEADLINE, SERVE_DRAIN)
+
+#: the service-level subset: emitted by the serve daemon onto its
+#: ``lifecycle_sink``, never by a simulator
+SERVE_EVENT_KINDS = (SERVE_RECOVER, SERVE_SHED, SERVE_DEADLINE,
+                     SERVE_DRAIN)
 
 #: Shared payload for events that carry none — emit sites pass it so the
 #: hot tracing path never allocates an empty dict per event.

@@ -47,6 +47,9 @@ class ServerThread:
 
     async def _amain(self) -> None:
         await self.server.start()
+        # readiness (not just bound): WAL replay has finished, so a
+        # test can submit work the moment start() returns
+        await self.server.wait_ready()
         self._ready.set()
         await self.server.serve()
 
