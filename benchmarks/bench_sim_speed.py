@@ -118,88 +118,178 @@ def test_ooo_sim_speed(benchmark):
     assert cycles > 2500
 
 
+def test_pipeline_superblocks_speed(benchmark):
+    wl = get_workload("adpcm_enc")
+    prog = wl.program
+    mem = wl.build_memory(_PCM)
+    infos = [extract_branch_info(prog, prog.labels[n])
+             for n in ("br_sign", "br_bit2", "br_bit1", "br_bit0")]
+
+    def run():
+        unit = ASBRUnit.from_branch_infos(infos, bdt_update="execute")
+        sim = PipelineSimulator(prog, mem.copy(),
+                                predictor=BimodalPredictor(512, 512),
+                                asbr=unit, engine="superblocks")
+        return sim.run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 5000
+
+
+def test_functional_batch_speed(benchmark):
+    from repro.sim.batch import run_batch
+
+    wl = get_workload("adpcm_enc")
+    mems = [wl.build_memory(_PCM)] * 16
+
+    def run():
+        return run_batch(wl.program, mems).total_retired
+
+    retired = benchmark(run)
+    assert retired > 16 * 5000
+
+
 def test_sim_speed_summary(save_table):
     """Record simulator × engine throughput (ops/sec) under results/.
 
-    Best-of-3 wall-clock on the adpcm_enc workload: a 6-way matrix of
-    the interpreted fast path and the block-compiled engine on both
-    classic simulators (see DESIGN.md), plus the out-of-order backend
-    at 1- and 2-wide (``engine`` column carries the width — the OoO
-    machine has no blocks variant; its speedup column is vs its own
-    1-wide row).  A machine-readable ``BENCH_sim_speed.json`` tracks
-    the perf trajectory across PRs.  A long input (not the
-    micro-benchmarks' ``_PCM``) keeps per-run setup out of the
-    measured ratio.
+    Best-of-3 wall-clock on the adpcm_enc workload: an 8-way matrix —
+    the functional simulator's interpreted, block-compiled and 64-lane
+    lockstep-batch engines; the pipeline's interpreted, block-compiled
+    and fold-specialized superblock engines (all three with the ASBR
+    unit and auxiliary predictor attached, and their ``PipelineStats``
+    asserted bit-identical); and the out-of-order backend at 1- and
+    2-wide.  Speedups are *per backend*, against the baseline named in
+    the ``baseline`` column — never across simulators, whose ops are
+    different quantities.  The 2-wide OoO row reports raw cycles/s with
+    no speedup: a wider machine retires the same program in *fewer*
+    cycles, so a cycles/s ratio against the 1-wide row reads as a
+    slowdown while wall-clock per run barely moves.  A machine-readable
+    ``BENCH_sim_speed.json`` perf-trajectory artifact (engine →
+    ops/s + work, stamped with git rev and date) is written at the
+    repository top level so cross-PR regressions diff directly.  A long
+    input (not the micro-benchmarks' ``_PCM``) keeps per-run setup out
+    of the measured ratio.
     """
+    import dataclasses
     import json
     import os
+    import subprocess
     import time
 
-    from conftest import RESULTS_DIR
     from repro.experiments.common import render_table
+    from repro.sim.batch import run_batch
 
     wl = get_workload("adpcm_enc")
+    prog = wl.program
     pcm = speech_like(8000, seed=42)
+    batch_lanes = 64
+    batch_pcm = speech_like(2000, seed=42)
+    infos = [extract_branch_info(prog, prog.labels[n])
+             for n in ("br_sign", "br_bit2", "br_bit1", "br_bit0")]
     rows = []
-    records = []
+    engines_json = {}
+    pipeline_stats = {}
 
     def measure(simulator, engine):
         best = work = 0
         for _ in range(3):
-            mem = wl.build_memory(pcm)
-            if simulator == "functional":
-                sim = FunctionalSimulator(wl.program, mem, engine=engine)
+            if simulator == "functional" and engine == "batch64":
+                mems = [wl.build_memory(batch_pcm)] * batch_lanes
+                t0 = time.perf_counter()
+                res = run_batch(prog, mems)
+                dt = time.perf_counter() - t0
+                ops, unit = res.total_retired, "instructions/s"
+            elif simulator == "functional":
+                sim = FunctionalSimulator(prog, wl.build_memory(pcm),
+                                          engine=engine)
                 t0 = time.perf_counter()
                 sim.run()
                 dt = time.perf_counter() - t0
                 ops, unit = sim.instructions_retired, "instructions/s"
             elif simulator == "ooo":
                 width = int(engine[1:])            # "w1" / "w2"
-                sim = OoOSimulator(wl.program, mem,
+                sim = OoOSimulator(prog, wl.build_memory(pcm),
                                    config=OoOConfig(issue_width=width))
                 t0 = time.perf_counter()
                 stats = sim.run()
                 dt = time.perf_counter() - t0
                 ops, unit = stats.cycles, "cycles/s"
             else:
-                sim = PipelineSimulator(wl.program, mem, engine=engine)
+                unit_ = ASBRUnit.from_branch_infos(infos,
+                                                   bdt_update="execute")
+                sim = PipelineSimulator(prog, wl.build_memory(pcm),
+                                        predictor=BimodalPredictor(512,
+                                                                   512),
+                                        asbr=unit_, engine=engine)
                 t0 = time.perf_counter()
                 stats = sim.run()
                 dt = time.perf_counter() - t0
                 ops, unit = stats.cycles, "cycles/s"
+                pipeline_stats[engine] = dataclasses.asdict(stats)
             if ops / dt > best:
                 best, work = ops / dt, ops
         assert best > 0
         return best, work, unit
 
-    matrix = (("functional", ("interp", "blocks")),
-              ("pipeline", ("interp", "blocks")),
-              ("ooo", ("w1", "w2")))
+    # (simulator, engines, baseline engine or None)
+    matrix = (("functional", ("interp", "blocks", "batch64"), "interp"),
+              ("pipeline", ("interp", "blocks", "superblocks"),
+               "interp"),
+              ("ooo", ("w1", "w2"), "w1"))
     rates = {}
-    for simulator, engines in matrix:
+    for simulator, engines, base in matrix:
         for engine in engines:
             rate, work, unit = measure(simulator, engine)
             rates[(simulator, engine)] = rate
-            speedup = rate / rates[(simulator, engines[0])]
+            name = "%s/%s" % (simulator, engine)
+            comparable = not (simulator == "ooo" and engine != base)
+            if comparable:
+                baseline = "%s/%s" % (simulator, base)
+                speedup = rate / rates[(simulator, base)]
+                speedup_txt = "%.2fx" % speedup
+            else:
+                # different work per run: wider issue retires the same
+                # program in fewer cycles — a ratio would mislead
+                baseline, speedup = "n/a (different work)", None
+                speedup_txt = "n/a"
             rows.append([simulator, engine, unit,
                          "{:,.0f}".format(rate), "{:,}".format(work),
-                         "%.2fx" % speedup])
-            records.append({
-                "simulator": simulator, "engine": engine, "unit": unit,
-                "ops_per_sec": round(rate), "work_per_run": work,
-                "speedup_vs_interp": round(speedup, 3),
-            })
+                         baseline, speedup_txt])
+            engines_json[name] = {
+                "ops_per_sec": round(rate), "unit": unit,
+                "work_per_run": work, "baseline": baseline,
+                "speedup_vs_baseline":
+                    round(speedup, 3) if speedup is not None else None,
+            }
+
+    # the three pipeline engines must be measuring the same machine
+    assert pipeline_stats["blocks"] == pipeline_stats["interp"]
+    assert pipeline_stats["superblocks"] == pipeline_stats["interp"]
 
     save_table("sim_speed", render_table(
         ["simulator", "engine", "unit", "ops/sec", "work per run",
-         "speedup"], rows,
-        "Simulator throughput (adpcm_enc, %d samples, best of 3)"
-        % len(pcm)))
+         "baseline", "speedup"], rows,
+        "Simulator throughput (adpcm_enc, %d samples, pipeline rows "
+        "with ASBR, batch row %d lanes x %d samples, best of 3)"
+        % (len(pcm), batch_lanes, len(batch_pcm))))
+
+    try:
+        rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True,
+                             cwd=os.path.dirname(__file__),
+                             timeout=10).stdout.strip() or "unknown"
+    except Exception:
+        rev = "unknown"
     payload = {
-        "benchmark": "sim_speed", "workload": "adpcm_enc",
-        "samples": len(pcm), "reps": 3, "results": records,
+        "schema": "bench-sim-speed/v2",
+        "git_rev": rev,
+        "date": time.strftime("%Y-%m-%d"),
+        "workload": "adpcm_enc", "samples": len(pcm), "reps": 3,
+        "batch_lanes": batch_lanes, "batch_samples": len(batch_pcm),
+        "engines": engines_json,
     }
-    with open(os.path.join(RESULTS_DIR, "BENCH_sim_speed.json"),
-              "w") as f:
+    top = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_sim_speed.json")
+    with open(top, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")

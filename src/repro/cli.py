@@ -467,11 +467,11 @@ def cmd_faults_campaign(args) -> int:
                          fault_seed=args.fault_seed,
                          live_only=not args.all_sites)
     if args.protection == "all":
-        reports = run_protection_matrix(cfg)
+        reports = run_protection_matrix(cfg, batch=args.batch)
         text = matrix_to_json(reports) if args.json \
             else render_matrix(reports)
     else:
-        report = run_campaign(cfg)
+        report = run_campaign(cfg, batch=args.batch)
         text = report_to_json(report) if args.json \
             else render_report(report)
     if args.out:
@@ -498,11 +498,13 @@ def cmd_faults_report(args) -> int:
 
 def _add_engine_option(p) -> None:
     p.add_argument("--engine", default="interp",
-                   choices=("interp", "blocks"),
-                   help="execution engine: interpreted fast path or "
-                        "the block-compiled translation cache "
-                        "(bit-identical; blocks falls back to interp "
-                        "when tracing/fault hooks are attached)")
+                   choices=("interp", "blocks", "superblocks"),
+                   help="execution engine: interpreted fast path, the "
+                        "block-compiled translation cache, or the "
+                        "fold-specialized superblock loop "
+                        "(all bit-identical; compiled engines fall "
+                        "back to interp when tracing/fault hooks are "
+                        "attached)")
 
 
 def _add_sim_options(p) -> None:
@@ -711,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--all-sites", action="store_true",
                     help="target every enumerable bit, not just BDT "
                          "state that live BIT entries read")
+    sp.add_argument("--batch", default="auto",
+                    choices=("auto", "on", "off"),
+                    help="collapse the campaign into one batched "
+                         "replay when the protection model permits "
+                         "(read-transparent ecc faults compose on a "
+                         "single run); per-site fallback otherwise. "
+                         "Classifications are identical either way")
     sp.add_argument("--json", action="store_true",
                     help="emit the canonical JSON report")
     sp.add_argument("--out", metavar="FILE",

@@ -88,19 +88,32 @@ class SuccessiveHalving:
         value = getattr(result.objectives, self.objective)
         return -value if SENSES[self.objective] == "max" else value
 
+    def rung_sizes(self, full: int) -> List[int]:
+        """Every input size this search will visit, cheapest first."""
+        sizes = [min(self.rung0_samples, full)]
+        while sizes[-1] < full:
+            sizes.append(min(full, sizes[-1] * self.growth))
+        return sizes
+
     def run(self, evaluator: Evaluator,
             space: ConfigSpace) -> List[EvalResult]:
         survivors: List[DesignPoint] = space.points()
         full = evaluator.n_samples
-        n = min(self.rung0_samples, full)
-        while True:
+        sizes = self.rung_sizes(full)
+        # all rung inputs golden-verify in one lockstep batch pass
+        # before any cycle-accurate work starts (and the functional
+        # retire count per rung is memoised for reporting)
+        prefetch = getattr(evaluator, "prefetch_functional", None)
+        if prefetch is not None:
+            prefetch(sizes)
+        for n in sizes:
             results = evaluator.evaluate(survivors, n_samples=n)
             if n >= full:
                 return results
             ranked = sorted(results, key=self._rank_key)
             keep = max(1, math.ceil(len(ranked) / self.eta))
             survivors = [r.point for r in ranked[:keep]]
-            n = min(full, n * self.growth)
+        return results
 
 
 def make_search(name: str, n_points: int = 8, seed: int = 0,

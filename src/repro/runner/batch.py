@@ -1,0 +1,157 @@
+"""Batchable functional runs for the worker pool.
+
+A :class:`FuncSpec` is the functional-simulation sibling of
+:class:`~repro.runner.pool.RunSpec`: one workload + one synthetic input,
+executed architecturally (no pipeline timing).  Functional runs are what
+profiling sweeps, DSE rung prefetches and fault-campaign references
+spend their time on, and N of them over the *same program* are exactly
+the shape the lockstep batch engine (:mod:`repro.sim.batch`) vectorizes.
+
+:func:`execute_func_specs` therefore groups specs by
+``(program digest, max_instructions)`` — the conditions under which N
+runs are one ``run_batch`` call — and collapses each group into a single
+vectorized pass.  Results come back in input order, each verified
+against the workload's golden model, so a batched sweep is
+observationally identical to N :func:`execute_func_spec` calls; the
+per-lane exactness of that collapse is the batch engine's contract
+(``tests/test_batch_engine.py``).
+
+:func:`~repro.runner.pool.map_specs` detects ``FuncSpec`` entries in a
+mixed spec list, routes them through here, and splices the results back
+into their original slots — callers opt into vectorization simply by
+the spec type they submit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Default instruction budget, matching ``Workload.run_functional``.
+_DEFAULT_BUDGET = 500_000_000
+
+
+@dataclass(frozen=True)
+class FuncSpec:
+    """One functional (architectural) run, reproducible from scratch.
+
+    Frozen/hashable like :class:`~repro.runner.pool.RunSpec` so sweeps
+    can dedupe specs, and deliberately minimal: a functional run has no
+    predictor, ASBR or machine knobs — its result is the architectural
+    output stream and retire count, which every configuration shares.
+    """
+
+    benchmark: str
+    n_samples: int
+    seed: int
+    max_instructions: int = _DEFAULT_BUDGET
+
+
+@dataclass(frozen=True)
+class FuncResult:
+    """Verified result of one functional run.
+
+    ``outputs`` is stored as a tuple so the result is hashable and
+    immutable like its spec; ``instructions`` is the retired count —
+    the work metric batched speed comparisons are denominated in.
+    """
+
+    outputs: Tuple[int, ...]
+    instructions: int
+
+
+def execute_func_spec(spec: FuncSpec) -> FuncResult:
+    """Run one functional spec serially and return its verified result.
+
+    The scalar reference path for :func:`execute_func_specs`: the
+    batched path must produce exactly this, lane for lane.
+    """
+    from repro.workloads import get_workload, speech_like
+
+    wl = get_workload(spec.benchmark)
+    pcm = speech_like(spec.n_samples, spec.seed)
+    res = wl.run_functional(pcm, max_instructions=spec.max_instructions)
+    if res.outputs != wl.golden_output(pcm):
+        raise AssertionError("%s produced wrong functional output"
+                             % spec.benchmark)
+    return FuncResult(tuple(res.outputs), res.instructions)
+
+
+def _group_key(spec: FuncSpec, digests: Dict[str, str]) -> tuple:
+    """Batchability key: specs collapse into one ``run_batch`` call iff
+    they share a program (by content digest, so two workload names
+    assembling to the same text batch together) and a budget (the
+    budget is a property of the whole lockstep pass, not of a lane)."""
+    if spec.benchmark not in digests:
+        from repro.runner.cache import program_digest
+        from repro.workloads import get_workload
+        digests[spec.benchmark] = program_digest(
+            get_workload(spec.benchmark).program)
+    return (digests[spec.benchmark], spec.max_instructions)
+
+
+def execute_func_specs(specs: Sequence[FuncSpec]) -> List:
+    """Execute functional specs, vectorizing batchable groups.
+
+    Specs sharing a program digest and instruction budget become one
+    :func:`repro.sim.batch.run_batch` call (one lane each); singleton
+    groups run serially — the batch engine's setup cost buys nothing
+    for one lane.  Returns, in input order, a :class:`FuncResult` per
+    spec or a :class:`~repro.runner.pool.FailedResult` for a lane that
+    trapped or failed its golden check (batching must not let one bad
+    lane abort its neighbours, mirroring ``on_error="return"``).
+    """
+    from repro.memory.main_memory import MainMemory
+    from repro.runner.pool import FailedResult
+    from repro.sim.batch import run_batch
+    from repro.workloads import get_workload, speech_like
+
+    specs = list(specs)
+    results: List = [None] * len(specs)
+    digests: Dict[str, str] = {}
+    groups: Dict[tuple, List[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(_group_key(spec, digests), []).append(i)
+
+    for lanes in groups.values():
+        if len(lanes) == 1:
+            i = lanes[0]
+            try:
+                results[i] = execute_func_spec(specs[i])
+            except Exception as exc:
+                results[i] = FailedResult(specs[i], "%s: %s"
+                                          % (type(exc).__name__, exc),
+                                          "error", 1)
+            continue
+        # the digest guarantees one program text across the group, but
+        # each lane keeps its *own* workload object: two benchmark names
+        # hashing to the same program may still prepare inputs
+        # differently, and labels resolve identically either way
+        wls = [get_workload(specs[i].benchmark) for i in lanes]
+        pcms, counts, mems = [], [], []
+        for wl, i in zip(wls, lanes):
+            pcm = speech_like(specs[i].n_samples, specs[i].seed)
+            stream = wl.input_stream(pcm)
+            pcms.append(pcm)
+            counts.append(wl._count(pcm, stream))
+            mems.append(wl.build_memory(stream, counts[-1]))
+        batch = run_batch(wls[0].program, mems,
+                          max_instructions=specs[lanes[0]].max_instructions)
+        for k, i in enumerate(lanes):
+            lr = batch[k]
+            wl = wls[k]
+            if lr.error is not None:
+                results[i] = FailedResult(specs[i], "%s: %s"
+                                          % lr.error, "error", 1)
+                continue
+            m = MainMemory()
+            m.load_words(lr.memory.items())
+            outputs = wl.read_output(m, counts[k])
+            if outputs != wl.golden_output(pcms[k]):
+                results[i] = FailedResult(
+                    specs[i], "AssertionError: %s produced wrong "
+                    "functional output" % specs[i].benchmark, "error", 1)
+                continue
+            results[i] = FuncResult(tuple(outputs),
+                                    lr.instructions_retired)
+    return results

@@ -25,7 +25,7 @@ from repro.runner import RunSpec, key_for_spec, shard_of
 from repro.workloads import WORKLOAD_NAMES
 
 _REQUIRED = ("benchmark", "n_samples", "seed", "predictor_spec")
-_ENGINES = ("interp", "blocks")
+_ENGINES = ("interp", "blocks", "superblocks")
 _BDT_UPDATES = ("commit", "mem", "execute")
 _BACKENDS = ("inorder", "ooo")
 

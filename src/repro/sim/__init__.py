@@ -10,12 +10,21 @@
   ``engine="blocks"`` on both simulators: basic blocks are compiled to
   specialized Python functions (content-addressed, memoised on disk),
   bit-identical to the interpreted paths.
+* :mod:`~repro.sim.superblocks` — the fold-specialized execution engine
+  behind ``engine="superblocks"`` on the pipeline simulator: the ASBR
+  fold check, BDT update points and predictor updates are compiled into
+  the loop body, bit-identical to ``blocks`` and ``interp``.
+* :mod:`~repro.sim.batch` — NumPy lockstep batch functional engine
+  (:func:`~repro.sim.batch.run_batch`): one program over N lanes as
+  ``(32, N)`` array operations, exactly per-lane-equivalent to serial
+  :class:`~repro.sim.functional.FunctionalSimulator` runs.
 * :class:`~repro.sim.ooo.OoOSimulator` — cycle-accurate R10000-style
   out-of-order backend (rename, issue queue, active list, checkpoint
   recovery) sharing the in-order machine's fetch-side mechanisms
   (ASBR folding, decoupled front end) and architectural semantics.
 """
 
+from repro.sim.batch import BatchResult, LaneResult, run_batch
 from repro.sim.blocks import BlockCache, CompiledBlocks, compile_blocks
 from repro.sim.functional import (
     FunctionalSimulator,
@@ -40,4 +49,7 @@ __all__ = [
     "BlockCache",
     "CompiledBlocks",
     "compile_blocks",
+    "BatchResult",
+    "LaneResult",
+    "run_batch",
 ]

@@ -1,0 +1,981 @@
+"""NumPy lockstep batch functional engine (``run_batch``).
+
+Runs ONE program over N independent inputs as array operations: the
+register file is a ``(32, N)`` array (one column per lane), memory is a
+set of dense per-region ``(words, N)`` arrays with a sparse per-lane
+overlay, and the PC is per-lane.  Batch-shaped workloads — fault
+campaigns over N sites of one binary, DSE successive-halving rungs,
+N-seed differential sweeps — execute every lane's instruction in a
+single vectorized step instead of N full Python dispatch loops.
+
+Scheduling is two-mode:
+
+* **converged** — every live lane sits at the same PC (the common case:
+  campaign lanes share one input, sweep lanes share long convergent
+  stretches).  One scalar-decoded instruction is applied to all lanes
+  as a handful of NumPy ufunc calls; the per-instruction Python cost is
+  paid once for the whole batch.
+* **grouped (min-PC)** — after a data-divergent branch, each round
+  steps exactly the lanes at the *minimum* live PC (the classic
+  MIMD-on-SIMD reconvergence rule: lanes ahead wait, lanes behind catch
+  up, and structured join points re-merge the batch).  The same
+  vector kernels run on the lane subset; when all live PCs agree again
+  the engine pops back to converged mode.
+
+Equivalence contract (property-tested in
+``tests/test_batch_engine.py``): for every lane ``i``,
+``run_batch(program, mems)[i]`` is *exactly* the state a serial
+:class:`~repro.sim.functional.FunctionalSimulator` run over ``mems[i]``
+would leave — registers, touched-memory snapshot, final PC, retire
+count, ``ctl_writes``, halt flag, and, for trap/budget lanes, the same
+exception type and message.  Lanes retire independently: a lane that
+halts early or traps (misaligned access, PC off the text segment,
+instruction budget) freezes its architectural state while the rest of
+the batch keeps running.
+
+The engine is *functional-only* by design: it has no pipeline, so it
+feeds golden-output verification, fault-campaign classification (via
+:mod:`repro.faults`) and anything else that needs architectural results
+at batch rates, while cycle numbers still come from the pipeline
+engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.asm.program import Program, STACK_TOP
+from repro.isa.alu import MASK32
+from repro.isa.opcodes import Kind
+from repro.memory.main_memory import MainMemory
+from repro.sim.functional import SimulationError, _LOAD_SIZE, _STORE_SIZE
+
+_I64 = np.int64
+
+# kind codes (dispatch order in _exec follows hot-path frequency)
+_K_ALU = 1        # ALU_RRR / SHIFT_I / ALU_RRI, operand-b pre-resolved
+_K_LUI = 2
+_K_LOAD = 3
+_K_STORE = 4
+_K_BCMP = 5
+_K_BZ = 6
+_K_JUMP = 7
+_K_JAL = 8
+_K_JR = 9
+_K_JALR = 10
+_K_HALT = 11
+_K_CTL = 12
+
+_ALU_CODE = {"add": 1, "addu": 1, "sub": 2, "subu": 2, "and": 3,
+             "or": 4, "xor": 5, "nor": 6, "slt": 7, "sltu": 8,
+             "sll": 9, "srl": 10, "sra": 11, "mul": 12, "div": 13,
+             "rem": 14}
+
+_COND_CODE = {"==0": 1, "!=0": 2, "<0": 3, "<=0": 4, ">0": 5, ">=0": 6}
+
+#: padding (in words) added above each dense memory region so stores
+#: just past the initialised data (BSS-style growth) stay vectorized
+_REGION_PAD = 16384
+#: gap (in words) between initialised addresses that starts a new region
+_REGION_GAP = 32768
+#: words of stack window kept dense below STACK_TOP
+_STACK_WORDS = 16384
+
+
+@dataclass
+class LaneResult:
+    """Final architectural state of one batch lane — field-for-field
+    what a serial ``FunctionalSimulator`` run over the same input
+    leaves behind (including the error, for trap/budget lanes)."""
+
+    regs: List[int]
+    memory: Dict[int, int]
+    pc: int
+    halted: bool
+    instructions_retired: int
+    ctl_writes: List[int]
+    #: (exception class name, message) when the lane trapped, else None
+    error: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class BatchResult:
+    """Per-lane results plus batch aggregates."""
+
+    lanes: List[LaneResult]
+    total_retired: int = 0
+
+    def __post_init__(self) -> None:
+        self.total_retired = sum(r.instructions_retired for r in self.lanes)
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def __getitem__(self, i: int) -> LaneResult:
+        return self.lanes[i]
+
+
+def _decode_batch(program: Program):
+    """Per-instruction dispatch records (scalar fields, decoded once)."""
+    recs = []
+    for i, instr in enumerate(program.instrs):
+        pc = program.pc_of(i)
+        pc4 = (pc + 4) & MASK32
+        k = instr.spec.kind
+        if k is Kind.ALU_RRR:
+            recs.append((_K_ALU, instr.rd, instr.rs, instr.rt, None,
+                         _ALU_CODE[instr.spec.alu_op], pc4))
+        elif k is Kind.SHIFT_I:
+            recs.append((_K_ALU, instr.rd, instr.rs, None, instr.shamt,
+                         _ALU_CODE[instr.spec.alu_op], pc4))
+        elif k is Kind.ALU_RRI:
+            recs.append((_K_ALU, instr.rt, instr.rs, None, instr.imm,
+                         _ALU_CODE[instr.spec.alu_op], pc4))
+        elif k is Kind.LUI:
+            recs.append((_K_LUI, instr.rt, (instr.imm << 16) & MASK32,
+                         None, None, 0, pc4))
+        elif k is Kind.LOAD:
+            recs.append((_K_LOAD, instr.rt, instr.rs, instr.op,
+                         instr.imm, _LOAD_SIZE[instr.op], pc4))
+        elif k is Kind.STORE:
+            recs.append((_K_STORE, instr.rt, instr.rs, instr.op,
+                         instr.imm, _STORE_SIZE[instr.op], pc4))
+        elif k is Kind.BRANCH_CMP:
+            recs.append((_K_BCMP, None, instr.rs, instr.rt,
+                         instr.op == "beq", instr.branch_target(pc), pc4))
+        elif k is Kind.BRANCH_Z:
+            recs.append((_K_BZ, None, instr.rs, None,
+                         _COND_CODE[instr.spec.condition.value],
+                         instr.branch_target(pc), pc4))
+        elif k is Kind.JUMP:
+            recs.append((_K_JUMP, None, None, None, None,
+                         instr.jump_target(pc), pc4))
+        elif k is Kind.JAL:
+            recs.append((_K_JAL, None, None, None, None,
+                         instr.jump_target(pc), pc4))
+        elif k is Kind.JR:
+            recs.append((_K_JR, None, instr.rs, None, None, 0, pc4))
+        elif k is Kind.JALR:
+            recs.append((_K_JALR, instr.rd, instr.rs, None, None, 0, pc4))
+        elif k is Kind.HALT:
+            recs.append((_K_HALT, None, None, None, None, 0, pc4))
+        elif k is Kind.CTL:
+            recs.append((_K_CTL, None, None, None, instr.imm, 0, pc4))
+        else:   # pragma: no cover — Kind table is closed
+            raise SimulationError("unhandled kind %s" % k)
+    return recs
+
+
+class _BatchMemory:
+    """Per-lane memory: dense ``(words, N)`` regions + sparse overlay.
+
+    Regions are clustered from the union of every lane's initialised
+    words (plus a stack window), padded upward so near-data stores stay
+    on the vector path.  A per-region boolean *written* mask records
+    which (word, lane) cells a store touched, because the serial
+    engine's snapshot is "touched words only" and reads must NOT touch
+    — a lane's final snapshot is its initial dict overlaid with its
+    written cells and its overlay entries.
+    """
+
+    def __init__(self, inits: List[Dict[int, int]], nlanes: int) -> None:
+        self.nlanes = nlanes
+        widxs = set()
+        seen = set()
+        for d in inits:
+            if id(d) in seen:   # campaign lanes share one init dict
+                continue
+            seen.add(id(d))
+            for addr in d:
+                widxs.add(addr >> 2)
+        for w in range((STACK_TOP >> 2) - _STACK_WORDS,
+                       (STACK_TOP >> 2) + 64, _REGION_GAP // 2):
+            widxs.add(w)
+        bounds = []
+        lo = hi = None
+        for w in sorted(widxs):
+            if lo is None:
+                lo = hi = w
+            elif w - hi > _REGION_GAP:
+                bounds.append((lo, hi + _REGION_PAD))
+                lo = hi = w
+            else:
+                hi = w
+        if lo is not None:
+            bounds.append((lo, hi + _REGION_PAD))
+        self.starts = [b[0] for b in bounds]
+        self.ends = [b[1] for b in bounds]
+        self.arrays = [np.zeros((e - s, nlanes), dtype=_I64)
+                       for s, e in bounds]
+        self.written = [np.zeros((e - s, nlanes), dtype=bool)
+                        for s, e in bounds]
+        self.overlay: List[Dict[int, int]] = [dict() for _ in range(nlanes)]
+        # group lanes sharing one init dict and fill each region with a
+        # single cache-friendly row-broadcast instead of per-lane
+        # strided column copies
+        groups: Dict[int, Tuple[Dict[int, int], List[int]]] = {}
+        for lane, d in enumerate(inits):
+            g = groups.get(id(d))
+            if g is None:
+                groups[id(d)] = (d, [lane])
+            else:
+                g[1].append(lane)
+        for d, lanes in groups.values():
+            if not d:
+                continue
+            aw = np.fromiter(d.keys(), dtype=_I64, count=len(d)) >> 2
+            av = np.fromiter(d.values(), dtype=_I64, count=len(d))
+            for r, s in enumerate(self.starts):
+                m = (aw >= s) & (aw < self.ends[r])
+                if not m.any():
+                    continue
+                vec = np.zeros(self.ends[r] - s, dtype=_I64)
+                vec[aw[m] - s] = av[m]
+                if len(lanes) == nlanes:
+                    self.arrays[r][:] = vec[:, None]
+                else:
+                    self.arrays[r][:, lanes] = vec[:, None]
+
+    def _region_of(self, widx: np.ndarray) -> int:
+        """Region index if every lane's word hits the same region,
+        else -1 (mixed/overlay accesses take the slow scalar path)."""
+        w0 = int(widx[0])
+        for r, s in enumerate(self.starts):
+            if s <= w0 < self.ends[r]:
+                if widx.size == 1 or (int(widx.min()) >= s
+                                      and int(widx.max()) < self.ends[r]):
+                    return r
+                return -1
+        return -1
+
+    # -- vector access (addr: per-lane byte addresses, word-aligned
+    #    base already computed by the caller; cols: lane columns) -----
+    def read_words(self, widx, cols):
+        r = self._region_of(widx)
+        if r >= 0:
+            return self.arrays[r][widx - self.starts[r], cols]
+        return self._gather_slow(widx, cols)
+
+    def write_cells(self, widx, cols, vals):
+        r = self._region_of(widx)
+        if r >= 0:
+            rel = widx - self.starts[r]
+            self.arrays[r][rel, cols] = vals
+            self.written[r][rel, cols] = True
+        else:
+            self._scatter_slow(widx, cols, vals)
+
+    def _gather_slow(self, widx, cols):
+        out = np.zeros(len(widx), dtype=_I64)
+        for j in range(len(widx)):
+            w = int(widx[j])
+            lane = int(cols[j])
+            for r, s in enumerate(self.starts):
+                if s <= w < self.ends[r]:
+                    out[j] = self.arrays[r][w - s, lane]
+                    break
+            else:
+                out[j] = self.overlay[lane].get(w, 0)
+        return out
+
+    def _scatter_slow(self, widx, cols, vals):
+        for j in range(len(widx)):
+            w = int(widx[j])
+            lane = int(cols[j])
+            v = int(vals[j])
+            for r, s in enumerate(self.starts):
+                if s <= w < self.ends[r]:
+                    self.arrays[r][w - s, lane] = v
+                    self.written[r][w - s, lane] = True
+                    break
+            else:
+                self.overlay[lane][w] = v
+
+    def snapshot(self, lane: int, init: Dict[int, int]) -> Dict[int, int]:
+        snap = dict(init)
+        for r, s in enumerate(self.starts):
+            rows = np.nonzero(self.written[r][:, lane])[0]
+            if rows.size:
+                vals = self.arrays[r][rows, lane]
+                snap.update(zip(((rows + s) << 2).tolist(), vals.tolist()))
+        for w, v in self.overlay[lane].items():
+            snap[w << 2] = v
+        return snap
+
+
+#: event codes for non-sequential op results.  A compiled op returns
+#: either a plain Python ``int`` next-PC (sequential or uniformly-taken
+#: control flow — the hot path allocates no tuple at all) or an
+#: ``(event, payload)`` pair for the four non-sequential outcomes.
+_SPLIT, _HALT, _FETCH, _MEMTRAP = 1, 2, 3, 4
+
+
+def _compile_ops(recs, base, regs, bmem, ctl_writes):
+    """Compile decoded records into per-PC closures ``op(cols, ids)``.
+
+    Compilation hoists to closure-build time everything the record
+    interpreter re-decided on every step: operand register *rows* are
+    captured as array views, immediates are pre-masked/pre-sign-biased,
+    the kind and ALU dispatch chains disappear, and loads/stores
+    memoize the dense region they last hit.  ``cols`` is the register
+    column selector (``slice(None)`` when every lane is live, else a
+    lane index array); ``ids`` is the materialized lane-id array, which
+    memory ops always need for pairwise fancy indexing.
+
+    Register values are invariantly in ``[0, 2**32)`` — every writer
+    masks — so ``& MASK32`` appears only where a value is created, not
+    where one is read.
+    """
+    starts = bmem.starts
+    ends = bmem.ends
+    sizes = [e - s for s, e in zip(starts, ends)]
+    arrays = bmem.arrays
+    written = bmem.written
+    _min = np.minimum.reduce
+    _max = np.maximum.reduce
+    _or = np.bitwise_or.reduce
+
+    def locate(widx):
+        """Full region search: index if all lanes hit one region
+        (misaligned/mixed accesses fall back to the slow path)."""
+        w0 = int(widx[0])
+        for r, s in enumerate(starts):
+            if s <= w0 < ends[r]:
+                if widx.size == 1 or (int(_min(widx)) >= s
+                                      and int(_max(widx)) < ends[r]):
+                    return r
+                return -1
+        return -1
+
+    def generic_mem(rec, k, ids, addr):
+        """Region-searching access used off the fast path (overlay
+        hits, lane-mixed regions, post-misalignment survivors)."""
+        size = rec[5]
+        widx = addr >> 2
+        if k == _K_STORE:
+            val = regs[rec[1], ids]
+            if size == 4:
+                bmem.write_cells(widx, ids, val)
+            else:
+                mask = 0xFF if size == 1 else 0xFFFF
+                shift = (addr & 3) << 3
+                w = bmem.read_words(widx, ids)
+                w = (w & ~(mask << shift)) | ((val & mask) << shift)
+                bmem.write_cells(widx, ids, w)
+        else:
+            w = bmem.read_words(widx, ids)
+            if size != 4:
+                mask = 0xFF if size == 1 else 0xFFFF
+                w = (w >> ((addr & 3) << 3)) & mask
+            op = rec[3]
+            if op == "lb":
+                w = np.where(w & 0x80, (w - 0x100) & MASK32, w)
+            elif op == "lh":
+                w = np.where(w & 0x8000, (w - 0x10000) & MASK32, w)
+            rt = rec[1]
+            if rt:      # a load to r0 still performs the access
+                regs[rt, ids] = w
+
+    def slow_mem(rec, k, ids, addr, pc4):
+        """Alignment-splitting access: traps the misaligned lanes with
+        the serial engine's exact message, completes the rest."""
+        size = rec[5]
+        if size == 4:
+            bad = (addr & 3) != 0
+        elif size == 2:
+            bad = (addr & 1) != 0
+        else:
+            bad = None
+        if bad is not None and bad.any():
+            okm = ~bad
+            okc = ids[okm]
+            if k == _K_LOAD:
+                word = ("lw at 0x%x" if size == 4
+                        else "halfword read at 0x%x")
+            else:
+                word = ("sw at 0x%x" if size == 4
+                        else "halfword write at 0x%x")
+            badc = ids[bad]
+            errs = {int(c): ("MisalignedAccess", word % int(a))
+                    for c, a in zip(badc, addr[bad])}
+            if okc.size:
+                generic_mem(rec, k, okc, addr[okm])
+            return (_MEMTRAP, (okc, badc, errs, pc4))
+        generic_mem(rec, k, ids, addr)
+        return pc4
+
+    # ---- per-kind closure factories --------------------------------
+    def mk_alu(rd, rs, rt, immb, ak, pc4):
+        ra = regs[rs]
+        if rd == 0:     # ALU never traps; a discarded result is a nop
+            def op(cols, ids):
+                return pc4
+            return op
+        rdrow = regs[rd]
+        if rt is not None:
+            rb = regs[rt]
+            if ak == 1:
+                def op(cols, ids):
+                    rdrow[cols] = (ra[cols] + rb[cols]) & MASK32
+                    return pc4
+            elif ak == 2:
+                def op(cols, ids):
+                    rdrow[cols] = (ra[cols] - rb[cols]) & MASK32
+                    return pc4
+            elif ak == 3:
+                def op(cols, ids):
+                    rdrow[cols] = ra[cols] & rb[cols]
+                    return pc4
+            elif ak == 4:
+                def op(cols, ids):
+                    rdrow[cols] = ra[cols] | rb[cols]
+                    return pc4
+            elif ak == 5:
+                def op(cols, ids):
+                    rdrow[cols] = ra[cols] ^ rb[cols]
+                    return pc4
+            elif ak == 6:
+                def op(cols, ids):
+                    rdrow[cols] = (~(ra[cols] | rb[cols])) & MASK32
+                    return pc4
+            elif ak == 7:       # slt via sign-bias
+                def op(cols, ids):
+                    rdrow[cols] = ((ra[cols] ^ 0x80000000)
+                                   < (rb[cols] ^ 0x80000000)).astype(_I64)
+                    return pc4
+            elif ak == 8:
+                def op(cols, ids):
+                    rdrow[cols] = (ra[cols] < rb[cols]).astype(_I64)
+                    return pc4
+            elif ak == 9:
+                def op(cols, ids):
+                    rdrow[cols] = (ra[cols] << (rb[cols] & 31)) & MASK32
+                    return pc4
+            elif ak == 10:
+                def op(cols, ids):
+                    rdrow[cols] = ra[cols] >> (rb[cols] & 31)
+                    return pc4
+            elif ak == 11:
+                def op(cols, ids):
+                    a = ra[cols]
+                    s = a - ((a & 0x80000000) << 1)
+                    rdrow[cols] = (s >> (rb[cols] & 31)) & MASK32
+                    return pc4
+            elif ak == 12:      # mul (signed, truncated)
+                def op(cols, ids):
+                    a = ra[cols]
+                    b = rb[cols]
+                    sa = a - ((a & 0x80000000) << 1)
+                    sb = b - ((b & 0x80000000) << 1)
+                    rdrow[cols] = (sa * sb) & MASK32
+                    return pc4
+            else:               # div/rem: C truncation, x/0 == 0
+                def op(cols, ids, ak=ak):
+                    a = ra[cols]
+                    b = rb[cols]
+                    sa = a - ((a & 0x80000000) << 1)
+                    sb = b - ((b & 0x80000000) << 1)
+                    zero = sb == 0
+                    safe = np.where(zero, 1, sb)
+                    q = np.abs(sa) // np.abs(safe)
+                    if ak == 13:
+                        v = np.where((sa < 0) != (safe < 0), -q, q)
+                    else:
+                        r_ = np.abs(sa) % np.abs(safe)
+                        v = np.where(sa < 0, -r_, r_)
+                    rdrow[cols] = np.where(zero, 0, v) & MASK32
+                    return pc4
+            return op
+        # immediate second operand (pre-masked/biased at compile time)
+        if ak == 1:
+            def op(cols, ids):
+                rdrow[cols] = (ra[cols] + immb) & MASK32
+                return pc4
+        elif ak == 2:
+            def op(cols, ids):
+                rdrow[cols] = (ra[cols] - immb) & MASK32
+                return pc4
+        elif ak == 3:       # logical immediates are zero-extended
+            def op(cols, ids):
+                rdrow[cols] = ra[cols] & immb
+                return pc4
+        elif ak == 4:
+            def op(cols, ids):
+                rdrow[cols] = ra[cols] | immb
+                return pc4
+        elif ak == 5:
+            def op(cols, ids):
+                rdrow[cols] = ra[cols] ^ immb
+                return pc4
+        elif ak == 6:
+            def op(cols, ids):
+                rdrow[cols] = (~(ra[cols] | immb)) & MASK32
+                return pc4
+        elif ak == 7:
+            bi = (immb & MASK32) ^ 0x80000000
+            def op(cols, ids):
+                rdrow[cols] = ((ra[cols] ^ 0x80000000) < bi).astype(_I64)
+                return pc4
+        elif ak == 8:
+            bu = immb & MASK32
+            def op(cols, ids):
+                rdrow[cols] = (ra[cols] < bu).astype(_I64)
+                return pc4
+        elif ak == 9:
+            sh = immb & 31
+            def op(cols, ids):
+                rdrow[cols] = (ra[cols] << sh) & MASK32
+                return pc4
+        elif ak == 10:
+            sh = immb & 31
+            def op(cols, ids):
+                rdrow[cols] = ra[cols] >> sh
+                return pc4
+        elif ak == 11:
+            sh = immb & 31
+            def op(cols, ids):
+                a = ra[cols]
+                s = a - ((a & 0x80000000) << 1)
+                rdrow[cols] = (s >> sh) & MASK32
+                return pc4
+        elif ak == 12:
+            def op(cols, ids):
+                a = ra[cols]
+                sa = a - ((a & 0x80000000) << 1)
+                rdrow[cols] = (sa * immb) & MASK32
+                return pc4
+        elif immb == 0:     # div/rem by constant zero: result 0
+            def op(cols, ids):
+                rdrow[cols] = 0
+                return pc4
+        else:
+            babs = abs(immb)
+            bneg = immb < 0
+            if ak == 13:
+                def op(cols, ids):
+                    a = ra[cols]
+                    sa = a - ((a & 0x80000000) << 1)
+                    q = np.abs(sa) // babs
+                    rdrow[cols] = np.where((sa < 0) != bneg, -q, q) & MASK32
+                    return pc4
+            else:
+                def op(cols, ids):
+                    a = ra[cols]
+                    sa = a - ((a & 0x80000000) << 1)
+                    r_ = np.abs(sa) % babs
+                    rdrow[cols] = np.where(sa < 0, -r_, r_) & MASK32
+                    return pc4
+        return op
+
+    def mk_lui(rt, val, pc4):
+        if rt == 0:
+            def op(cols, ids):
+                return pc4
+        else:
+            row = regs[rt]
+            def op(cols, ids):
+                row[cols] = val
+                return pc4
+        return op
+
+    def mk_mem(rec):
+        k, rt, rs, opname, imm, size, pc4 = rec
+        ra = regs[rs]
+        cell = [0]      # memoized dense-region index for this site
+        amask = 3 if size == 4 else (1 if size == 2 else 0)
+        if k == _K_LOAD:
+            rtrow = regs[rt] if rt else None
+            sub = size != 4
+            mask = 0xFF if size == 1 else 0xFFFF
+            sign = 0x80 if opname == "lb" else (
+                0x8000 if opname == "lh" else 0)
+            wrap = sign << 1
+            def op(cols, ids):
+                addr = (ra[cols] + imm) & MASK32
+                if amask and int(_or(addr)) & amask:
+                    return slow_mem(rec, _K_LOAD, ids, addr, pc4)
+                widx = addr >> 2
+                r = cell[0]
+                rel = widx - starts[r]
+                if int(_min(rel)) < 0 or int(_max(rel)) >= sizes[r]:
+                    r = locate(widx)
+                    if r < 0:
+                        return slow_mem(rec, _K_LOAD, ids, addr, pc4)
+                    cell[0] = r
+                    rel = widx - starts[r]
+                w = arrays[r][rel, ids]
+                if sub:
+                    w = (w >> ((addr & 3) << 3)) & mask
+                    if sign:
+                        w = np.where(w & sign, (w - wrap) & MASK32, w)
+                if rtrow is not None:   # a load to r0 still accesses
+                    rtrow[cols] = w
+                return pc4
+            return op
+        rsrc = regs[rt]     # rt == 0 reads the permanently-zero row
+        if size == 4:
+            def op(cols, ids):
+                addr = (ra[cols] + imm) & MASK32
+                if int(_or(addr)) & 3:
+                    return slow_mem(rec, _K_STORE, ids, addr, pc4)
+                widx = addr >> 2
+                r = cell[0]
+                rel = widx - starts[r]
+                if int(_min(rel)) < 0 or int(_max(rel)) >= sizes[r]:
+                    r = locate(widx)
+                    if r < 0:
+                        return slow_mem(rec, _K_STORE, ids, addr, pc4)
+                    cell[0] = r
+                    rel = widx - starts[r]
+                arrays[r][rel, ids] = rsrc[cols]
+                written[r][rel, ids] = True
+                return pc4
+            return op
+        mask = 0xFF if size == 1 else 0xFFFF
+        def op(cols, ids):
+            addr = (ra[cols] + imm) & MASK32
+            if amask and int(_or(addr)) & amask:
+                return slow_mem(rec, _K_STORE, ids, addr, pc4)
+            widx = addr >> 2
+            r = cell[0]
+            rel = widx - starts[r]
+            if int(_min(rel)) < 0 or int(_max(rel)) >= sizes[r]:
+                r = locate(widx)
+                if r < 0:
+                    return slow_mem(rec, _K_STORE, ids, addr, pc4)
+                cell[0] = r
+                rel = widx - starts[r]
+            shift = (addr & 3) << 3
+            w = arrays[r][rel, ids]
+            arrays[r][rel, ids] = (w & ~(mask << shift)) \
+                | ((rsrc[cols] & mask) << shift)
+            written[r][rel, ids] = True
+            return pc4
+        return op
+
+    def mk_bz(rs, ck, target, pc4):
+        ra = regs[rs]
+        if ck == 1:
+            def op(cols, ids):
+                t = ra[cols] == 0
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        elif ck == 2:
+            def op(cols, ids):
+                t = ra[cols] != 0
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        elif ck == 3:
+            def op(cols, ids):
+                t = ra[cols] >= 0x80000000
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        elif ck == 4:
+            def op(cols, ids):
+                v = ra[cols]
+                t = (v == 0) | (v >= 0x80000000)
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        elif ck == 5:
+            def op(cols, ids):
+                v = ra[cols]
+                t = (0 < v) & (v < 0x80000000)
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        else:
+            def op(cols, ids):
+                t = ra[cols] < 0x80000000
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        return op
+
+    def mk_bcmp(rs, rt, eq_sense, target, pc4):
+        ra = regs[rs]
+        rb = regs[rt]
+        if eq_sense:
+            def op(cols, ids):
+                t = ra[cols] == rb[cols]
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        else:
+            def op(cols, ids):
+                t = ra[cols] != rb[cols]
+                s = int(t.sum())
+                if s == t.size:
+                    return target
+                if s == 0:
+                    return pc4
+                return (_SPLIT, np.where(t, target, pc4))
+        return op
+
+    def mk_jump(target):
+        def op(cols, ids):
+            return target
+        return op
+
+    def mk_jal(target, pc4):
+        r31 = regs[31]
+        def op(cols, ids):
+            r31[cols] = pc4
+            return target
+        return op
+
+    def mk_jr(rd, rs, pc4):
+        ra = regs[rs]
+        # jalr writes before it reads: jalr rX, rX returns to PC+4
+        rdrow = regs[rd] if rd else None
+        def op(cols, ids):
+            if rdrow is not None:
+                rdrow[cols] = pc4
+            tgt = ra[cols]
+            t0 = int(tgt[0])
+            if tgt.size == 1 or bool((tgt == t0).all()):
+                return t0
+            return (_SPLIT, tgt.copy())
+        return op
+
+    def mk_halt(pc4):
+        evt = (_HALT, pc4)
+        def op(cols, ids):
+            return evt
+        return op
+
+    def mk_ctl(imm, pc4):
+        def op(cols, ids):
+            for c in ids.tolist():
+                ctl_writes[c].append(imm)
+            return pc4
+        return op
+
+    opmap = {}
+    for i, rec in enumerate(recs):
+        pc = (base + 4 * i) & MASK32
+        k = rec[0]
+        pc4 = rec[6]
+        if k == _K_ALU:
+            op = mk_alu(rec[1], rec[2], rec[3], rec[4], rec[5], pc4)
+        elif k == _K_LUI:
+            op = mk_lui(rec[1], rec[2], pc4)
+        elif k == _K_LOAD or k == _K_STORE:
+            op = mk_mem(rec)
+        elif k == _K_BCMP:
+            op = mk_bcmp(rec[2], rec[3], rec[4], rec[5], pc4)
+        elif k == _K_BZ:
+            op = mk_bz(rec[2], rec[4], rec[5], pc4)
+        elif k == _K_JUMP:
+            op = mk_jump(rec[5])
+        elif k == _K_JAL:
+            op = mk_jal(rec[5], pc4)
+        elif k == _K_JR:
+            op = mk_jr(0, rec[2], pc4)
+        elif k == _K_JALR:
+            op = mk_jr(rec[1], rec[2], pc4)
+        elif k == _K_HALT:
+            op = mk_halt(pc4)
+        else:
+            op = mk_ctl(rec[4], pc4)
+        opmap[pc] = op
+    return opmap
+
+
+def run_batch(program: Program,
+              memories: Sequence[MainMemory],
+              max_instructions: int = 200_000_000) -> BatchResult:
+    """Run ``program`` over ``len(memories)`` lanes in lockstep.
+
+    ``memories[i]`` is lane *i*'s initial memory (the engine copies the
+    word dict; the caller's objects are not mutated).  Passing the same
+    ``MainMemory`` object for consecutive lanes (campaign-style
+    replication) makes initialisation O(1) per repeated lane.  Returns
+    a :class:`BatchResult`; see the module docstring for the exact
+    per-lane equivalence contract with the serial engine.
+    """
+    n = len(memories)
+    if n == 0:
+        return BatchResult([])
+    recs = _decode_batch(program)
+    base = program.text_base
+    entry = program.entry if program.entry is not None else base
+
+    # per-lane initial snapshots: caller memory + text words, exactly
+    # as FunctionalSimulator.__init__ touches them
+    text_pairs = [((base + 4 * i) & MASK32, w & MASK32)
+                  for i, w in enumerate(program.words)]
+    inits: List[Dict[int, int]] = []
+    for lane, m in enumerate(memories):
+        if lane and memories[lane] is memories[lane - 1]:
+            inits.append(inits[-1])
+            continue
+        d = dict(m._words)
+        for a, w in text_pairs:
+            d[a] = w
+        inits.append(d)
+    bmem = _BatchMemory(inits, n)
+
+    regs = np.zeros((32, n), dtype=_I64)
+    regs[29, :] = STACK_TOP
+    pcs = np.full(n, entry, dtype=_I64)
+    ret = np.zeros(n, dtype=_I64)
+    alive = np.arange(n)
+    out_halted = [False] * n
+    out_err: List[Optional[Tuple[str, str]]] = [None] * n
+    ctl_writes: List[List[int]] = [[] for _ in range(n)]
+    opmap = _compile_ops(recs, base, regs, bmem, ctl_writes)
+    opget = opmap.get
+
+    def retire(ids, halted=False, err=None):
+        """Freeze lane columns ``ids`` out of the live set."""
+        nonlocal alive
+        for c in ids:
+            c = int(c)
+            out_halted[c] = halted
+            if err is not None:
+                out_err[c] = err[c] if isinstance(err, dict) else err
+        keep = ~np.isin(alive, ids)
+        alive = alive[keep]
+
+    def _fetch_err(pc):
+        return ("ValueError", "pc 0x%x is not in the text segment" % pc)
+
+    def _budget_err(pc):
+        return ("SimulationError",
+                "instruction budget (%d) exhausted at pc=0x%x"
+                % (max_instructions, pc))
+
+    # ------------------------------------------------------------------
+    # main scheduler.  ret/pcs accounting is done here, not in the ops:
+    # the converged loop batches a whole segment's retire counts into
+    # ONE vector add instead of one per instruction.
+    # ------------------------------------------------------------------
+    while alive.size:
+        apcs = pcs[alive]
+        m = int(apcs.min())
+        grp_mask = apcs == m
+        if bool(grp_mask.all()):
+            # ---- converged fast loop: every live lane at one PC.  The
+            # PC advances as a scalar; lanes' ret counters catch up in
+            # one vector add when the segment ends (event or budget).
+            ids = alive
+            cols = slice(None) if ids.size == n else ids
+            headroom = max_instructions - int(ret[ids].max())
+            pc = m
+            steps = 0
+            evt = None
+            while steps < headroom:
+                op = opget(pc)
+                if op is None:
+                    evt = (_FETCH, _fetch_err(pc))
+                    break
+                r = op(cols, ids)
+                if type(r) is int:
+                    pc = r
+                    steps += 1
+                else:
+                    evt = r
+                    break
+            else:
+                # a lane hit the instruction budget: flush the segment,
+                # trap the lanes with no headroom left, the rest go on
+                ret[cols] += steps
+                pcs[cols] = pc
+                exhausted = ids[np.asarray(ret[cols] >= max_instructions)]
+                retire(exhausted, err=_budget_err(pc))
+                continue
+            ev, pay = evt
+            if ev == _SPLIT:
+                ret[cols] += steps + 1
+                pcs[cols] = pay
+            elif ev == _HALT:
+                ret[cols] += steps + 1
+                pcs[cols] = pay
+                retire(ids, halted=True)
+            elif ev == _FETCH:
+                ret[cols] += steps
+                pcs[cols] = pc   # lanes freeze AT the unfetchable pc
+                retire(ids, err=pay)
+            else:   # _MEMTRAP
+                okc, badc, errs, pc4 = pay
+                ret[cols] += steps
+                pcs[cols] = pc
+                if okc.size:
+                    ret[okc] += 1
+                    pcs[okc] = pc4
+                retire(badc, err=errs)
+        else:
+            # ---- grouped (min-PC) round: step only the lanes at the
+            # minimum live PC; lanes ahead wait for reconvergence
+            ids = alive[grp_mask]
+            over = ids[np.asarray(ret[ids] >= max_instructions)]
+            if over.size:
+                retire(over, err=_budget_err(m))
+                continue
+            op = opget(m)
+            if op is None:
+                retire(ids, err=_fetch_err(m))
+                continue
+            r = op(ids, ids)
+            if type(r) is int:
+                ret[ids] += 1
+                pcs[ids] = r
+                continue
+            ev, pay = r
+            if ev == _SPLIT:
+                ret[ids] += 1
+                pcs[ids] = pay
+            elif ev == _HALT:
+                ret[ids] += 1
+                pcs[ids] = pay
+                retire(ids, halted=True)
+            elif ev == _FETCH:   # pragma: no cover — opget caught it
+                retire(ids, err=pay)
+            else:   # _MEMTRAP
+                okc, badc, errs, pc4 = pay
+                if okc.size:
+                    ret[okc] += 1
+                    pcs[okc] = pc4
+                retire(badc, err=errs)
+
+    lanes = []
+    for lane in range(n):
+        col = regs[:, lane]
+        lanes.append(LaneResult(
+            regs=[int(col[r]) for r in range(32)],
+            memory=bmem.snapshot(lane, inits[lane]),
+            pc=int(pcs[lane]),
+            halted=out_halted[lane],
+            instructions_retired=int(ret[lane]),
+            ctl_writes=ctl_writes[lane],
+            error=out_err[lane],
+        ))
+    return BatchResult(lanes)

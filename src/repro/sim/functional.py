@@ -79,9 +79,13 @@ class FunctionalSimulator:
         ``"interp"`` (default) runs the per-instruction plan loop;
         ``"blocks"`` runs the block-compiled translation cache
         (:mod:`repro.sim.blocks`) — bit-identical architectural state,
-        retire counts and errors, several times faster.  ``run`` falls
-        back to the interpreted loop whenever an observer or tracer is
-        attached (they need per-instruction visibility).
+        retire counts and errors, several times faster.
+        ``"superblocks"`` is accepted as an alias for ``"blocks"``:
+        the functional translation cache already chains hot
+        block-to-block successors (the pipeline engines are where the
+        two differ).  ``run`` falls back to the interpreted loop
+        whenever an observer or tracer is attached (they need
+        per-instruction visibility).
     blocks_cache_dir:
         optional directory for on-disk compiled-block artifacts
         (defaults to ``$REPRO_BLOCKS_CACHE``; unset = no disk cache).
@@ -91,10 +95,12 @@ class FunctionalSimulator:
                  memory: Optional[MainMemory] = None,
                  engine: str = "interp",
                  blocks_cache_dir: Optional[str] = None) -> None:
-        if engine not in ("interp", "blocks"):
+        if engine not in ("interp", "blocks", "superblocks"):
             raise ValueError(
-                "unknown engine %r (expected 'interp' or 'blocks')"
-                % (engine,))
+                "unknown engine %r (expected 'interp', 'blocks' or "
+                "'superblocks')" % (engine,))
+        if engine == "superblocks":
+            engine = "blocks"   # functional blocks already chain
         self.engine = engine
         self.program = program
         if memory is None:

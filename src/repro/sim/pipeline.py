@@ -157,9 +157,13 @@ class PipelineSimulator:
         ``engine`` selects the execution engine: ``"interp"`` is the
         decoded-dispatch ``tick()`` loop; ``"blocks"`` runs the
         block-compiled fast loop (:mod:`repro.sim.blocks`) with
-        bit-identical statistics.  When telemetry is attached or
-        ``tick`` has been rebound on the instance (fault injection),
-        ``run`` transparently falls back to the interpreted loop.
+        bit-identical statistics; ``"superblocks"`` additionally
+        compiles the ASBR fold checks, BDT update points and predictor
+        decisions into the loop body with direct-threaded fold
+        transfer (:mod:`repro.sim.superblocks`), still bit-identical.
+        When telemetry is attached or ``tick`` has been rebound on the
+        instance (fault injection), ``run`` transparently falls back
+        to the interpreted loop.
 
         ``frontend`` attaches the decoupled front end
         (:mod:`repro.frontend`): pass a
@@ -170,10 +174,10 @@ class PipelineSimulator:
         (bit-identical stats, golden-locked); like telemetry, an
         attached frontend makes the blocks engine fall back to the
         interpreted loop."""
-        if engine not in ("interp", "blocks"):
+        if engine not in ("interp", "blocks", "superblocks"):
             raise ValueError(
-                "unknown engine %r (expected 'interp' or 'blocks')"
-                % (engine,))
+                "unknown engine %r (expected 'interp', 'blocks' or "
+                "'superblocks')" % (engine,))
         self.engine = engine
         self.config = config if config is not None else PipelineConfig()
         self.fold_unconditional = fold_unconditional
@@ -195,7 +199,7 @@ class PipelineSimulator:
         self._fetch_halted = False            # halt decoded on current path
         self._pending_releases = []           # (reg, value) applied at EOT
 
-        if engine == "blocks":
+        if engine in ("blocks", "superblocks"):
             # shared, interned table: computed once per (program, fold
             # flag) per process instead of once per simulator
             self._dec = _interned_dec_table(program, fold_unconditional)
@@ -243,16 +247,19 @@ class PipelineSimulator:
     # ==================================================================
     def run(self) -> PipelineStats:
         """Simulate until the program's ``halt`` commits."""
-        if (self.engine == "blocks" and self.trace is None
-                and self.frontend is None
+        if (self.trace is None and self.frontend is None
                 and type(self) is PipelineSimulator
                 and "tick" not in self.__dict__):
             # telemetry attach and fault injection both rebind methods
             # on the instance (and tests may subclass); any of those
             # falls back to the interpreted loop so the instrumented
             # twins keep seeing every cycle
-            from repro.sim.blocks import run_pipeline_blocks
-            return run_pipeline_blocks(self)
+            if self.engine == "blocks":
+                from repro.sim.blocks import run_pipeline_blocks
+                return run_pipeline_blocks(self)
+            if self.engine == "superblocks":
+                from repro.sim.superblocks import run_pipeline_superblocks
+                return run_pipeline_superblocks(self)
         max_cycles = self.config.max_cycles
         stats = self.stats
         tick = self.tick

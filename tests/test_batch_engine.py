@@ -1,0 +1,221 @@
+"""Lockstep batch engine vs. the serial functional simulator.
+
+The contract under test is *exact per-lane equivalence*: for every lane
+``i``, ``run_batch(program, mems)[i]`` must equal the final state of a
+serial ``FunctionalSimulator`` run over ``mems[i]`` — registers,
+touched-memory snapshot, PC, halt flag, retire count, ``ctl_writes``,
+and, for trap/budget lanes, the same exception type and message.  The
+hypothesis properties draw divergent per-lane inputs (different stream
+lengths and seeds force early-halting lanes and min-PC regrouping) and
+random programs with per-lane memory perturbations; the deterministic
+cases pin the trap paths (misaligned access, PC off the text segment,
+instruction budget) that random draws hit only occasionally.
+"""
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm.assembler import assemble
+from repro.sim.batch import run_batch
+from repro.sim.functional import FunctionalSimulator
+from repro.testing import random_program
+from repro.workloads import get_workload, speech_like
+
+
+def _serial_state(program, mem, max_instructions):
+    """Final architectural state of a serial run, as comparable data."""
+    sim = FunctionalSimulator(program, copy.deepcopy(mem))
+    err = None
+    try:
+        sim.run(max_instructions=max_instructions)
+    except Exception as exc:   # noqa: BLE001 — mirrored verbatim
+        err = (type(exc).__name__, str(exc))
+    return ([sim.regs[r] for r in range(32)], sim.memory.snapshot(),
+            sim.pc, sim.halted, sim.instructions_retired,
+            sim.ctl_writes, err)
+
+
+def _assert_lanes_equal(program, mems, max_instructions=200_000_000):
+    res = run_batch(program, mems, max_instructions=max_instructions)
+    assert len(res) == len(mems)
+    total = 0
+    for i, mem in enumerate(mems):
+        regs, snap, pc, halted, retired, ctl, err = _serial_state(
+            program, mem, max_instructions)
+        lane = res[i]
+        assert lane.regs == regs, "lane %d registers diverged" % i
+        assert lane.memory == snap, "lane %d memory diverged" % i
+        assert lane.pc == pc, "lane %d pc diverged" % i
+        assert lane.halted == halted, "lane %d halt flag diverged" % i
+        assert lane.instructions_retired == retired, \
+            "lane %d retire count diverged" % i
+        assert lane.ctl_writes == ctl, "lane %d ctl_writes diverged" % i
+        assert lane.error == err, "lane %d error diverged" % i
+        total += retired
+    assert res.total_retired == total
+    return res
+
+
+# ----------------------------------------------------------------------
+# hypothesis: divergent codec lanes  ≡  N serial runs
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(lanes=st.lists(st.tuples(st.integers(1, 40), st.integers(0, 99)),
+                      min_size=1, max_size=8),
+       name=st.sampled_from(["adpcm_enc", "adpcm_dec", "g721_enc"]))
+def test_batch_equals_serial_codec_lanes(lanes, name):
+    wl = get_workload(name)
+    mems = [wl.build_memory(wl.input_stream(speech_like(n, seed=s)))
+            for n, s in lanes]
+    _assert_lanes_equal(wl.program, mems)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(lanes=st.lists(st.tuples(st.integers(1, 30), st.integers(0, 99)),
+                      min_size=2, max_size=6),
+       budget=st.integers(200, 4000))
+def test_batch_equals_serial_budget_lanes(lanes, budget):
+    """Mixed outcomes: short lanes halt inside the budget, long lanes
+    trap on it with the serial engine's exact message — both kinds in
+    one batch, retired counts differing per lane."""
+    wl = get_workload("adpcm_enc")
+    mems = [wl.build_memory(wl.input_stream(speech_like(n, seed=s)))
+            for n, s in lanes]
+    _assert_lanes_equal(wl.program, mems, max_instructions=budget)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random programs, per-lane memory perturbations
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 500),
+       words=st.dictionaries(
+           st.integers(0, (1 << 16) - 1).map(lambda w: w * 4),
+           st.integers(0, 0xFFFFFFFF), max_size=4),
+       nlanes=st.integers(1, 4))
+def test_batch_equals_serial_random_programs(seed, words, nlanes):
+    """Random instruction mixes; lane 0 gets a perturbed initial
+    memory, so loads diverge the lanes mid-program."""
+    from repro.memory.main_memory import MainMemory
+    prog = random_program(seed, units=14)
+    mems = []
+    for lane in range(nlanes):
+        m = MainMemory()
+        if lane == 0:
+            m.load_words(words.items())
+        mems.append(m)
+    _assert_lanes_equal(prog, mems, max_instructions=50_000)
+
+
+# ----------------------------------------------------------------------
+# deterministic trap paths
+# ----------------------------------------------------------------------
+_TRAP_SPLIT = """
+.data
+buf: .word 0x11223344, 0x55667788
+.text
+main:
+    lw   r2, 0(r0)      # per-lane memory word at 0: divergent address
+    la   r4, buf
+    lw   r6, 0(r2)
+    lw   r5, 0(r4)
+    halt
+"""
+
+
+def test_misaligned_lane_splits_from_aligned():
+    """One batch, split fates at ONE load: the middle lane's address is
+    misaligned and traps with the serial message while its neighbours
+    complete the same instruction and run on to halt."""
+    from repro.memory.main_memory import MainMemory
+    prog = assemble(_TRAP_SPLIT)
+    mems = []
+    for addr in (0, 2, 4):
+        m = MainMemory()
+        m.write_word(0, addr)
+        mems.append(m)
+    res = _assert_lanes_equal(prog, mems)
+    assert res[1].error is not None and not res[1].halted
+    assert res[0].halted and res[2].halted
+
+
+_MISALIGNED = """
+.text
+main:
+    li   r2, %d
+    lw   r6, 0(r2)
+    halt
+"""
+
+
+@pytest.mark.parametrize("addr", [0, 2, 4, 5])
+def test_misaligned_load_matches_serial(addr):
+    from repro.memory.main_memory import MainMemory
+    prog = assemble(_MISALIGNED % addr)
+    _assert_lanes_equal(prog, [MainMemory() for _ in range(3)])
+
+
+_BAD_JUMP = """
+.text
+main:
+    li   r2, 0x100
+    jr   r2
+"""
+
+
+def test_fetch_off_text_matches_serial():
+    from repro.memory.main_memory import MainMemory
+    prog = assemble(_BAD_JUMP)
+    res = _assert_lanes_equal(prog, [MainMemory() for _ in range(2)])
+    assert res[0].error is not None
+    assert res[0].error[0] == "ValueError"
+
+
+_HALFWORD = """
+.data
+vals: .word 0x80FF7F01, 0xFFFE8000
+.text
+main:
+    la   r4, vals
+    lb   r5, 0(r4)
+    lb   r6, 1(r4)
+    lbu  r7, 3(r4)
+    lh   r8, 4(r4)
+    lhu  r9, 6(r4)
+    sh   r5, 8(r4)
+    sb   r6, 11(r4)
+    halt
+"""
+
+
+def test_subword_access_matches_serial():
+    """Sign extension, zero extension and sub-word RMW stores."""
+    from repro.memory.main_memory import MainMemory
+    prog = assemble(_HALFWORD)
+    _assert_lanes_equal(prog, [MainMemory() for _ in range(2)])
+
+
+# ----------------------------------------------------------------------
+# workload-level batch helper
+# ----------------------------------------------------------------------
+def test_run_functional_batch_matches_serial_and_golden():
+    wl = get_workload("adpcm_enc")
+    pcms = [speech_like(20 + 9 * s, seed=s) for s in range(4)]
+    batch = wl.run_functional_batch(pcms)
+    for pcm, b in zip(pcms, batch):
+        ser = wl.run_functional(pcm)
+        assert b.outputs == ser.outputs
+        assert b.instructions == ser.instructions
+        assert b.outputs == wl.golden_output(pcm)
+
+
+def test_empty_batch():
+    wl = get_workload("adpcm_enc")
+    res = run_batch(wl.program, [])
+    assert len(res) == 0 and res.total_retired == 0

@@ -167,6 +167,24 @@ class TestSearchDrivers:
         assert ev.simulated == 0
         assert [r.key for r in second] == [r.key for r in first]
 
+    def test_halving_rung_sizes_and_prefetch(self, tmp_path):
+        """rung_sizes enumerates exactly the sizes run() will visit,
+        and the evaluator's vectorized prefetch golden-verifies each,
+        memoising the functional retire count per size."""
+        driver = SuccessiveHalving(eta=2, rung0_samples=16, growth=4)
+        sizes = driver.rung_sizes(N)
+        assert sizes == [16, 64]
+        assert driver.rung_sizes(8) == [8]
+        ev = make_evaluator(tmp_path)
+        counts = ev.prefetch_functional(sizes)
+        assert set(counts) == set(sizes)
+        assert counts[16] < counts[64]
+        # memoised: a repeat call answers without simulating
+        assert ev.prefetch_functional(sizes) == counts
+        from repro.runner import execute_func_spec, FuncSpec
+        serial = execute_func_spec(FuncSpec(BENCH, 16, SEED))
+        assert counts[16] == serial.instructions
+
     def test_make_search(self):
         assert make_search("grid").name == "grid"
         assert make_search("random", n_points=3, seed=5) == \

@@ -153,6 +153,41 @@ def test_shared_context_matches_fresh_context(matrix):
 
 
 # ----------------------------------------------------------------------
+# batched execution (--batch): one replay, same classifications
+# ----------------------------------------------------------------------
+def test_batched_ecc_campaign_is_byte_identical(matrix):
+    """The batch path arms the whole ecc plan on one reference replay;
+    the report it produces must serialise byte-for-byte like the
+    per-site path's (which the module fixture ran with batch='auto',
+    itself locked against fresh contexts above)."""
+    cfg = dataclasses.replace(CFG, protection="ecc")
+    ctx = _Context(cfg)
+    on = run_campaign(cfg, context=ctx, batch="on")
+    off = run_campaign(cfg, context=ctx, batch="off")
+    assert report_to_json(on) == report_to_json(off)
+    assert report_to_json(on) == report_to_json(matrix["ecc"])
+
+
+def test_batched_mode_validates():
+    with pytest.raises(ValueError):
+        run_campaign(CFG, batch="maybe")
+
+
+def test_non_batchable_protections_fall_back(matrix):
+    """none/parity need mid-run state mutation the batched replay can't
+    express; batch='on' must still classify them per-site, identically."""
+    for prot in ("none", "parity"):
+        cfg = dataclasses.replace(CFG, protection=prot)
+        on = run_campaign(cfg, batch="on")
+        assert report_to_json(on) == report_to_json(matrix[prot])
+
+
+def test_matrix_batch_off_matches_default(matrix):
+    off = run_protection_matrix(CFG, batch="off")
+    assert matrix_to_json(off) == matrix_to_json(matrix)
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def test_cli_campaign_and_report_round_trip(tmp_path, capsys):

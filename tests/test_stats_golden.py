@@ -109,7 +109,7 @@ def _run(pcm, name, pred_spec, with_asbr, engine="interp"):
     return result.stats
 
 
-@pytest.mark.parametrize("engine", ["interp", "blocks"])
+@pytest.mark.parametrize("engine", ["interp", "blocks", "superblocks"])
 @pytest.mark.parametrize("key", sorted(GOLDEN),
                          ids=lambda k: "%s-%s-asbr%d" % (k[0], k[1], k[2]))
 def test_stats_bit_identical_to_seed(pcm, key, engine):
